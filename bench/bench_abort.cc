@@ -1,0 +1,114 @@
+// §3.4 ablation — "Heuristic-based Query Abortion".
+//
+// The paper notes (without a dedicated figure) that aborting queries
+// whose remaining pages promise a harvest rate below a threshold
+// "greatly improves crawling performance": most sources report the total
+// match count on the first page, so the crawler can bound the remaining
+// pages' yield; without a count, a duplicate-ratio heuristic applies.
+//
+// This harness quantifies both heuristics on the regenerated eBay
+// database: rounds to reach 90% coverage with and without abortion.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/abort_policy.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/datagen/movie_domain.h"
+#include "src/util/table_printer.h"
+
+namespace {
+constexpr int kNumSeeds = 4;
+}  // namespace
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Ablation (§3.4): heuristic-based query abortion",
+      "abort a query when the expected harvest rate of its remaining "
+      "pages falls below a threshold (count-based), or when early pages "
+      "are duplicate-heavy (ratio-based)",
+      "movie-domain target (community cores span several pages, so "
+      "late-crawl queries are long and duplicate-heavy), crawl to 95% "
+      "coverage, average of " + std::to_string(kNumSeeds) + " seeds");
+
+  struct Config {
+    const char* name;
+    bool greedy;  // greedy-link or BFS selection
+    bool counts_reported;
+    int policy;  // 0 none, 1 count-based, 2 duplicate-ratio
+  };
+  // Abortion matters most when the selection policy drains large,
+  // heavily-duplicated result sets — BFS does constantly, greedy-link
+  // mostly after saturation.
+  const Config configs[] = {
+      {"greedy-link, no abort", true, true, 0},
+      {"greedy-link + count abort (1.0 new/round)", true, true, 1},
+      {"greedy-link + dup-ratio abort (2 pages, 80%)", true, false, 2},
+      {"bfs, no abort", false, true, 0},
+      {"bfs + count abort (1.0 new/round)", false, true, 1},
+      {"bfs + dup-ratio abort (2 pages, 80%)", false, false, 2},
+  };
+
+  TablePrinter table({"configuration", "avg rounds to 95%", "avg queries",
+                      "vs no abort"});
+  double baseline_with = 0, baseline_without = 0;
+  for (const Config& config : configs) {
+    double rounds = 0, queries = 0;
+    for (int s = 0; s < kNumSeeds; ++s) {
+      MovieDomainPairConfig pair_config;
+      pair_config.universe_size = 10000;
+      pair_config.target_size = 3000;
+      pair_config.seed = 40 + s;
+      StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(pair_config);
+      DEEPCRAWL_CHECK(pair.ok());
+      const Table& db = pair->target;
+      ServerOptions server_options;
+      server_options.reports_total_count = config.counts_reported;
+      WebDbServer server(db, server_options);
+
+      CrawlOptions options;
+      // Abortion pays off in the duplicate-heavy deep-coverage phase.
+      options.target_records = static_cast<uint64_t>(
+          0.95 * static_cast<double>(db.num_records()));
+
+      CountBasedAbort count_abort(1.0);
+      DuplicateRatioAbort ratio_abort(2, 0.8);
+      AbortPolicy* policy = nullptr;
+      if (config.policy == 1) policy = &count_abort;
+      if (config.policy == 2) policy = &ratio_abort;
+
+      LocalStore store;
+      GreedyLinkSelector greedy_selector(store);
+      BfsSelector bfs_selector;
+      QuerySelector& selector =
+          config.greedy ? static_cast<QuerySelector&>(greedy_selector)
+                        : static_cast<QuerySelector&>(bfs_selector);
+      server.ResetMeters();
+      Crawler crawler(server, selector, store, options, policy);
+      crawler.AddSeed(bench::SeedValue(db, static_cast<uint32_t>(s)));
+      StatusOr<CrawlResult> result = crawler.Run();
+      DEEPCRAWL_CHECK(result.ok());
+      rounds += static_cast<double>(result->rounds);
+      queries += static_cast<double>(result->queries);
+    }
+    rounds /= kNumSeeds;
+    queries /= kNumSeeds;
+    if (config.policy == 0) {
+      (config.greedy ? baseline_with : baseline_without) = rounds;
+    }
+    double baseline = config.greedy ? baseline_with : baseline_without;
+    table.AddRow({config.name, TablePrinter::FormatDouble(rounds, 0),
+                  TablePrinter::FormatDouble(queries, 0),
+                  TablePrinter::FormatPercent(rounds / baseline, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: the count-based heuristic saves a few percent "
+               "for greedy-link in the duplicate-heavy deep-coverage "
+               "phase; overly aggressive thresholds backfire because "
+               "skipped records must be re-found through other queries. "
+               "The paper reports the heuristics qualitatively and "
+               "defers details to a journal version.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary in this directory regenerates one table or figure of the
+// paper. Conventions:
+//   * print a banner stating the paper artifact, the paper's original
+//     configuration, and the scale this run uses;
+//   * run the experiment deterministically (fixed seeds);
+//   * print aligned text tables via TablePrinter.
+
+#ifndef DEEPCRAWL_BENCH_BENCH_COMMON_H_
+#define DEEPCRAWL_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/crawler/crawler.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/query_selector.h"
+#include "src/relation/table.h"
+#include "src/server/web_db_server.h"
+#include "src/util/logging.h"
+#include "src/util/table_printer.h"
+
+namespace deepcrawl {
+namespace bench {
+
+inline void PrintBanner(const std::string& artifact,
+                        const std::string& paper_setup,
+                        const std::string& this_run) {
+  std::cout << "\n=== " << artifact << " ===\n"
+            << "paper setup: " << paper_setup << "\n"
+            << "this run:    " << this_run << "\n\n";
+}
+
+// Runs one crawl of `server` with `selector`, seeded with `seed_value`,
+// and returns the result. Resets the server meters first so rounds are
+// per-crawl. Aborts on crawl errors (bench fixtures are valid).
+inline CrawlResult RunCrawl(WebDbServer& server, QuerySelector& selector,
+                            LocalStore& store, const CrawlOptions& options,
+                            ValueId seed_value) {
+  server.ResetMeters();
+  Crawler crawler(server, selector, store, options);
+  crawler.AddSeed(seed_value);
+  StatusOr<CrawlResult> result = crawler.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+// Deterministic seed value for run `i` of a table: spreads seeds across
+// the value id space, skipping values with no matching records (the
+// catalog may also hold domain-table entries the target never returns —
+// a crawl seeded with one of those would die on its first query).
+inline ValueId SeedValue(const Table& table, uint32_t i) {
+  DEEPCRAWL_CHECK_GT(table.num_distinct_values(), 0u);
+  DEEPCRAWL_CHECK_GT(table.num_records(), 0u);
+  uint64_t n = table.num_distinct_values();
+  ValueId v = static_cast<ValueId>((1 + 2654435761ull * (i + 1)) % n);
+  while (table.value_frequency(v) == 0) {
+    v = static_cast<ValueId>((static_cast<uint64_t>(v) + 1) % n);
+  }
+  return v;
+}
+
+}  // namespace bench
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_BENCH_BENCH_COMMON_H_

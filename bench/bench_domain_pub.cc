@@ -1,0 +1,97 @@
+// §4.1 second domain — "if we already have some DBLP data at hand, how
+// can the database crawler utilize this piece of prior knowledge when
+// crawling the ACM Digital Library?"
+//
+// The paper evaluates domain-knowledge selection only on the movie
+// domain (Figure 5); this companion experiment runs the identical
+// protocol on the publications domain the paper's §4.1 motivates,
+// checking that the DM > GL shape is not an artifact of one domain.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/datagen/publication_domain.h"
+#include "src/domain/domain_selector.h"
+#include "src/domain/domain_table.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Generalization (§4.1): crawling ACM-DL with DBLP domain knowledge",
+      "the paper motivates the DBLP -> ACM transfer but evaluates only "
+      "the movie domain; same protocol, second domain",
+      "synthetic publications: DBLP-like sample over 80% of the "
+      "universe; ACM-like target = papers in ACM venues");
+
+  PublicationDomainPairConfig config;
+  config.universe_size = 30000;
+  StatusOr<PublicationDomainPair> pair =
+      GeneratePublicationDomainPair(config);
+  DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+  Table& target = pair->target;
+  std::cout << "ACM-like target: "
+            << TablePrinter::FormatCount(target.num_records())
+            << " papers; DBLP-like sample: "
+            << TablePrinter::FormatCount(pair->sample.num_records())
+            << " papers\n\n";
+
+  DomainTable dt = DomainTable::Build(pair->sample, target.schema(),
+                                      target.mutable_catalog());
+
+  ServerOptions server_options;
+  server_options.page_size = 10;
+  WebDbServer server(target, server_options);
+
+  uint64_t budget =
+      static_cast<uint64_t>(0.27 * static_cast<double>(target.num_records()));
+  CrawlOptions options;
+  options.max_rounds = budget;
+
+  CrawlResult result_gl, result_dm;
+  {
+    LocalStore store;
+    GreedyLinkSelector selector(store);
+    result_gl = bench::RunCrawl(server, selector, store, options,
+                                bench::SeedValue(target, 3));
+  }
+  {
+    LocalStore store;
+    DomainSelector selector(store, dt, server_options.page_size);
+    result_dm = bench::RunCrawl(server, selector, store, options,
+                                bench::SeedValue(target, 3));
+  }
+
+  TablePrinter table({"policy", "budget", "records", "coverage"});
+  auto add_row = [&](const char* name, const CrawlResult& result) {
+    table.AddRow({name, TablePrinter::FormatCount(budget),
+                  TablePrinter::FormatCount(result.records),
+                  TablePrinter::FormatPercent(
+                      static_cast<double>(result.records) /
+                          static_cast<double>(target.num_records()), 1)});
+  };
+  add_row("domain-knowledge (DBLP table)", result_dm);
+  add_row("greedy-link", result_gl);
+  table.Print(std::cout);
+
+  TablePrinter snapshots({"policy", "@25%", "@50%", "@75%", "@100% budget"});
+  auto add_snapshots = [&](const char* name, const CrawlResult& result) {
+    std::vector<std::string> row = {name};
+    for (int quarter = 1; quarter <= 4; ++quarter) {
+      uint64_t rounds = budget * quarter / 4;
+      row.push_back(TablePrinter::FormatPercent(
+          static_cast<double>(result.trace.RecordsAtRounds(rounds)) /
+              static_cast<double>(target.num_records()), 0));
+    }
+    snapshots.AddRow(row);
+  };
+  std::cout << "\ncoverage by budget quarter:\n";
+  add_snapshots("domain-knowledge", result_dm);
+  add_snapshots("greedy-link", result_gl);
+  snapshots.Print(std::cout);
+
+  std::cout << "\nreading: the Figure 5 shape (DM ahead of GL throughout "
+               "the budget) must transfer to the publications domain.\n";
+  return 0;
+}

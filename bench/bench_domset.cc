@@ -1,0 +1,114 @@
+// §2.5 ablation — the Weighted Minimum Dominating Set formulation.
+//
+// Definition 2.4 shows the optimal offline query plan is a WMDS of the
+// attribute-value graph under the cost weights cost(q) = ceil(num(q)/k).
+// No figure in the paper plots this directly; this ablation quantifies
+// the gap the formulation implies:
+//
+//   offline plans  <=  online oracle rounds  <=  online greedy-link
+//
+// (the offline bounds ignore that a crawler must *discover* values
+// before querying them and that result pages cost rounds even when
+// fully duplicated). Two offline plans are reported: the paper's WMDS
+// (which covers every VALUE but can miss records — see set_cover.h) and
+// the corrected weighted set cover (full record retrieval).
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/graph/attribute_value_graph.h"
+#include "src/graph/dominating_set.h"
+#include "src/graph/set_cover.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Ablation (Def. 2.4): offline WMDS bound vs online crawling cost",
+      "query selection formulated as Weighted Minimum Dominating Set "
+      "(NP-complete); online crawlers only see the partial graph",
+      "greedy WMDS (H(D+1)-approx) vs oracle and greedy-link crawls to "
+      "100% coverage, 4 regenerated databases (small scale)");
+
+  const SyntheticDbConfig configs[] = {
+      EbayConfig(0.02),
+      AcmDlConfig(0.004),
+      DblpConfig(0.0016),
+      ImdbConfig(0.002),
+  };
+
+  TablePrinter table({"database", "records", "WMDS weight",
+                      "WMDS record coverage", "set-cover weight",
+                      "oracle rounds", "greedy-link rounds",
+                      "online/offline"});
+  for (const SyntheticDbConfig& config : configs) {
+    StatusOr<Table> generated = GenerateTable(config);
+    DEEPCRAWL_CHECK(generated.ok()) << generated.status().ToString();
+    const Table& db = *generated;
+    ServerOptions server_options;  // k = 10
+    WebDbServer server(db, server_options);
+
+    AttributeValueGraph graph = AttributeValueGraph::Build(db);
+    // Paper cost model: rounds to drain a value completely.
+    auto cost = [&](ValueId v) {
+      return static_cast<double>(server.FullRetrievalCost(v));
+    };
+    DominatingSetResult wmds = GreedyWeightedDominatingSet(graph, cost);
+    DEEPCRAWL_CHECK(IsDominatingSet(graph, wmds.vertices));
+    SetCoverResult cover = GreedyWeightedSetCover(db, server.index(), cost);
+    DEEPCRAWL_CHECK(IsRecordCover(db, server.index(), cover.values));
+    // Record coverage the WMDS plan actually retrieves.
+    std::vector<char> retrieved(db.num_records(), 0);
+    for (ValueId v : wmds.vertices) {
+      for (RecordId r : server.index().Postings(v)) retrieved[r] = 1;
+    }
+    size_t wmds_records = 0;
+    for (char c : retrieved) wmds_records += c;
+
+    CrawlOptions options;
+    options.target_records = db.num_records();
+
+    uint64_t oracle_rounds;
+    {
+      LocalStore store;
+      OracleSelector selector(store, server.index(),
+                              server.options().page_size);
+      oracle_rounds = bench::RunCrawl(server, selector, store, options,
+                                      bench::SeedValue(db, 1))
+                          .rounds;
+    }
+    uint64_t greedy_rounds;
+    {
+      LocalStore store;
+      GreedyLinkSelector selector(store);
+      greedy_rounds = bench::RunCrawl(server, selector, store, options,
+                                      bench::SeedValue(db, 1))
+                          .rounds;
+    }
+
+    table.AddRow(
+        {config.name, TablePrinter::FormatCount(db.num_records()),
+         TablePrinter::FormatDouble(wmds.total_weight, 0),
+         TablePrinter::FormatPercent(
+             static_cast<double>(wmds_records) /
+                 static_cast<double>(db.num_records()), 0),
+         TablePrinter::FormatDouble(cover.total_weight, 0),
+         TablePrinter::FormatCount(oracle_rounds),
+         TablePrinter::FormatCount(greedy_rounds),
+         TablePrinter::FormatDouble(
+             static_cast<double>(greedy_rounds) / cover.total_weight, 2) +
+             "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: the set-cover weight is the honest offline "
+               "bound for FULL record retrieval (Definition 2.4's WMDS "
+               "dominates every value but, as the coverage column shows, "
+               "misses records whose own values were only dominated). "
+               "The oracle pays extra rounds for duplicated pages; "
+               "greedy-link pays for duplication plus estimation "
+               "error.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 2 — "Case study: Relational Link Degree Distribution".
+//
+// The paper plots log(frequency) vs log(degree) for the attribute-value
+// graphs of DBLP and IMDB (and the ACM Digital Library, omitted there
+// for space) and observes distributions very close to power laws: a few
+// hub values and a sparsely-connected "massive many".
+//
+// This harness builds the AVG of each regenerated database, prints the
+// log-binned log-log series (the figure's points), and reports the
+// fitted power-law exponent and R^2.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/graph/attribute_value_graph.h"
+#include "src/graph/power_law.h"
+#include "src/util/table_printer.h"
+
+namespace {
+constexpr double kScale = 0.1;
+}
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Figure 2: AVG degree distributions are power-law (DBLP, IMDB, ACM)",
+      "log-log degree/frequency scatter of the real DBLP / IMDB / ACM-DL "
+      "database graphs",
+      "AVGs of the regenerated databases at scale " +
+          TablePrinter::FormatDouble(kScale, 2) +
+          ", log-binned, least-squares fit");
+
+  for (const SyntheticDbConfig& config :
+       {DblpConfig(kScale), ImdbConfig(kScale), AcmDlConfig(kScale)}) {
+    StatusOr<Table> generated = GenerateTable(config);
+    DEEPCRAWL_CHECK(generated.ok()) << generated.status().ToString();
+    AttributeValueGraph graph = AttributeValueGraph::Build(*generated);
+    PowerLawFit fit =
+        FitPowerLaw(ToLogBinnedPoints(graph.DegreeHistogram(), 2.0));
+
+    std::cout << config.name << ": vertices="
+              << TablePrinter::FormatCount(graph.num_vertices())
+              << " edges=" << TablePrinter::FormatCount(graph.num_edges())
+              << "  power-law exponent="
+              << TablePrinter::FormatDouble(fit.exponent, 2)
+              << "  R^2=" << TablePrinter::FormatDouble(fit.r_squared, 3)
+              << "\n";
+    TablePrinter series({"log10(degree)", "log10(frequency)"});
+    for (const LogLogPoint& point : fit.points) {
+      series.AddRow({TablePrinter::FormatDouble(point.log10_degree, 3),
+                     TablePrinter::FormatDouble(point.log10_frequency, 3)});
+    }
+    series.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "paper observation: \"the degree distribution of the "
+               "attribute value graph is very close to power-law\" — a "
+               "near-linear log-log series with high R^2 reproduces it.\n";
+  return 0;
+}

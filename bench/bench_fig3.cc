@@ -1,0 +1,129 @@
+// Figure 3 — "Performance comparison between the greedy and naive
+// methods on four controlled database servers."
+//
+// Paper setup: four real databases behind mimic Web servers (eBay 20k,
+// ACM-DL 150k, DBLP 500k, IMDB 400k records), page size k = 10, no
+// result limit; each selection policy crawls to 90% record coverage;
+// every policy is run from 4 different seed values and averaged. The
+// figure plots communication rounds (y) against coverage 10%..90% (x);
+// the greedy link-based selector (GL) consistently dominates, and every
+// method's cost climbs steeply past ~80% coverage ("low marginal
+// benefit").
+//
+// This harness reproduces the four panels as tables of rounds-at-
+// coverage, averaged over the same number of seeds.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/util/table_printer.h"
+
+namespace {
+
+using namespace deepcrawl;
+
+constexpr int kNumSeeds = 4;
+constexpr double kCoverageLevels[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+struct PolicyRow {
+  std::string name;
+  // Average rounds to reach each coverage level.
+  double rounds[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Figure 3: greedy link-based vs naive query selection (4 databases)",
+      "eBay 20k / ACM-DL 150k / DBLP 500k / IMDB 400k records; k=10; "
+      "crawl to 90% coverage; average of 4 seeds",
+      "regenerated databases (eBay x0.10, ACM x0.02, DBLP x0.008, "
+      "IMDB x0.01); same protocol");
+
+  struct Panel {
+    SyntheticDbConfig config;
+  };
+  const Panel panels[] = {
+      {EbayConfig(0.10)},
+      {AcmDlConfig(0.02)},
+      {DblpConfig(0.008)},
+      {ImdbConfig(0.01)},
+  };
+
+  for (const Panel& panel : panels) {
+    StatusOr<Table> generated = GenerateTable(panel.config);
+    DEEPCRAWL_CHECK(generated.ok()) << generated.status().ToString();
+    const Table& db = *generated;
+    WebDbServer server(db, ServerOptions{});  // k = 10, no limit
+
+    CrawlOptions options;
+    options.target_records =
+        static_cast<uint64_t>(0.9 * static_cast<double>(db.num_records()));
+
+    std::vector<PolicyRow> rows;
+    for (int policy = 0; policy < 4; ++policy) {
+      PolicyRow row;
+      for (int s = 0; s < kNumSeeds; ++s) {
+        LocalStore store;
+        std::unique_ptr<QuerySelector> selector;
+        switch (policy) {
+          case 0:
+            selector = std::make_unique<GreedyLinkSelector>(store);
+            break;
+          case 1:
+            selector = std::make_unique<BfsSelector>();
+            break;
+          case 2:
+            selector = std::make_unique<DfsSelector>();
+            break;
+          default:
+            selector = std::make_unique<RandomSelector>(s + 1);
+            break;
+        }
+        row.name = std::string(selector->name());
+        CrawlResult result =
+            bench::RunCrawl(server, *selector, store, options,
+                            bench::SeedValue(db, static_cast<uint32_t>(s)));
+        for (int level = 0; level < 5; ++level) {
+          uint64_t target = static_cast<uint64_t>(
+              kCoverageLevels[level] * static_cast<double>(db.num_records()));
+          // A crawl stuck below a level (disconnected remainder) counts
+          // its full cost — the paper's servers are 99% connected, so
+          // this is a rare corner.
+          row.rounds[level] += static_cast<double>(
+              result.trace.RoundsToRecords(target).value_or(result.rounds));
+        }
+      }
+      for (double& r : row.rounds) r /= kNumSeeds;
+      rows.push_back(row);
+    }
+
+    std::cout << panel.config.name << " ("
+              << TablePrinter::FormatCount(db.num_records())
+              << " records): avg communication rounds to reach coverage\n";
+    TablePrinter table(
+        {"policy", "10%", "30%", "50%", "70%", "90%", "vs greedy@90%"});
+    double greedy_90 = rows[0].rounds[4];
+    for (const PolicyRow& row : rows) {
+      table.AddRow({row.name, TablePrinter::FormatDouble(row.rounds[0], 0),
+                    TablePrinter::FormatDouble(row.rounds[1], 0),
+                    TablePrinter::FormatDouble(row.rounds[2], 0),
+                    TablePrinter::FormatDouble(row.rounds[3], 0),
+                    TablePrinter::FormatDouble(row.rounds[4], 0),
+                    TablePrinter::FormatDouble(row.rounds[4] / greedy_90, 2) +
+                        "x"});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout
+      << "paper observations reproduced when: (a) greedy-link has the "
+         "lowest rounds at every level on every database, and (b) every "
+         "policy's cost rises sharply beyond ~70-80% coverage.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 5 — "Comparison Domain Statistics vs. Greedy Link" (Amazon DVD).
+//
+// Paper setup: the crawl target is the live Amazon DVD catalog
+// (estimated < 37,000 records, result limit 3,200 — "generous"); the
+// domain tables are built from IMDB: DM(I) from movies released after
+// 1960 (270k records), DM(II) after 1980 (190k). All crawlers get 10,000
+// page requests; coverage snapshots every 1,000. Results: DM(I) ~95%
+// coverage at the end and ~80% after 5,500 rounds; DM(II) slightly worse
+// than DM(I); greedy link (GL) below 70%.
+//
+// This run regenerates the movie-domain pair (a recency-skewed universe,
+// an Amazon-like recency-biased target subset with retailer-only Edition
+// values, and the two year-cut domain tables) at reduced scale, with the
+// round budget scaled by the same records-per-budget ratio.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/datagen/movie_domain.h"
+#include "src/domain/domain_selector.h"
+#include "src/domain/domain_table.h"
+#include "src/util/table_printer.h"
+
+namespace {
+constexpr uint32_t kUniverseSize = 40000;
+constexpr uint32_t kTargetSize = 12000;
+constexpr uint64_t kBudget = 3200;        // ~ paper's 10,000 scaled
+constexpr uint64_t kSnapshotEvery = 320;  // ~ paper's 1,000 scaled
+}  // namespace
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Figure 5: domain-knowledge vs greedy-link crawling (Amazon DVD)",
+      "Amazon DVD (<37k records) crawled with DM(I)=IMDB post-1960 "
+      "(270k), DM(II)=IMDB post-1980 (190k), GL; 10,000 requests, "
+      "snapshots each 1,000",
+      "synthetic movie-domain pair: universe " +
+          TablePrinter::FormatCount(kUniverseSize) + ", target ~" +
+          TablePrinter::FormatCount(kTargetSize) + ", budget " +
+          TablePrinter::FormatCount(kBudget) + " rounds");
+
+  MovieDomainPairConfig config;
+  config.universe_size = kUniverseSize;
+  config.target_size = kTargetSize;
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+  DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+  Table& target = pair->target;
+
+  std::cout << "target records: "
+            << TablePrinter::FormatCount(target.num_records())
+            << "; DM(I) sample: "
+            << TablePrinter::FormatCount(pair->dm1.num_records())
+            << "; DM(II) sample: "
+            << TablePrinter::FormatCount(pair->dm2.num_records()) << "\n\n";
+
+  DomainTable dm1 = DomainTable::Build(pair->dm1, target.schema(),
+                                       target.mutable_catalog());
+  DomainTable dm2 = DomainTable::Build(pair->dm2, target.schema(),
+                                       target.mutable_catalog());
+
+  ServerOptions server_options;
+  server_options.page_size = 10;
+  // Amazon capped result sets at 3,200 of an estimated 37k records
+  // (~8.6%); apply the same proportional cap here.
+  server_options.result_limit = static_cast<uint32_t>(
+      0.0865 * static_cast<double>(target.num_records()));
+  WebDbServer server(target, server_options);
+
+  CrawlOptions options;
+  options.max_rounds = kBudget;
+
+  auto run = [&](QuerySelector& selector, LocalStore& store) {
+    return bench::RunCrawl(server, selector, store, options,
+                           bench::SeedValue(target, 1));
+  };
+
+  CrawlResult result_gl, result_dm1, result_dm2;
+  {
+    LocalStore store;
+    GreedyLinkSelector selector(store);
+    result_gl = run(selector, store);
+  }
+  {
+    LocalStore store;
+    DomainSelector selector(store, dm1);
+    result_dm1 = run(selector, store);
+  }
+  {
+    LocalStore store;
+    DomainSelector selector(store, dm2);
+    result_dm2 = run(selector, store);
+  }
+
+  std::vector<std::string> header = {"policy"};
+  for (uint64_t r = kSnapshotEvery; r <= kBudget; r += kSnapshotEvery) {
+    header.push_back("@" + std::to_string(r));
+  }
+  TablePrinter table(header);
+  auto add_row = [&](const char* name, const CrawlResult& result) {
+    std::vector<std::string> row = {name};
+    for (uint64_t r = kSnapshotEvery; r <= kBudget; r += kSnapshotEvery) {
+      double coverage = static_cast<double>(result.trace.RecordsAtRounds(r)) /
+                        static_cast<double>(target.num_records());
+      row.push_back(TablePrinter::FormatPercent(coverage, 0));
+    }
+    table.AddRow(row);
+  };
+  add_row("DM(I)", result_dm1);
+  add_row("DM(II)", result_dm2);
+  add_row("greedy-link", result_gl);
+  std::cout << "estimated database coverage by communication rounds:\n";
+  table.Print(std::cout);
+
+  std::cout << "\npaper shape: DM(I) >= DM(II) > GL throughout; DM(I) "
+               "~95% and GL <70% at the budget; a smaller domain table "
+               "degrades slightly.\n";
+  return 0;
+}

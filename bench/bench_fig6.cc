@@ -1,0 +1,90 @@
+// Figure 6 — "Effects of Limited Result Size" (Amazon DVD).
+//
+// Paper setup: same target and DM(I)-style domain table as Figure 5, but
+// the server's result-size limit is tightened from Amazon's generous
+// 3,200 to 50 and 10 retrievable records per query. Both GL and DM lose
+// productivity — about 20% at limit 50 and about 50% at limit 10 —
+// because the limit cuts the effective connectivity of the database
+// graph and delays hub discovery (§5.4).
+//
+// This run compares final coverage under scaled limits (unlimited /
+// 50 / 10) for both policies within the same round budget.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/datagen/movie_domain.h"
+#include "src/domain/domain_selector.h"
+#include "src/domain/domain_table.h"
+#include "src/util/table_printer.h"
+
+namespace {
+constexpr uint32_t kUniverseSize = 40000;
+constexpr uint32_t kTargetSize = 12000;
+constexpr uint64_t kBudget = 3200;
+constexpr uint32_t kLimits[] = {0, 50, 10};  // 0 = unlimited (paper: 3200)
+}  // namespace
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Figure 6: crawling under result-size limits (Amazon DVD)",
+      "GL and DM on Amazon DVD with result limits 3,200 (original), 50, "
+      "10; productivity drops ~20% (limit 50) and ~50% (limit 10)",
+      "synthetic movie-domain pair (universe " +
+          TablePrinter::FormatCount(kUniverseSize) + ", target ~" +
+          TablePrinter::FormatCount(kTargetSize) + "), budget " +
+          TablePrinter::FormatCount(kBudget) + " rounds");
+
+  MovieDomainPairConfig config;
+  config.universe_size = kUniverseSize;
+  config.target_size = kTargetSize;
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+  DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+  Table& target = pair->target;
+  DomainTable dm = DomainTable::Build(pair->dm1, target.schema(),
+                                      target.mutable_catalog());
+
+  TablePrinter table({"policy", "result limit", "coverage@budget",
+                      "vs unlimited"});
+  for (const char* policy : {"greedy-link", "domain-knowledge"}) {
+    double unlimited_coverage = 0.0;
+    for (uint32_t limit : kLimits) {
+      ServerOptions server_options;
+      server_options.page_size = 10;
+      server_options.result_limit = limit;
+      WebDbServer server(target, server_options);
+      CrawlOptions options;
+      options.max_rounds = kBudget;
+
+      LocalStore store;
+      CrawlResult result;
+      if (std::string(policy) == "greedy-link") {
+        GreedyLinkSelector selector(store);
+        result = bench::RunCrawl(server, selector, store, options,
+                                 bench::SeedValue(target, 1));
+      } else {
+        DomainSelector selector(store, dm);
+        result = bench::RunCrawl(server, selector, store, options,
+                                 bench::SeedValue(target, 1));
+      }
+      double coverage = static_cast<double>(result.records) /
+                        static_cast<double>(target.num_records());
+      if (limit == 0) unlimited_coverage = coverage;
+      table.AddRow(
+          {policy, limit == 0 ? "unlimited" : std::to_string(limit),
+           TablePrinter::FormatPercent(coverage, 1),
+           unlimited_coverage > 0
+               ? TablePrinter::FormatPercent(coverage / unlimited_coverage,
+                                             0)
+               : "-"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper shape: both policies degrade as the limit "
+               "tightens (roughly -20% at 50, -50% at 10): the limit "
+               "reduces effective graph connectivity and delays hub "
+               "discovery.\n";
+  return 0;
+}

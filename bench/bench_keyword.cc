@@ -1,0 +1,71 @@
+// §2.2 ablation — the "fading schema" opportunity.
+//
+// The Table 1 case study found that most e-commerce sites expose a
+// keyword box over their structured data, letting a crawler "throw
+// attribute values into the target query box and safely rely on the end
+// site's query processing to decide which column that value should
+// match". A keyword query unions matches across attributes, so each
+// round can harvest more — and values shared across columns (a person
+// who both acts and directs) bridge parts of the graph a typed query
+// interface keeps separate.
+//
+// This harness crawls the movie-domain target through both interfaces
+// with the same policy and budget.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/datagen/movie_domain.h"
+#include "src/util/table_printer.h"
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Ablation (§2.2): keyword interface vs typed attribute fields",
+      "\"fading schema\": most product sites accept keyword search over "
+      "structured data, which simplifies and strengthens query-based "
+      "crawling",
+      "movie-domain target, greedy-link under both interfaces, equal "
+      "round budgets");
+
+  MovieDomainPairConfig config;
+  config.universe_size = 10000;
+  config.target_size = 3000;
+  config.seed = 11;
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+  DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+  const Table& target = pair->target;
+  std::cout << "target records: "
+            << TablePrinter::FormatCount(target.num_records()) << "\n\n";
+
+  TablePrinter table({"interface", "budget (rounds)", "records", "coverage"});
+  for (uint64_t budget : {200ull, 400ull, 800ull, 1600ull}) {
+    for (bool keyword : {false, true}) {
+      WebDbServer server(target, ServerOptions{});
+      LocalStore store;
+      GreedyLinkSelector selector(store);
+      CrawlOptions options;
+      options.max_rounds = budget;
+      options.use_keyword_interface = keyword;
+      CrawlResult result = bench::RunCrawl(server, selector, store, options,
+                                           bench::SeedValue(target, 2));
+      table.AddRow(
+          {keyword ? "keyword box" : "typed fields",
+           TablePrinter::FormatCount(budget),
+           TablePrinter::FormatCount(result.records),
+           TablePrinter::FormatPercent(
+               static_cast<double>(result.records) /
+                   static_cast<double>(target.num_records()), 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: per QUERY the keyword box can only widen the "
+               "result set, so the ultimately reachable record set grows "
+               "(here: the final rows); per ROUND the wider results also "
+               "cost extra pages and duplicates, so mid-budget coverage "
+               "can lag the typed interface. The net effect measures how "
+               "much cross-column value sharing (actor-directors) the "
+               "domain offers.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the
+// core operations every experiment leans on — index probes, AVG
+// construction, local-store ingestion, selector steps, coverage-set
+// unions. No paper counterpart; used to keep the substrate honest.
+
+#include <benchmark/benchmark.h>
+
+#include "src/crawler/crawler.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/domain/coverage_set.h"
+#include "src/graph/attribute_value_graph.h"
+#include "src/index/inverted_index.h"
+#include "src/server/web_db_server.h"
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+const Table& SharedEbay() {
+  static Table* table = [] {
+    StatusOr<Table> generated = GenerateTable(EbayConfig(0.1, 5));
+    DEEPCRAWL_CHECK(generated.ok());
+    return new Table(std::move(*generated));
+  }();
+  return *table;
+}
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const Table& table = SharedEbay();
+  for (auto _ : state) {
+    InvertedIndex index(table);
+    benchmark::DoNotOptimize(index.total_postings());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(table.num_records()));
+}
+BENCHMARK(BM_InvertedIndexBuild);
+
+void BM_IndexProbe(benchmark::State& state) {
+  const Table& table = SharedEbay();
+  InvertedIndex index(table);
+  Pcg32 rng(7);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    ValueId v = rng.NextBounded(
+        static_cast<uint32_t>(table.num_distinct_values()));
+    sink += index.MatchCount(v);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_AvgBuild(benchmark::State& state) {
+  const Table& table = SharedEbay();
+  for (auto _ : state) {
+    AttributeValueGraph graph = AttributeValueGraph::Build(table);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_AvgBuild);
+
+void BM_LocalStoreIngest(benchmark::State& state) {
+  const Table& table = SharedEbay();
+  bool exact = state.range(0) != 0;
+  for (auto _ : state) {
+    LocalStore::Options options;
+    options.exact_degrees = exact;
+    LocalStore store(options);
+    for (RecordId r = 0; r < table.num_records(); ++r) {
+      store.AddRecord(r, table.record(r));
+    }
+    benchmark::DoNotOptimize(store.num_records());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(table.num_records()));
+}
+BENCHMARK(BM_LocalStoreIngest)->Arg(1)->Arg(0);
+
+void BM_GreedyCrawlTo50Percent(benchmark::State& state) {
+  const Table& table = SharedEbay();
+  WebDbServer server(table, ServerOptions{});
+  for (auto _ : state) {
+    LocalStore store;
+    GreedyLinkSelector selector(store);
+    CrawlOptions options;
+    options.target_records = table.num_records() / 2;
+    server.ResetMeters();
+    Crawler crawler(server, selector, store, options);
+    crawler.AddSeed(1);
+    StatusOr<CrawlResult> result = crawler.Run();
+    DEEPCRAWL_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->rounds);
+  }
+}
+BENCHMARK(BM_GreedyCrawlTo50Percent);
+
+void BM_CoverageSetUnion(benchmark::State& state) {
+  Pcg32 rng(3);
+  std::vector<std::vector<uint32_t>> batches;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint32_t> batch;
+    for (int j = 0; j < 500; ++j) batch.push_back(rng.NextBounded(100000));
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    batches.push_back(std::move(batch));
+  }
+  for (auto _ : state) {
+    CoverageSet set;
+    for (const auto& batch : batches) set.Union(batch);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_CoverageSetUnion);
+
+}  // namespace
+}  // namespace deepcrawl
+
+BENCHMARK_MAIN();

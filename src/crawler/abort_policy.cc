@@ -1,0 +1,51 @@
+#include "src/crawler/abort_policy.h"
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+CountBasedAbort::CountBasedAbort(double min_harvest_rate)
+    : min_harvest_rate_(min_harvest_rate) {
+  DEEPCRAWL_CHECK_GE(min_harvest_rate, 0.0);
+}
+
+bool CountBasedAbort::ShouldContinue(const QueryProgress& progress) {
+  if (!progress.total_matches.has_value()) return true;  // no count: fetch
+  DEEPCRAWL_DCHECK(progress.page_size > 0);
+  uint32_t remaining = progress.retrievable > progress.records_returned
+                           ? progress.retrievable - progress.records_returned
+                           : 0;
+  if (remaining == 0) return false;
+  uint32_t remaining_rounds =
+      (remaining + progress.page_size - 1) / progress.page_size;
+  // Best case every remaining record is new, discounted by the duplicate
+  // ratio observed so far (the paper's "accurately calculate the exact
+  // number of new records" relies on content keys; the simulation uses
+  // the observed ratio as the estimator).
+  double dup_ratio =
+      progress.records_returned == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(progress.new_records) /
+                      static_cast<double>(progress.records_returned);
+  double expected_new = static_cast<double>(remaining) * (1.0 - dup_ratio);
+  double rate = expected_new / static_cast<double>(remaining_rounds);
+  return rate >= min_harvest_rate_;
+}
+
+DuplicateRatioAbort::DuplicateRatioAbort(uint32_t min_pages,
+                                         double max_duplicate_fraction)
+    : min_pages_(min_pages), max_duplicate_fraction_(max_duplicate_fraction) {
+  DEEPCRAWL_CHECK_GT(min_pages, 0u);
+  DEEPCRAWL_CHECK_GE(max_duplicate_fraction, 0.0);
+  DEEPCRAWL_CHECK_LE(max_duplicate_fraction, 1.0);
+}
+
+bool DuplicateRatioAbort::ShouldContinue(const QueryProgress& progress) {
+  if (progress.pages_fetched < min_pages_) return true;
+  if (progress.records_returned == 0) return true;
+  double dup_ratio = 1.0 - static_cast<double>(progress.new_records) /
+                               static_cast<double>(progress.records_returned);
+  return dup_ratio <= max_duplicate_fraction_;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,147 @@
+#include "src/crawler/crawler.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kFrontierExhausted:
+      return "frontier-exhausted";
+    case StopReason::kRoundBudget:
+      return "round-budget";
+    case StopReason::kTargetReached:
+      return "target-reached";
+  }
+  return "unknown";
+}
+
+Crawler::Crawler(WebDbServer& server, QuerySelector& selector,
+                 LocalStore& store, CrawlOptions options,
+                 AbortPolicy* abort_policy)
+    : server_(server),
+      selector_(selector),
+      store_(store),
+      options_(options),
+      abort_policy_(abort_policy) {}
+
+void Crawler::DiscoverValue(ValueId v) {
+  if (v >= seen_.size()) seen_.resize(static_cast<size_t>(v) + 1, 0);
+  if (seen_[v]) return;
+  seen_[v] = 1;
+  // Values of attributes outside the interface schema Aq (Definition
+  // 2.2) appear on result pages but cannot be queried; they never enter
+  // Lto-query.
+  if (!server_.IsQueriableValue(v)) return;
+  selector_.OnValueDiscovered(v);
+}
+
+void Crawler::AddSeed(ValueId v) { DiscoverValue(v); }
+
+StatusOr<CrawlResult> Crawler::Run() {
+  auto make_result = [&](StopReason reason) {
+    CrawlResult result;
+    result.stop_reason = reason;
+    result.rounds = rounds_used_;
+    result.queries = queries_issued_;
+    result.records = store_.num_records();
+    result.trace = trace_;
+    return result;
+  };
+
+  for (;;) {
+    if (options_.target_records > 0 &&
+        store_.num_records() >= options_.target_records) {
+      return make_result(StopReason::kTargetReached);
+    }
+    if (options_.max_rounds > 0 && rounds_used_ >= options_.max_rounds) {
+      return make_result(StopReason::kRoundBudget);
+    }
+
+    ValueId value = selector_.SelectNext();
+    if (value == kInvalidValueId) {
+      return make_result(StopReason::kFrontierExhausted);
+    }
+    ++queries_issued_;
+
+    // Drain the query page by page.
+    QueryOutcome outcome;
+    outcome.value = value;
+    QueryProgress progress;
+    progress.page_size = server_.options().page_size;
+    bool budget_hit = false;
+    bool target_hit = false;
+    for (uint32_t page = 0;; ++page) {
+      StatusOr<ResultPage> fetched =
+          options_.use_keyword_interface
+              ? server_.FetchPageKeywordOf(value, page)
+              : server_.FetchPage(value, page);
+      ++rounds_used_;
+      if (!fetched.ok()) return fetched.status();
+      const ResultPage& result_page = *fetched;
+
+      for (const ReturnedRecord& record : result_page.records) {
+        ++outcome.records_returned;
+        if (store_.ContainsRecord(record.id)) {
+          store_.ObserveDuplicate(record.id);
+          continue;
+        }
+        // Decompose first so the selector hears about new values before
+        // the record-harvest notification (see QuerySelector contract).
+        for (ValueId v : record.values) DiscoverValue(v);
+        uint32_t slot = static_cast<uint32_t>(store_.num_records());
+        bool added = store_.AddRecord(record.id, record.values);
+        DEEPCRAWL_DCHECK(added) << "record dedup raced";
+        (void)added;
+        ++outcome.new_records;
+        selector_.OnRecordHarvested(slot);
+      }
+      ++outcome.pages_fetched;
+      trace_.Add(rounds_used_, store_.num_records());
+
+      if (result_page.total_matches.has_value() && page == 0) {
+        outcome.total_matches = result_page.total_matches;
+      }
+
+      if (!result_page.has_more) break;
+      if (options_.target_records > 0 &&
+          store_.num_records() >= options_.target_records) {
+        target_hit = true;
+        break;
+      }
+      if (options_.max_rounds > 0 && rounds_used_ >= options_.max_rounds) {
+        budget_hit = true;
+        break;
+      }
+      if (abort_policy_ != nullptr) {
+        progress.total_matches = outcome.total_matches;
+        uint32_t total = result_page.total_matches.value_or(0);
+        uint32_t limit = server_.options().result_limit;
+        progress.retrievable =
+            limit > 0 ? std::min(total, limit) : total;
+        progress.pages_fetched = outcome.pages_fetched;
+        progress.records_returned = outcome.records_returned;
+        progress.new_records = outcome.new_records;
+        progress.has_more = true;
+        if (!abort_policy_->ShouldContinue(progress)) {
+          outcome.aborted = true;
+          break;
+        }
+      }
+    }
+
+    selector_.OnQueryCompleted(outcome);
+
+    if (!saturation_notified_ && options_.saturation_records > 0 &&
+        store_.num_records() >= options_.saturation_records) {
+      saturation_notified_ = true;
+      selector_.OnSaturation();
+    }
+    if (target_hit) return make_result(StopReason::kTargetReached);
+    if (budget_hit) return make_result(StopReason::kRoundBudget);
+  }
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,118 @@
+// Crawler: the "query-harvest-decompose" loop (§1, §2.5).
+//
+// Starting from seed attribute values, the crawler repeatedly
+//   1. asks its QuerySelector for the next value to query,
+//   2. probes the WebDbServer page by page (each page = one
+//      communication round, the paper's cost unit), optionally aborting
+//      the drain early via an AbortPolicy (§3.4),
+//   3. extracts returned records into the LocalStore, decomposes them
+//      into attribute values, and feeds newly-seen values back to the
+//      selector as future query candidates,
+// until the frontier empties, a round budget is exhausted, or a target
+// number of records has been harvested.
+//
+// The crawler itself never touches the backend Table: everything it
+// knows arrived through result pages, exactly like a crawler talking to
+// a real Web source.
+
+#ifndef DEEPCRAWL_CRAWLER_CRAWLER_H_
+#define DEEPCRAWL_CRAWLER_CRAWLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crawler/abort_policy.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/metrics.h"
+#include "src/crawler/query_selector.h"
+#include "src/server/web_db_server.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+struct CrawlOptions {
+  // Stop after this many communication rounds (0 = unbounded).
+  uint64_t max_rounds = 0;
+  // Stop once this many distinct records were harvested (0 = crawl until
+  // the frontier is exhausted). Figure 3's "reach 90% coverage" runs set
+  // this to 0.9 * |DB|.
+  uint64_t target_records = 0;
+  // Notify the selector of saturation once this many records were
+  // harvested (0 = never). Drives the §3.3 GL -> MMMI switch-over.
+  uint64_t saturation_records = 0;
+  // Issue queries through the site's keyword box instead of typed
+  // attribute fields (§2.2 "fading schema"): the selected value's text
+  // is matched by the server against every attribute, so e.g. a person
+  // name harvests both acting and directing credits in one query.
+  bool use_keyword_interface = false;
+};
+
+enum class StopReason {
+  kFrontierExhausted,
+  kRoundBudget,
+  kTargetReached,
+};
+
+const char* StopReasonToString(StopReason reason);
+
+struct CrawlResult {
+  StopReason stop_reason = StopReason::kFrontierExhausted;
+  uint64_t rounds = 0;
+  uint64_t queries = 0;
+  uint64_t records = 0;
+  CrawlTrace trace;
+};
+
+class Crawler {
+ public:
+  // All referenced objects must outlive the crawler. `abort_policy` may
+  // be null (never abort).
+  Crawler(WebDbServer& server, QuerySelector& selector, LocalStore& store,
+          CrawlOptions options, AbortPolicy* abort_policy = nullptr);
+
+  Crawler(const Crawler&) = delete;
+  Crawler& operator=(const Crawler&) = delete;
+
+  // Plants a seed attribute value into the frontier. Must be called
+  // before Run; duplicate seeds are ignored.
+  void AddSeed(ValueId v);
+
+  // Runs the crawl loop until a stop condition fires. May be called
+  // again afterwards to continue (e.g. with a larger budget). If the
+  // round budget expires while a query is still being drained, the
+  // query's remaining pages are abandoned (exactly like an abort-policy
+  // abort); a later Run() proceeds with fresh selections, so a sliced
+  // crawl can reach exhaustion in slightly fewer rounds than a one-shot
+  // crawl that drained every query completely.
+  StatusOr<CrawlResult> Run();
+
+  // Adjusts the round budget between Run() calls (0 = unbounded),
+  // enabling incremental crawling loops with external stopping criteria
+  // (e.g. the Chao coverage estimate; see examples/adaptive_stop.cpp).
+  void set_max_rounds(uint64_t max_rounds) {
+    options_.max_rounds = max_rounds;
+  }
+  uint64_t rounds_used() const { return rounds_used_; }
+
+  const LocalStore& store() const { return store_; }
+
+ private:
+  // Marks `v` seen and tells the selector it entered Lto-query.
+  void DiscoverValue(ValueId v);
+
+  WebDbServer& server_;
+  QuerySelector& selector_;
+  LocalStore& store_;
+  CrawlOptions options_;
+  AbortPolicy* abort_policy_;
+
+  std::vector<char> seen_;  // value already in Lto-query or Lqueried
+  bool saturation_notified_ = false;
+  uint64_t rounds_used_ = 0;
+  uint64_t queries_issued_ = 0;
+  CrawlTrace trace_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_CRAWLER_H_

@@ -1,0 +1,52 @@
+#include "src/crawler/greedy_link_selector.h"
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+GreedyLinkSelector::GreedyLinkSelector(const LocalStore& store)
+    : store_(store) {}
+
+void GreedyLinkSelector::Push(ValueId v) {
+  if (!IsPending(v)) return;
+  heap_.push(HeapEntry{store_.LocalDegree(v), v});
+}
+
+void GreedyLinkSelector::OnValueDiscovered(ValueId v) {
+  if (v >= pending_.size()) pending_.resize(static_cast<size_t>(v) + 1, 0);
+  DEEPCRAWL_DCHECK(pending_[v] == 0) << "value discovered twice";
+  pending_[v] = 1;
+  ++frontier_size_;
+  heap_.push(HeapEntry{store_.LocalDegree(v), v});
+}
+
+void GreedyLinkSelector::OnRecordHarvested(uint32_t slot) {
+  // Every pending value in the record gained links; refresh its entry.
+  for (ValueId v : store_.RecordValues(slot)) {
+    Push(v);
+  }
+}
+
+std::vector<ValueId> GreedyLinkSelector::PendingValues() const {
+  std::vector<ValueId> values;
+  values.reserve(frontier_size_);
+  for (ValueId v = 0; v < pending_.size(); ++v) {
+    if (pending_[v]) values.push_back(v);
+  }
+  return values;
+}
+
+ValueId GreedyLinkSelector::SelectNext() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (!IsPending(top.value)) continue;  // already selected earlier
+    uint64_t degree = store_.LocalDegree(top.value);
+    if (degree != top.degree) continue;  // stale; a fresher entry exists
+    MarkNotPending(top.value);
+    return top.value;
+  }
+  return kInvalidValueId;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,76 @@
+// Greedy relational-link query selection (§3.2).
+//
+// Motivated by the power-law degree distribution of real database graphs
+// (Figure 2), the greedy link-based crawler estimates a candidate's
+// harvest rate as proportional to its degree in the local graph G_local
+// and always queries the frontier value with the greatest link number —
+// hub values uncover large portions of the database quickly.
+//
+// Implementation: a lazy max-heap keyed by local degree. Degrees only
+// grow, so entries are re-pushed whenever a harvested record touches a
+// pending value, and stale (smaller-degree) entries are skipped on pop.
+// Amortized cost: O(log F) per degree change, F = frontier size.
+
+#ifndef DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
+#define DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
+
+#include <cstdint>
+#include <queue>
+#include <string_view>
+#include <vector>
+
+#include "src/crawler/local_store.h"
+#include "src/crawler/query_selector.h"
+
+namespace deepcrawl {
+
+class GreedyLinkSelector : public QuerySelector {
+ public:
+  // `store` must outlive the selector and be the store the crawler
+  // feeds; degrees are read from it.
+  explicit GreedyLinkSelector(const LocalStore& store);
+
+  void OnValueDiscovered(ValueId v) override;
+  void OnRecordHarvested(uint32_t slot) override;
+  ValueId SelectNext() override;
+  std::string_view name() const override { return "greedy-link"; }
+
+  size_t frontier_size() const { return frontier_size_; }
+
+ protected:
+  bool IsPending(ValueId v) const {
+    return v < pending_.size() && pending_[v] != 0;
+  }
+  void MarkNotPending(ValueId v) {
+    pending_[v] = 0;
+    --frontier_size_;
+  }
+  // Re-inserts `v` with its current degree (no-op unless pending).
+  void Push(ValueId v);
+
+  // Snapshot of all values currently in Lto-query (O(value space)).
+  std::vector<ValueId> PendingValues() const;
+
+  const LocalStore& store() const { return store_; }
+
+ private:
+  struct HeapEntry {
+    uint64_t degree;
+    ValueId value;
+    bool operator<(const HeapEntry& other) const {
+      if (degree != other.degree) return degree < other.degree;
+      // Deterministic tie-break: prefer smaller id (max-heap pops it last
+      // among equals reversed, so compare greater-id as "less").
+      return value > other.value;
+    }
+  };
+
+  const LocalStore& store_;
+  std::priority_queue<HeapEntry> heap_;
+  std::vector<char> pending_;
+  size_t frontier_size_ = 0;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_

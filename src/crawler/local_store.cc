@@ -1,0 +1,91 @@
+#include "src/crawler/local_store.h"
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+LocalStore::LocalStore() : LocalStore(Options{}) {}
+
+LocalStore::LocalStore(Options options) : options_(options) {}
+
+void LocalStore::EnsureValueCapacity(ValueId v) {
+  if (v < local_frequency_.size()) return;
+  size_t new_size = static_cast<size_t>(v) + 1;
+  local_frequency_.resize(new_size, 0);
+  local_postings_.resize(new_size);
+  link_count_.resize(new_size, 0);
+  if (options_.exact_degrees) neighbor_sets_.resize(new_size);
+}
+
+bool LocalStore::AddRecord(RecordId id, std::span<const ValueId> values) {
+  DEEPCRAWL_CHECK(!values.empty()) << "harvested record has no values";
+  uint32_t slot = static_cast<uint32_t>(num_records());
+  if (!slot_of_.emplace(id, slot).second) return false;
+
+  record_values_.insert(record_values_.end(), values.begin(), values.end());
+  record_offsets_.push_back(record_values_.size());
+  original_ids_.push_back(id);
+  observation_count_.push_back(1);
+  ++num_observations_;
+
+  for (ValueId v : values) {
+    EnsureValueCapacity(v);
+    ++local_frequency_[v];
+    local_postings_[v].push_back(slot);
+    link_count_[v] += values.size() - 1;
+    if (options_.exact_degrees) {
+      auto& nbrs = neighbor_sets_[v];
+      for (ValueId u : values) {
+        if (u != v) nbrs.insert(u);
+      }
+    }
+  }
+  return true;
+}
+
+void LocalStore::ObserveDuplicate(RecordId id) {
+  auto it = slot_of_.find(id);
+  DEEPCRAWL_CHECK(it != slot_of_.end())
+      << "duplicate observation of a record never added";
+  ++observation_count_[it->second];
+  ++num_observations_;
+}
+
+size_t LocalStore::RecordsObservedTimes(uint32_t k) const {
+  DEEPCRAWL_CHECK_GE(k, 1u);
+  size_t count = 0;
+  for (uint32_t observations : observation_count_) {
+    if (observations == k) ++count;
+  }
+  return count;
+}
+
+uint32_t LocalStore::LocalFrequency(ValueId v) const {
+  if (v >= local_frequency_.size()) return 0;
+  return local_frequency_[v];
+}
+
+uint64_t LocalStore::LocalDegree(ValueId v) const {
+  if (v >= local_frequency_.size()) return 0;
+  if (options_.exact_degrees) return neighbor_sets_[v].size();
+  return link_count_[v];
+}
+
+std::span<const uint32_t> LocalStore::LocalPostings(ValueId v) const {
+  if (v >= local_postings_.size()) return {};
+  return local_postings_[v];
+}
+
+std::span<const ValueId> LocalStore::RecordValues(uint32_t slot) const {
+  DEEPCRAWL_CHECK_LT(slot, num_records()) << "local record slot out of range";
+  size_t begin = record_offsets_[slot];
+  size_t end = record_offsets_[slot + 1];
+  return std::span<const ValueId>(record_values_.data() + begin, end - begin);
+}
+
+RecordId LocalStore::OriginalRecordId(uint32_t slot) const {
+  DEEPCRAWL_CHECK_LT(slot, num_records()) << "local record slot out of range";
+  return original_ids_[slot];
+}
+
+}  // namespace deepcrawl

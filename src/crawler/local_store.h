@@ -1,0 +1,105 @@
+// LocalStore: the crawler's local database DBlocal and the incremental
+// statistics table over it.
+//
+// §2.5: the Query Selector keeps a statistics table with "all the
+// information needed ... to make the selection decision", fed by the
+// Result Extractor as records are harvested. This class is that store:
+//
+//   * deduplicated harvested records (the crawler may receive the same
+//     record from many queries; only the first copy counts);
+//   * per-value local match counts num(q, DBlocal);
+//   * local postings (which local records contain a value), powering the
+//     mutual-information computations of §3.3;
+//   * the degree of every value in the local attribute-value graph
+//     G_local, maintained incrementally, powering the greedy link-based
+//     selector of §3.2. Exact distinct-neighbor tracking can be switched
+//     off in favour of a cheap "link count" (degree with multiplicity)
+//     when memory matters; the ablation bench compares both.
+
+#ifndef DEEPCRAWL_CRAWLER_LOCAL_STORE_H_
+#define DEEPCRAWL_CRAWLER_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+class LocalStore {
+ public:
+  struct Options {
+    // Track exact distinct-neighbor degrees (true) or the cheaper
+    // with-multiplicity link count (false).
+    bool exact_degrees = true;
+  };
+
+  LocalStore();  // default options
+  explicit LocalStore(Options options);
+
+  // Adds a harvested record. Returns true when the record was new.
+  // A new record starts with one observation.
+  bool AddRecord(RecordId id, std::span<const ValueId> values);
+
+  bool ContainsRecord(RecordId id) const {
+    return slot_of_.count(id) != 0;
+  }
+
+  // Notes that an already-stored record was returned again by some
+  // query. Duplicate-observation counts ("abundance data") feed the
+  // Chao-style online size estimators in src/estimate. Aborts when the
+  // record was never added.
+  void ObserveDuplicate(RecordId id);
+
+  // Total result records observed, duplicates included.
+  uint64_t num_observations() const { return num_observations_; }
+
+  // Number of stored records observed exactly `k` times (k >= 1).
+  size_t RecordsObservedTimes(uint32_t k) const;
+
+  size_t num_records() const { return record_offsets_.size() - 1; }
+  size_t num_values_seen() const { return local_frequency_.size(); }
+
+  // num(q, DBlocal): local records containing `v`.
+  uint32_t LocalFrequency(ValueId v) const;
+
+  // Degree of `v` in G_local: distinct co-occurring values when exact
+  // tracking is on, otherwise the with-multiplicity link count.
+  uint64_t LocalDegree(ValueId v) const;
+
+  // Local record slots (indices into this store) containing `v`.
+  std::span<const uint32_t> LocalPostings(ValueId v) const;
+
+  // Values of the local record in slot `slot`.
+  std::span<const ValueId> RecordValues(uint32_t slot) const;
+
+  // Original (server-side) record id of slot `slot`.
+  RecordId OriginalRecordId(uint32_t slot) const;
+
+ private:
+  void EnsureValueCapacity(ValueId v);
+
+  Options options_;
+
+  // Record content, CSR-style; slot i holds the i-th harvested record.
+  std::vector<ValueId> record_values_;
+  std::vector<size_t> record_offsets_ = {0};
+  std::vector<RecordId> original_ids_;
+  std::unordered_map<RecordId, uint32_t> slot_of_;
+  std::vector<uint32_t> observation_count_;  // per slot
+  uint64_t num_observations_ = 0;
+
+  // Per-value statistics, indexed by ValueId (grown on demand).
+  std::vector<uint32_t> local_frequency_;
+  std::vector<std::vector<uint32_t>> local_postings_;
+  // Exact mode: distinct neighbor sets. Proxy mode: only link_count_.
+  std::vector<std::unordered_set<ValueId>> neighbor_sets_;
+  std::vector<uint64_t> link_count_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_LOCAL_STORE_H_

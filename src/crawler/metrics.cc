@@ -1,0 +1,42 @@
+#include "src/crawler/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+void CrawlTrace::Add(uint64_t rounds, uint64_t records) {
+  if (!points_.empty()) {
+    DEEPCRAWL_CHECK_GE(rounds, points_.back().rounds)
+        << "trace rounds must be non-decreasing";
+    DEEPCRAWL_CHECK_GE(records, points_.back().records)
+        << "trace records must be non-decreasing";
+    // Collapse runs at the same round count to the final value.
+    if (points_.back().rounds == rounds) {
+      points_.back().records = records;
+      return;
+    }
+  }
+  points_.push_back(TracePoint{rounds, records});
+}
+
+std::optional<uint64_t> CrawlTrace::RoundsToRecords(
+    uint64_t target_records) const {
+  if (target_records == 0) return 0;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), target_records,
+      [](const TracePoint& p, uint64_t target) { return p.records < target; });
+  if (it == points_.end()) return std::nullopt;
+  return it->rounds;
+}
+
+uint64_t CrawlTrace::RecordsAtRounds(uint64_t rounds) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), rounds,
+      [](uint64_t r, const TracePoint& p) { return r < p.rounds; });
+  if (it == points_.begin()) return 0;
+  return std::prev(it)->records;
+}
+
+}  // namespace deepcrawl

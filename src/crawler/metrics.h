@@ -1,0 +1,46 @@
+// Crawl metrics: the coverage-versus-communication trace behind every
+// figure in the paper's evaluation.
+//
+// Figure 3 plots communication rounds needed to reach a coverage level;
+// Figures 5 and 6 plot coverage reached within a round budget. Both are
+// projections of the same monotone trace (rounds, records-harvested)
+// that the Crawler appends to after every page fetch.
+
+#ifndef DEEPCRAWL_CRAWLER_METRICS_H_
+#define DEEPCRAWL_CRAWLER_METRICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace deepcrawl {
+
+struct TracePoint {
+  uint64_t rounds = 0;   // cumulative communication rounds
+  uint64_t records = 0;  // cumulative distinct records harvested
+};
+
+// Monotone (in both fields) crawl progress trace.
+class CrawlTrace {
+ public:
+  // Appends a point; rounds and records must be non-decreasing.
+  void Add(uint64_t rounds, uint64_t records);
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Fewest rounds after which at least `target_records` records were
+  // harvested; nullopt when the trace never reaches the target.
+  std::optional<uint64_t> RoundsToRecords(uint64_t target_records) const;
+
+  // Records harvested by the time `rounds` rounds were spent (the last
+  // point at or before `rounds`; 0 when the crawl had not started).
+  uint64_t RecordsAtRounds(uint64_t rounds) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_METRICS_H_

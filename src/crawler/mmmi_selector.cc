@@ -1,0 +1,146 @@
+#include "src/crawler/mmmi_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+MmmiSelector::MmmiSelector(const LocalStore& store, MmmiOptions options)
+    : GreedyLinkSelector(store), options_(options) {
+  DEEPCRAWL_CHECK_GT(options_.batch_size, 0u);
+}
+
+void MmmiSelector::OnQueryCompleted(const QueryOutcome& outcome) {
+  ValueId v = outcome.value;
+  if (v >= queried_bitmap_.size()) {
+    queried_bitmap_.resize(static_cast<size_t>(v) + 1, 0);
+  }
+  queried_bitmap_[v] = 1;
+}
+
+MmmiSelector::Dependency MmmiSelector::ComputeDependency(ValueId q) const {
+  const LocalStore& db = store();
+  Dependency result{-std::numeric_limits<double>::infinity(), 0,
+                    -std::numeric_limits<double>::infinity()};
+  double n = static_cast<double>(db.num_records());
+  if (n == 0) return result;
+  double freq_q = static_cast<double>(db.LocalFrequency(q));
+  if (freq_q == 0) return result;
+
+  // Count co-occurrences with issued queries by scanning q's local
+  // postings once.
+  std::unordered_map<ValueId, uint32_t> co_counts;
+  for (uint32_t slot : db.LocalPostings(q)) {
+    for (ValueId u : db.RecordValues(slot)) {
+      if (u != q && u < queried_bitmap_.size() && queried_bitmap_[u]) {
+        ++co_counts[u];
+      }
+    }
+  }
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const auto& [u, co] : co_counts) {
+    double freq_u = static_cast<double>(db.LocalFrequency(u));
+    // ln( P(q,u) / (P(q) P(u)) ) = ln( co * n / (freq_q * freq_u) ).
+    double pmi = std::log(static_cast<double>(co) * n / (freq_q * freq_u));
+    result.max_pmi = std::max(result.max_pmi, pmi);
+    result.max_co = std::max(result.max_co, co);
+    weighted_sum += static_cast<double>(co) * pmi;
+    weight_total += static_cast<double>(co);
+  }
+  if (weight_total > 0.0) {
+    result.weighted_pmi = weighted_sum / weight_total;
+  }
+  return result;
+}
+
+double MmmiSelector::DependencyScore(ValueId q) const {
+  return ComputeDependency(q).max_pmi;
+}
+
+void MmmiSelector::RecomputeBatch() {
+  std::vector<ValueId> candidates = PendingValues();
+  if (candidates.empty()) return;
+
+  struct Scored {
+    double dependency;
+    uint64_t degree;
+    double combined;  // degree * exp(-dependency), for kDegreeDiscount
+    ValueId value;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (ValueId v : candidates) {
+    Dependency dep = ComputeDependency(v);
+    double s = dep.max_pmi;
+    uint64_t degree = store().LocalDegree(v);
+    double combined;
+    if (options_.ranking == MmmiRanking::kResidualFrequency) {
+      // Local records not explained by the strongest single dependency,
+      // i.e. the predicted undrained mass behind this candidate.
+      combined = static_cast<double>(store().LocalFrequency(v)) -
+                 static_cast<double>(dep.max_co) +
+                 1e-6 * static_cast<double>(degree);
+    } else if (options_.ranking == MmmiRanking::kWeightedDependency) {
+      double discount =
+          std::exp(std::clamp(-dep.weighted_pmi, -60.0, 60.0));
+      combined =
+          (static_cast<double>(store().LocalFrequency(v)) + 1.0) * discount;
+    } else {
+      // exp(-s) with s = -inf (no co-occurrence with any issued query)
+      // gives +inf: an uncorrelated candidate outranks everything of
+      // similar degree. Clamp to keep the arithmetic finite.
+      double discount = std::exp(std::clamp(-s, -60.0, 60.0));
+      double magnitude =
+          static_cast<double>(store().LocalFrequency(v)) + 1.0;
+      combined = magnitude * discount;
+    }
+    scored.push_back(Scored{s, degree, combined, v});
+  }
+  if (options_.ranking == MmmiRanking::kPureDependency) {
+    // Ascending dependency (least-correlated first); among equals prefer
+    // the better-connected value (the greedy-link signal), then smaller
+    // id for determinism.
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.dependency != b.dependency) {
+                  return a.dependency < b.dependency;
+                }
+                if (a.degree != b.degree) return a.degree > b.degree;
+                return a.value < b.value;
+              });
+  } else {
+    // Dependency-discounted popularity, best first.
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.combined != b.combined) return a.combined > b.combined;
+                return a.value < b.value;
+              });
+  }
+  size_t take = std::min<size_t>(options_.batch_size, scored.size());
+  batch_queue_.clear();
+  for (size_t i = 0; i < take; ++i) {
+    batch_queue_.push_back(scored[i].value);
+  }
+}
+
+ValueId MmmiSelector::SelectNext() {
+  if (!saturated_) return GreedyLinkSelector::SelectNext();
+  for (;;) {
+    if (batch_queue_.empty()) {
+      RecomputeBatch();
+      if (batch_queue_.empty()) return kInvalidValueId;
+    }
+    ValueId v = batch_queue_.front();
+    batch_queue_.pop_front();
+    if (!IsPending(v)) continue;  // consumed by an earlier pop
+    MarkNotPending(v);
+    return v;
+  }
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,28 @@
+#include "src/crawler/naive_selectors.h"
+
+namespace deepcrawl {
+
+ValueId BfsSelector::SelectNext() {
+  if (queue_.empty()) return kInvalidValueId;
+  ValueId v = queue_.front();
+  queue_.pop_front();
+  return v;
+}
+
+ValueId DfsSelector::SelectNext() {
+  if (stack_.empty()) return kInvalidValueId;
+  ValueId v = stack_.back();
+  stack_.pop_back();
+  return v;
+}
+
+ValueId RandomSelector::SelectNext() {
+  if (pool_.empty()) return kInvalidValueId;
+  uint32_t i = rng_.NextBounded(static_cast<uint32_t>(pool_.size()));
+  ValueId v = pool_[i];
+  pool_[i] = pool_.back();
+  pool_.pop_back();
+  return v;
+}
+
+}  // namespace deepcrawl

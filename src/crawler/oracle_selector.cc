@@ -1,0 +1,58 @@
+#include "src/crawler/oracle_selector.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+OracleSelector::OracleSelector(const LocalStore& store,
+                               const InvertedIndex& truth,
+                               uint32_t page_size, uint32_t result_limit)
+    : store_(store),
+      truth_(truth),
+      page_size_(page_size),
+      result_limit_(result_limit) {
+  DEEPCRAWL_CHECK_GT(page_size, 0u);
+}
+
+double OracleSelector::TrueHarvestRate(ValueId v) const {
+  uint32_t matches = truth_.MatchCount(v);
+  uint32_t retrievable = matches;
+  if (result_limit_ > 0) retrievable = std::min(retrievable, result_limit_);
+  uint32_t cost =
+      retrievable == 0 ? 1 : (retrievable + page_size_ - 1) / page_size_;
+  // Under a result limit only the first `retrievable` postings come back;
+  // the truly new ones among them are what the query harvests. Without a
+  // limit this is num(q,DB) - num(q,DBlocal).
+  uint32_t local = store_.LocalFrequency(v);
+  uint32_t new_records = retrievable > local ? retrievable - local : 0;
+  return static_cast<double>(new_records) / static_cast<double>(cost);
+}
+
+void OracleSelector::OnValueDiscovered(ValueId v) {
+  if (v >= pending_.size()) pending_.resize(static_cast<size_t>(v) + 1, 0);
+  pending_[v] = 1;
+  heap_.push(HeapEntry{TrueHarvestRate(v), v});
+}
+
+void OracleSelector::OnRecordHarvested(uint32_t slot) {
+  for (ValueId v : store_.RecordValues(slot)) {
+    if (IsPending(v)) heap_.push(HeapEntry{TrueHarvestRate(v), v});
+  }
+}
+
+ValueId OracleSelector::SelectNext() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (!IsPending(top.value)) continue;
+    double rate = TrueHarvestRate(top.value);
+    if (rate != top.rate) continue;  // stale: a fresher entry exists
+    pending_[top.value] = 0;
+    return top.value;
+  }
+  return kInvalidValueId;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,77 @@
+// QuerySelector: the policy interface at the heart of the paper.
+//
+// §2.5 describes the Web database crawler as Query Selector + Database
+// Prober + Result Extractor around three data structures (Lto-query,
+// Lqueried, statistics table). The Crawler class owns the prober/
+// extractor loop and the queried/pending bookkeeping; concrete
+// QuerySelector implementations own the ordering of Lto-query — which is
+// precisely where the paper's techniques differ.
+//
+// Lifecycle per crawl step:
+//   1. Crawler calls SelectNext() -> candidate value (or kInvalidValueId
+//      when the frontier is exhausted).
+//   2. Crawler probes the server page by page; each *new* record is added
+//      to the LocalStore and reported via OnRecordHarvested(); each value
+//      never seen before is reported via OnValueDiscovered() (it entered
+//      Lto-query).
+//   3. Crawler reports OnQueryCompleted() with the query's outcome; the
+//      value has moved to Lqueried.
+//
+// Selectors read shared statistics from the LocalStore (passed at
+// construction) instead of duplicating them.
+
+#ifndef DEEPCRAWL_CRAWLER_QUERY_SELECTOR_H_
+#define DEEPCRAWL_CRAWLER_QUERY_SELECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+// Summary of one completed query, fed back to the selector.
+struct QueryOutcome {
+  ValueId value = kInvalidValueId;
+  // Total matches reported by the server, when it reports counts.
+  std::optional<uint32_t> total_matches;
+  uint32_t pages_fetched = 0;
+  uint32_t records_returned = 0;
+  uint32_t new_records = 0;
+  bool aborted = false;  // stopped early by the abort policy
+};
+
+class QuerySelector {
+ public:
+  virtual ~QuerySelector() = default;
+
+  // `v` entered Lto-query (first sighting, not yet queried).
+  virtual void OnValueDiscovered(ValueId v) = 0;
+
+  // A previously-unseen record was appended to the LocalStore; `slot` is
+  // its index there. Called after every value of the record has been
+  // processed by OnValueDiscovered.
+  virtual void OnRecordHarvested(uint32_t slot) { (void)slot; }
+
+  // The query on outcome.value finished; the value is now in Lqueried.
+  virtual void OnQueryCompleted(const QueryOutcome& outcome) {
+    (void)outcome;
+  }
+
+  // The harness detected crawl saturation (§3.3: coverage passed the
+  // switch-over threshold); selectors may change strategy. Called at
+  // most once.
+  virtual void OnSaturation() {}
+
+  // Returns the next value to query and removes it from the selector's
+  // frontier, or kInvalidValueId when no candidate remains.
+  virtual ValueId SelectNext() = 0;
+
+  // Policy name for reports, e.g. "greedy-link".
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_QUERY_SELECTOR_H_

@@ -1,0 +1,49 @@
+#include "src/crawler/trace_io.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+namespace deepcrawl {
+
+Status WriteTraceCsv(const CrawlTrace& trace, std::ostream& output) {
+  output << "rounds,records\n";
+  for (const TracePoint& point : trace.points()) {
+    output << point.rounds << ',' << point.records << '\n';
+  }
+  if (!output) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status WriteComparisonCsv(const std::vector<NamedTrace>& traces,
+                          std::ostream& output) {
+  if (traces.empty()) {
+    return Status::InvalidArgument("no traces to export");
+  }
+  output << "rounds";
+  for (const NamedTrace& named : traces) {
+    if (named.trace == nullptr) {
+      return Status::InvalidArgument("null trace '" + named.name + "'");
+    }
+    output << ',' << named.name;
+  }
+  output << '\n';
+
+  std::set<uint64_t> rounds;
+  for (const NamedTrace& named : traces) {
+    for (const TracePoint& point : named.trace->points()) {
+      rounds.insert(point.rounds);
+    }
+  }
+  for (uint64_t r : rounds) {
+    output << r;
+    for (const NamedTrace& named : traces) {
+      output << ',' << named.trace->RecordsAtRounds(r);
+    }
+    output << '\n';
+  }
+  if (!output) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+}  // namespace deepcrawl

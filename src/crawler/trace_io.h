@@ -1,0 +1,36 @@
+// CSV export of crawl traces and multi-policy comparisons.
+//
+// Every figure in the paper is a coverage-versus-rounds plot; this
+// module writes the underlying series in a plotting-friendly CSV so
+// users can regenerate the figures with their tool of choice.
+
+#ifndef DEEPCRAWL_CRAWLER_TRACE_IO_H_
+#define DEEPCRAWL_CRAWLER_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/crawler/metrics.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+// Writes "rounds,records" rows (with header) for one trace.
+Status WriteTraceCsv(const CrawlTrace& trace, std::ostream& output);
+
+// A named trace for side-by-side export.
+struct NamedTrace {
+  std::string name;
+  const CrawlTrace* trace = nullptr;
+};
+
+// Writes "rounds,<name1>,<name2>,..." where column i holds the records
+// harvested by trace i at that round count (sampled at every round where
+// any trace has a point). Traces must be non-null.
+Status WriteComparisonCsv(const std::vector<NamedTrace>& traces,
+                          std::ostream& output);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_TRACE_IO_H_

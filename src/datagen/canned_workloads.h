@@ -1,0 +1,39 @@
+// Canned workload configurations mirroring the paper's four controlled
+// databases (§5, Table 2).
+//
+// | paper database | records (paper) | queriable attributes (paper)      |
+// |----------------|-----------------|-----------------------------------|
+// | eBay auctions  |          20,000 | Categories, Seller, Location,     |
+// |                |                 | Price                             |
+// | ACM Digital    |         150,000 | Title, Conference, Journal,       |
+// | Library        |                 | Author, Subject keywords          |
+// | DBLP           |         500,000 | Title, Conference, Journal,       |
+// |                |                 | Author, Volume                    |
+// | IMDB           |         400,000 | Actor, Actress, Director, Editor, |
+// |                |                 | Producer, ..., Language, Company  |
+//
+// Each factory takes a `scale` in (0, 1] that scales record counts and
+// pool cardinalities proportionally (default 1.0 reproduces the paper's
+// sizes; the shipped benches use smaller scales to fit a single-core
+// time budget and print the scale they ran at).
+
+#ifndef DEEPCRAWL_DATAGEN_CANNED_WORKLOADS_H_
+#define DEEPCRAWL_DATAGEN_CANNED_WORKLOADS_H_
+
+#include <vector>
+
+#include "src/datagen/workload_config.h"
+
+namespace deepcrawl {
+
+SyntheticDbConfig EbayConfig(double scale = 1.0, uint64_t seed = 11);
+SyntheticDbConfig AcmDlConfig(double scale = 1.0, uint64_t seed = 12);
+SyntheticDbConfig DblpConfig(double scale = 1.0, uint64_t seed = 13);
+SyntheticDbConfig ImdbConfig(double scale = 1.0, uint64_t seed = 14);
+
+// All four, in the order the paper's Figure 3 reports them.
+std::vector<SyntheticDbConfig> AllControlledConfigs(double scale = 1.0);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_DATAGEN_CANNED_WORKLOADS_H_

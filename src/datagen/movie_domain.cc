@@ -1,0 +1,254 @@
+#include "src/datagen/movie_domain.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace deepcrawl {
+
+namespace {
+
+// Attribute layout shared by every table of the pair. "Edition" exists
+// only in the target's schema.
+struct MovieSchemaIds {
+  AttributeId title, actor, director, language, company, year;
+};
+
+StatusOr<MovieSchemaIds> AddMovieAttributes(Schema& schema) {
+  MovieSchemaIds ids{};
+  StatusOr<AttributeId> a = schema.AddAttribute("Title");
+  if (!a.ok()) return a.status();
+  ids.title = *a;
+  a = schema.AddAttribute("Actor", /*multi_valued=*/true);
+  if (!a.ok()) return a.status();
+  ids.actor = *a;
+  a = schema.AddAttribute("Director");
+  if (!a.ok()) return a.status();
+  ids.director = *a;
+  a = schema.AddAttribute("Language");
+  if (!a.ok()) return a.status();
+  ids.language = *a;
+  a = schema.AddAttribute("Company");
+  if (!a.ok()) return a.status();
+  ids.company = *a;
+  a = schema.AddAttribute("ReleaseYear");
+  if (!a.ok()) return a.status();
+  ids.year = *a;
+  return ids;
+}
+
+struct MovieDescriptor {
+  std::vector<Cell> cells;  // attr ids refer to the shared layout order
+  int year = 0;
+};
+
+}  // namespace
+
+StatusOr<MovieDomainPair> GenerateMovieDomainPair(
+    const MovieDomainPairConfig& config) {
+  if (config.universe_size == 0 || config.target_size == 0) {
+    return Status::InvalidArgument("universe and target must be non-empty");
+  }
+  if (config.target_size > config.universe_size) {
+    return Status::InvalidArgument("target cannot exceed the universe");
+  }
+  if (config.min_year >= config.max_year) {
+    return Status::InvalidArgument("year range is empty");
+  }
+
+  Pcg32 rng(config.seed);
+  uint32_t n = config.universe_size;
+
+  // Pool sizes follow the IMDB ratios (actors ~1.25x movies, directors
+  // ~0.15x, companies ~0.075x), clamped for tiny configurations.
+  uint32_t actor_pool = std::max<uint32_t>(50, n);
+  uint32_t director_pool = std::max<uint32_t>(20, n * 3 / 20);
+  uint32_t company_pool = std::max<uint32_t>(10, n * 3 / 40);
+  uint32_t language_pool = std::max<uint32_t>(6, n / 300);
+  // Casts cluster tightly (national/genre film communities): the movie
+  // graph restricted to the target's queriable attributes is only
+  // weakly connected across communities, which is what stalls pure
+  // link-following on the real Amazon target (§4 "data islands",
+  // Figure 5's GL plateau).
+  uint32_t communities = std::max<uint32_t>(4, n / 200);
+  uint32_t edition_pool = std::max<uint32_t>(8, n / 20);
+  // Core cast per community: each community's films heavily reuse a
+  // handful of leading actors, putting the workhorse query values in the
+  // tens-of-records band — retrievable in a few pages when unrestricted,
+  // and exactly the band a result-size limit of 50 or 10 truncates
+  // (Figure 6's ~20%/~50% productivity cuts).
+  constexpr uint32_t kCoreActorsPerCommunity = 5;
+
+  ZipfSampler actor_sampler(actor_pool, 0.9);
+  ZipfSampler director_sampler(director_pool, 0.9);
+  ZipfSampler company_sampler(company_pool, 1.0);
+  ZipfSampler language_sampler(language_pool, 1.2);
+  // A thin tier of global stars appears across all communities. Star
+  // values are this domain's "hub nodes" (§3.2); they are also what a
+  // result-size limit truncates first, which is Figure 6's productivity
+  // cut.
+  uint32_t star_pool = std::max<uint32_t>(8, n / 200);
+  ZipfSampler star_sampler(star_pool, 1.0);
+
+  // --- generate the universe of movie descriptors ----------------------
+  std::vector<MovieDescriptor> movies;
+  movies.reserve(n);
+  int year_span = config.max_year - config.min_year;
+  for (uint32_t i = 0; i < n; ++i) {
+    MovieDescriptor movie;
+    // Release years skew recent: frac = u^0.7 concentrates near 1, which
+    // yields roughly the paper's DM(I)/DM(II) population split
+    // (~2/3 post-1960, ~45% post-1980).
+    double frac = std::pow(rng.NextDouble(), 0.7);
+    movie.year = config.min_year +
+                 static_cast<int>(frac * static_cast<double>(year_span));
+    movie.cells.push_back(
+        Cell{/*attr=*/0, "Title#u" + std::to_string(i)});
+    uint32_t cast_size = 2 + rng.NextBounded(3);
+    uint32_t community = rng.NextBounded(communities);
+    uint32_t slice = std::max<uint32_t>(1, actor_pool / communities);
+    for (uint32_t c = 0; c < cast_size; ++c) {
+      double kind = rng.NextDouble();
+      std::string actor;
+      if (kind < 0.03) {
+        // Global star ("s" namespace): the domain's biggest hubs.
+        actor = "Actor#s" + std::to_string(star_sampler.Sample(rng));
+      } else if (kind < 0.68) {
+        // Community core cast ("c" namespace): mid-frequency hubs.
+        actor = "Actor#c" + std::to_string(community) + "_" +
+                std::to_string(rng.NextBounded(kCoreActorsPerCommunity));
+      } else if (kind < 0.98) {
+        // Community tail ("t" namespace): the sparsely-connected many.
+        uint32_t index = std::min(
+            community * slice + actor_sampler.Sample(rng) % slice,
+            actor_pool - 1);
+        actor = "Actor#t" + std::to_string(index);
+      } else {
+        // Guest appearances bridge arbitrary communities (uniform, not
+        // popularity-biased: a popularity-biased bridge would funnel
+        // every community through a handful of global hubs).
+        actor = "Actor#t" + std::to_string(rng.NextBounded(actor_pool));
+      }
+      movie.cells.push_back(Cell{1, std::move(actor)});
+    }
+    uint32_t director_slice =
+        std::max<uint32_t>(1, director_pool / communities);
+    std::string director;
+    if (rng.NextBool(0.12)) {
+      // Actor-directors: the SAME person text as one of the community's
+      // core actors, under the Director attribute. Typed queries see
+      // two distinct values; a keyword query (§2.2 "fading schema")
+      // bridges both credits. Drawing from the community core (not the
+      // global stars) keeps the sharing from becoming a cross-community
+      // highway that would erase Figure 5's connectivity structure.
+      director = "Actor#c" + std::to_string(community) + "_" +
+                 std::to_string(rng.NextBounded(kCoreActorsPerCommunity));
+    } else if (rng.NextBool(0.85)) {
+      director = "Director#" +
+                 std::to_string(std::min(
+                     community * director_slice +
+                         director_sampler.Sample(rng) % director_slice,
+                     director_pool - 1));
+    } else {
+      director =
+          "Director#" + std::to_string(rng.NextBounded(director_pool));
+    }
+    movie.cells.push_back(Cell{2, std::move(director)});
+    movie.cells.push_back(
+        Cell{3, "Language#" + std::to_string(language_sampler.Sample(rng))});
+    movie.cells.push_back(
+        Cell{4, "Company#" + std::to_string(company_sampler.Sample(rng))});
+    movie.cells.push_back(Cell{5, "Year#" + std::to_string(movie.year)});
+    movies.push_back(std::move(movie));
+  }
+
+  // --- target membership: recency-biased Bernoulli ----------------------
+  // P(select) proportional to ((year - min) / span)^1.5, scaled so the
+  // expected count is target_size.
+  double weight_sum = 0.0;
+  std::vector<double> weights(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double frac = static_cast<double>(movies[i].year - config.min_year) /
+                  static_cast<double>(year_span);
+    weights[i] = std::pow(frac, 0.7);
+    weight_sum += weights[i];
+  }
+  if (weight_sum <= 0.0) {
+    return Status::Internal("degenerate year distribution");
+  }
+  double scale = static_cast<double>(config.target_size) / weight_sum;
+
+  // --- materialize the four tables --------------------------------------
+  Schema universe_schema;
+  StatusOr<MovieSchemaIds> universe_ids = AddMovieAttributes(universe_schema);
+  if (!universe_ids.ok()) return universe_ids.status();
+  Schema dm1_schema;
+  DEEPCRAWL_RETURN_IF_ERROR(AddMovieAttributes(dm1_schema).status());
+  Schema dm2_schema;
+  DEEPCRAWL_RETURN_IF_ERROR(AddMovieAttributes(dm2_schema).status());
+  // The crawl target exposes a much narrower query surface than the
+  // domain universe, like a retailer's product search next to IMDB's
+  // full metadata: only Title / Actor / Director are queriable (plus the
+  // retailer-only Edition). Domain-table attributes missing from this
+  // schema are skipped by DomainTable::Build, exactly as a crawler
+  // cannot type an IMDB "Language" value into Amazon's DVD search.
+  Schema target_schema;
+  DEEPCRAWL_RETURN_IF_ERROR(target_schema.AddAttribute("Title").status());
+  DEEPCRAWL_RETURN_IF_ERROR(
+      target_schema.AddAttribute("Actor", /*multi_valued=*/true).status());
+  DEEPCRAWL_RETURN_IF_ERROR(target_schema.AddAttribute("Director").status());
+  StatusOr<AttributeId> edition_attr = target_schema.AddAttribute("Edition");
+  if (!edition_attr.ok()) return edition_attr.status();
+
+  Table universe(std::move(universe_schema));
+  Table target(std::move(target_schema));
+  Table dm1(std::move(dm1_schema));
+  Table dm2(std::move(dm2_schema));
+
+  std::vector<Cell> target_cells;
+  for (uint32_t i = 0; i < n; ++i) {
+    const MovieDescriptor& movie = movies[i];
+    StatusOr<RecordId> added = universe.AddRecord(movie.cells);
+    if (!added.ok()) return added.status();
+    if (movie.year >= config.dm1_min_year) {
+      added = dm1.AddRecord(movie.cells);
+      if (!added.ok()) return added.status();
+    }
+    if (movie.year >= config.dm2_min_year) {
+      added = dm2.AddRecord(movie.cells);
+      if (!added.ok()) return added.status();
+    }
+    if (rng.NextBool(std::min(1.0, weights[i] * scale))) {
+      // Keep only the target-queriable attributes (Title=0, Actor=1,
+      // Director=2 — the same leading ids in both schemas).
+      target_cells.clear();
+      for (const Cell& cell : movie.cells) {
+        if (cell.attr <= 2) target_cells.push_back(cell);
+      }
+      if (rng.NextBool(config.target_noise_rate)) {
+        // DVD editions are retailer-side values no domain table knows
+        // (the Delta-DM mass of eq. 4.3). The pool is large enough that
+        // editions do not become accidental bridges between communities.
+        target_cells.push_back(
+            Cell{*edition_attr,
+                 "Edition#" + std::to_string(rng.NextBounded(edition_pool))});
+      }
+      added = target.AddRecord(target_cells);
+      if (!added.ok()) return added.status();
+    }
+  }
+  if (target.num_records() < 2) {
+    return Status::Internal("target sample came out degenerate; use a "
+                            "larger universe or target size");
+  }
+
+  MovieDomainPair pair{std::move(universe), std::move(target),
+                       std::move(dm1), std::move(dm2)};
+  return pair;
+}
+
+}  // namespace deepcrawl

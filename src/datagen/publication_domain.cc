@@ -1,0 +1,124 @@
+#include "src/datagen/publication_domain.h"
+
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace deepcrawl {
+
+namespace {
+
+Status AddPublicationAttributes(Schema& schema) {
+  DEEPCRAWL_RETURN_IF_ERROR(schema.AddAttribute("Title").status());
+  DEEPCRAWL_RETURN_IF_ERROR(
+      schema.AddAttribute("Author", /*multi_valued=*/true).status());
+  DEEPCRAWL_RETURN_IF_ERROR(schema.AddAttribute("Venue").status());
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PublicationDomainPair> GeneratePublicationDomainPair(
+    const PublicationDomainPairConfig& config) {
+  if (config.universe_size == 0) {
+    return Status::InvalidArgument("universe must be non-empty");
+  }
+  if (config.acm_venue_fraction <= 0.0 || config.acm_venue_fraction > 1.0) {
+    return Status::InvalidArgument("acm_venue_fraction outside (0,1]");
+  }
+  if (config.dblp_coverage <= 0.0 || config.dblp_coverage > 1.0) {
+    return Status::InvalidArgument("dblp_coverage outside (0,1]");
+  }
+
+  Pcg32 rng(config.seed);
+  uint32_t n = config.universe_size;
+
+  // Research areas: each has a venue pool and a core-author group.
+  uint32_t areas = std::max<uint32_t>(4, n / 250);
+  uint32_t venues_per_area = 4;
+  constexpr uint32_t kCoreAuthorsPerArea = 6;
+  uint32_t tail_author_pool = std::max<uint32_t>(100, n);
+  ZipfSampler tail_sampler(tail_author_pool, 0.8);
+  ZipfSampler venue_sampler(venues_per_area, 0.8);
+  uint32_t sponsor_pool = std::max<uint32_t>(8, n / 40);
+
+  // Assign each venue a publisher: venue v of an area is "ACM" with the
+  // configured probability.
+  uint32_t total_venues = areas * venues_per_area;
+  std::vector<char> venue_is_acm(total_venues, 0);
+  for (uint32_t v = 0; v < total_venues; ++v) {
+    venue_is_acm[v] = rng.NextBool(config.acm_venue_fraction) ? 1 : 0;
+  }
+
+  Schema universe_schema, sample_schema, target_schema;
+  DEEPCRAWL_RETURN_IF_ERROR(AddPublicationAttributes(universe_schema));
+  DEEPCRAWL_RETURN_IF_ERROR(AddPublicationAttributes(sample_schema));
+  DEEPCRAWL_RETURN_IF_ERROR(AddPublicationAttributes(target_schema));
+  StatusOr<AttributeId> sponsor_attr = target_schema.AddAttribute("Sponsor");
+  if (!sponsor_attr.ok()) return sponsor_attr.status();
+
+  Table universe(std::move(universe_schema));
+  Table sample(std::move(sample_schema));
+  Table target(std::move(target_schema));
+
+  std::vector<Cell> cells;
+  std::vector<Cell> target_cells;
+  uint32_t slice = std::max<uint32_t>(1, tail_author_pool / areas);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t area = rng.NextBounded(areas);
+    cells.clear();
+    cells.push_back(Cell{0, "Title#p" + std::to_string(i)});
+    // 1-4 authors: mostly the area's cores and local tail, with rare
+    // cross-area collaborators.
+    uint32_t num_authors = 1 + rng.NextBounded(4);
+    for (uint32_t a = 0; a < num_authors; ++a) {
+      double kind = rng.NextDouble();
+      std::string author;
+      if (kind < 0.55) {
+        author = "Author#c" + std::to_string(area) + "_" +
+                 std::to_string(rng.NextBounded(kCoreAuthorsPerArea));
+      } else if (kind < 0.95) {
+        author = "Author#t" +
+                 std::to_string(std::min(
+                     area * slice + tail_sampler.Sample(rng) % slice,
+                     tail_author_pool - 1));
+      } else {
+        author = "Author#t" + std::to_string(rng.NextBounded(
+                                  tail_author_pool));
+      }
+      cells.push_back(Cell{1, std::move(author)});
+    }
+    uint32_t venue = area * venues_per_area + venue_sampler.Sample(rng);
+    cells.push_back(Cell{2, "Venue#" + std::to_string(venue)});
+
+    StatusOr<RecordId> added = universe.AddRecord(cells);
+    if (!added.ok()) return added.status();
+
+    if (rng.NextBool(config.dblp_coverage)) {
+      added = sample.AddRecord(cells);
+      if (!added.ok()) return added.status();
+    }
+    if (venue_is_acm[venue]) {
+      target_cells = cells;
+      if (rng.NextBool(config.target_noise_rate)) {
+        target_cells.push_back(
+            Cell{*sponsor_attr,
+                 "Sponsor#" + std::to_string(rng.NextBounded(sponsor_pool))});
+      }
+      added = target.AddRecord(target_cells);
+      if (!added.ok()) return added.status();
+    }
+  }
+  if (target.num_records() < 2 || sample.num_records() < 2) {
+    return Status::Internal(
+        "degenerate publication pair; increase universe_size");
+  }
+  PublicationDomainPair pair{std::move(universe), std::move(target),
+                             std::move(sample)};
+  return pair;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,176 @@
+#include "src/datagen/workload_config.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/zipf.h"
+
+namespace deepcrawl {
+
+namespace {
+
+Status ValidateConfig(const SyntheticDbConfig& config) {
+  if (config.num_records == 0) {
+    return Status::InvalidArgument("config needs at least one record");
+  }
+  if (config.attributes.empty()) {
+    return Status::InvalidArgument("config needs at least one attribute");
+  }
+  for (const AttributeSpec& spec : config.attributes) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (!spec.unique_per_record && spec.derived_from < 0 &&
+        spec.num_distinct == 0) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' has an empty value pool");
+    }
+    if (spec.min_per_record == 0 || spec.min_per_record > spec.max_per_record) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' has an invalid per-record range");
+    }
+    if (spec.community_bias < 0.0 || spec.community_bias > 1.0) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' has community bias outside [0,1]");
+    }
+    if (spec.presence <= 0.0 || spec.presence > 1.0) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' has presence outside (0,1]");
+    }
+    if (spec.community_bias > 0.0 && spec.num_communities == 0) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' sets bias without communities");
+    }
+  }
+  bool has_always_present = false;
+  for (const AttributeSpec& spec : config.attributes) {
+    if (spec.presence >= 1.0) has_always_present = true;
+  }
+  if (!has_always_present) {
+    return Status::InvalidArgument(
+        "at least one attribute must have presence == 1 so every record "
+        "is non-empty");
+  }
+  for (size_t a = 0; a < config.attributes.size(); ++a) {
+    const AttributeSpec& spec = config.attributes[a];
+    if (spec.derived_from < 0) continue;
+    size_t source = static_cast<size_t>(spec.derived_from);
+    if (source >= config.attributes.size() || source == a) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' derives from an invalid attribute");
+    }
+    const AttributeSpec& source_spec = config.attributes[source];
+    if (source_spec.derived_from >= 0 || source_spec.unique_per_record) {
+      return Status::InvalidArgument(
+          "attribute '" + spec.name +
+          "' must derive from a plain (non-derived, non-unique) attribute");
+    }
+    if (spec.derive_group == 0) {
+      return Status::InvalidArgument("attribute '" + spec.name +
+                                     "' has derive_group == 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Table> GenerateTable(const SyntheticDbConfig& config) {
+  DEEPCRAWL_RETURN_IF_ERROR(ValidateConfig(config));
+
+  Schema schema;
+  for (const AttributeSpec& spec : config.attributes) {
+    StatusOr<AttributeId> added =
+        schema.AddAttribute(spec.name, spec.max_per_record > 1);
+    if (!added.ok()) return added.status();
+  }
+  Table table(std::move(schema));
+
+  Pcg32 rng(config.seed);
+  // One sampler per non-unique attribute; community draws reuse the
+  // global sampler's rank, folded into the community slice.
+  std::vector<std::unique_ptr<ZipfSampler>> samplers(
+      config.attributes.size());
+  for (size_t a = 0; a < config.attributes.size(); ++a) {
+    const AttributeSpec& spec = config.attributes[a];
+    if (!spec.unique_per_record && spec.derived_from < 0) {
+      samplers[a] = std::make_unique<ZipfSampler>(spec.num_distinct,
+                                                  spec.zipf_exponent);
+    }
+  }
+
+  std::vector<Cell> cells;
+  std::vector<std::vector<uint32_t>> drawn(config.attributes.size());
+  for (uint32_t r = 0; r < config.num_records; ++r) {
+    cells.clear();
+    for (auto& d : drawn) d.clear();
+    // One community draw per RECORD, shared by every biased attribute:
+    // this induces CROSS-attribute value dependency (a seller lists in
+    // its niche of categories; co-authors share venues), which is what
+    // makes the §3.3 duplicate problem — and MMMI's remedy — real.
+    double community_u = rng.NextDouble();
+    // Pass 1: plain attributes.
+    for (size_t a = 0; a < config.attributes.size(); ++a) {
+      const AttributeSpec& spec = config.attributes[a];
+      AttributeId attr = static_cast<AttributeId>(a);
+      if (spec.derived_from >= 0) continue;
+      if (spec.presence < 1.0 && !rng.NextBool(spec.presence)) continue;
+      if (spec.unique_per_record) {
+        cells.push_back(Cell{attr, spec.name + "#u" + std::to_string(r)});
+        continue;
+      }
+      uint32_t count = spec.min_per_record;
+      if (spec.max_per_record > spec.min_per_record) {
+        count += rng.NextBounded(spec.max_per_record - spec.min_per_record +
+                                 1);
+      }
+      // Project the record's community onto this attribute's own
+      // community count; biased draws land in the community's
+      // contiguous pool slice.
+      uint32_t community = 0;
+      if (spec.community_bias > 0.0) {
+        community = std::min(
+            spec.num_communities - 1,
+            static_cast<uint32_t>(community_u * spec.num_communities));
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t pool_index;
+        if (spec.community_bias > 0.0 && rng.NextBool(spec.community_bias)) {
+          // Slice the pool evenly; sample a Zipf rank inside the slice so
+          // communities have their own local hubs.
+          uint32_t slice = spec.num_distinct / spec.num_communities;
+          if (slice == 0) slice = 1;
+          uint32_t base = community * slice;
+          uint32_t rank = samplers[a]->Sample(rng) % slice;
+          pool_index = std::min(base + rank, spec.num_distinct - 1);
+        } else {
+          pool_index = samplers[a]->Sample(rng);
+        }
+        drawn[a].push_back(pool_index);
+        cells.push_back(
+            Cell{attr, spec.name + "#" + std::to_string(pool_index)});
+      }
+    }
+    // Pass 2: derived attributes — deterministic functions of the source
+    // draws (strong value dependency, §3.3).
+    for (size_t a = 0; a < config.attributes.size(); ++a) {
+      const AttributeSpec& spec = config.attributes[a];
+      if (spec.derived_from < 0) continue;
+      if (spec.presence < 1.0 && !rng.NextBool(spec.presence)) continue;
+      AttributeId attr = static_cast<AttributeId>(a);
+      for (uint32_t source_index :
+           drawn[static_cast<size_t>(spec.derived_from)]) {
+        cells.push_back(Cell{
+            attr, spec.name + "#" +
+                      std::to_string(source_index / spec.derive_group)});
+      }
+    }
+    StatusOr<RecordId> added = table.AddRecord(cells);
+    if (!added.ok()) return added.status();
+  }
+  return table;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,80 @@
+// Config-driven synthetic structured-database generation.
+//
+// The paper's controlled experiments run over four real databases (eBay,
+// ACM Digital Library, DBLP, IMDB). Those dumps are not available here,
+// so this generator produces databases with the properties the paper
+// identifies as the ones that matter for query selection:
+//
+//   * Zipfian value popularity, which yields the power-law AVG degree
+//     distribution of Figure 2 (hubs + "the massive many");
+//   * multi-valued attributes (authors, actors) whose values form
+//     cliques bridging records;
+//   * attribute-value dependency via community structure (§3.3:
+//     co-authors publish together), the effect MMMI exploits;
+//   * near-full record connectivity (§5: 99% of records reachable from
+//     any seed), which falls out of the hub values.
+//
+// Every record draws its values from per-attribute pools. A pool value's
+// text is "<attr>#<pool index>", so identical pool draws across records
+// intern to the same ValueId.
+
+#ifndef DEEPCRAWL_DATAGEN_WORKLOAD_CONFIG_H_
+#define DEEPCRAWL_DATAGEN_WORKLOAD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+struct AttributeSpec {
+  std::string name;
+  // Pool cardinality. Ignored when unique_per_record.
+  uint32_t num_distinct = 0;
+  // Zipf exponent of pool popularity (0 = uniform).
+  double zipf_exponent = 1.0;
+  // Values per record, drawn uniformly in [min_per_record,
+  // max_per_record]. Multi-valued attributes set max_per_record > 1.
+  uint32_t min_per_record = 1;
+  uint32_t max_per_record = 1;
+  // Probability that a record carries this attribute at all. Real Web
+  // records are sparse (no location listed, price on request, ...);
+  // sparsity keeps small-cardinality attributes from forming a cheap
+  // dominating hub layer, which is what makes deep coverage expensive
+  // (§5: "cost increases dramatically when the coverage exceeds 80%").
+  double presence = 1.0;
+  // Every record gets its own fresh value (titles): degree-1-ish mass.
+  bool unique_per_record = false;
+  // Correlation: with this probability a draw comes from the record's
+  // community slice of the pool instead of the global distribution.
+  // Models co-author/co-actor clustering (§3.3).
+  double community_bias = 0.0;
+  uint32_t num_communities = 0;  // required > 0 when community_bias > 0
+  // Derived attribute: values are a deterministic function of another
+  // attribute's draws in the same record (pool index / derive_group).
+  // Models the paper's §3.3 example of strongly dependent values — a
+  // seller's store name, a venue's publisher: after the source value is
+  // queried, the derived value returns almost nothing new, even though
+  // its degree is high. -1 = not derived. A derived attribute ignores
+  // num_distinct/zipf/per-record/community settings.
+  int derived_from = -1;
+  uint32_t derive_group = 1;  // source values aliased per derived value
+};
+
+struct SyntheticDbConfig {
+  std::string name;
+  uint32_t num_records = 0;
+  std::vector<AttributeSpec> attributes;
+  uint64_t seed = 1;
+};
+
+// Generates a table according to `config`. Fails on invalid specs
+// (empty schema, zero records, bias without communities, ...).
+StatusOr<Table> GenerateTable(const SyntheticDbConfig& config);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_DATAGEN_WORKLOAD_CONFIG_H_

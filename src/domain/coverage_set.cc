@@ -1,0 +1,30 @@
+#include "src/domain/coverage_set.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+void CoverageSet::Union(std::span<const uint32_t> ids) {
+  if (ids.empty()) return;
+  DEEPCRAWL_DCHECK(std::is_sorted(ids.begin(), ids.end()))
+      << "CoverageSet::Union requires sorted input";
+  std::vector<uint32_t> merged;
+  merged.reserve(covered_.size() + ids.size());
+  std::set_union(covered_.begin(), covered_.end(), ids.begin(), ids.end(),
+                 std::back_inserter(merged));
+  covered_ = std::move(merged);
+}
+
+bool CoverageSet::Contains(uint32_t id) const {
+  return std::binary_search(covered_.begin(), covered_.end(), id);
+}
+
+double CoverageSet::Fraction(size_t universe_size) const {
+  if (universe_size == 0) return 0.0;
+  return static_cast<double>(covered_.size()) /
+         static_cast<double>(universe_size);
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,41 @@
+// CoverageSet: incremental maintenance of P(Lqueried, DM) (§4.4).
+//
+// The §4.2 estimator divides by P(Lqueried[1..m], DM) — the fraction of
+// domain-sample records matched by at least one already-issued query.
+// Recomputing it from scratch per selection step is quadratic; the paper
+// instead keeps S(Lqueried[1..m], DM) as a sorted list of record IDs and
+// folds in each newly issued query by merging its sorted posting list
+// with duplicate elimination. This class is that sorted-list union.
+
+#ifndef DEEPCRAWL_DOMAIN_COVERAGE_SET_H_
+#define DEEPCRAWL_DOMAIN_COVERAGE_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deepcrawl {
+
+class CoverageSet {
+ public:
+  CoverageSet() = default;
+
+  // Merges a sorted, duplicate-free id list into the covered set.
+  // O(|covered| + |ids|).
+  void Union(std::span<const uint32_t> ids);
+
+  size_t size() const { return covered_.size(); }
+  bool Contains(uint32_t id) const;
+
+  // size() / universe — P(Lqueried, DM) when the universe is |DM|.
+  double Fraction(size_t universe_size) const;
+
+  const std::vector<uint32_t>& covered() const { return covered_; }
+
+ private:
+  std::vector<uint32_t> covered_;  // sorted, duplicate-free
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_DOMAIN_COVERAGE_SET_H_

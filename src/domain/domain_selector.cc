@@ -1,0 +1,228 @@
+#include "src/domain/domain_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+namespace {
+// Rounds to fully drain an estimated result set of `matches` records at
+// `page_size` per page (Definition 2.3's cost). At least one round.
+double EstimatedCost(double matches, uint32_t page_size) {
+  if (matches <= 0.0) return 1.0;
+  return std::max(1.0, std::ceil(matches / static_cast<double>(page_size)));
+}
+}  // namespace
+
+DomainSelector::DomainSelector(const LocalStore& store,
+                               const DomainTable& table, uint32_t page_size)
+    : store_(store), table_(table), page_size_(page_size) {
+  DEEPCRAWL_CHECK_GT(page_size, 0u);
+  // Q_DT starts as every DT entry, most domain-frequent first.
+  qdt_order_ = table_.values();
+  std::sort(qdt_order_.begin(), qdt_order_.end(),
+            [this](ValueId a, ValueId b) {
+              uint32_t fa = table_.DomainFrequency(a);
+              uint32_t fb = table_.DomainFrequency(b);
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+}
+
+void DomainSelector::EnsureValueCapacity(ValueId v) {
+  if (v < qdb_pending_.size()) return;
+  size_t new_size = static_cast<size_t>(v) + 1;
+  qdb_pending_.resize(new_size, 0);
+  seen_in_target_.resize(new_size, 0);
+  consumed_.resize(new_size, 0);
+  delta_frequency_.resize(new_size, 0);
+}
+
+double DomainSelector::LazyPriority(ValueId v) const {
+  // Numerator of eq. 4.3 only: the smoothing denominator
+  // |dDM| + |DM| is uniform across candidates and keeping it out makes
+  // the key stable unless this value's own statistics moved.
+  double numerator =
+      static_cast<double>((v < delta_frequency_.size() ? delta_frequency_[v]
+                                                       : 0) +
+                          table_.DomainFrequency(v));
+  uint32_t num_local = store_.LocalFrequency(v);
+  if (num_local == 0) return std::numeric_limits<double>::infinity();
+  return numerator / static_cast<double>(num_local);
+}
+
+void DomainSelector::OnValueDiscovered(ValueId v) {
+  EnsureValueCapacity(v);
+  if (!seen_in_target_[v]) {
+    seen_in_target_[v] = 1;
+    ++discovered_values_;
+    if (table_.Contains(v)) ++discovered_values_in_dm_;
+  }
+  if (consumed_[v]) return;  // already issued (or handed out) as a query
+  qdb_pending_[v] = 1;
+  qdb_heap_.push(HeapEntry{LazyPriority(v), v});
+}
+
+void DomainSelector::OnRecordHarvested(uint32_t slot) {
+  std::span<const ValueId> values = store_.RecordValues(slot);
+  // dDM membership (eq. 4.3): the record carries a value DM lacks.
+  bool in_delta = false;
+  for (ValueId v : values) {
+    if (!table_.Contains(v)) {
+      in_delta = true;
+      break;
+    }
+  }
+  if (in_delta) {
+    ++delta_records_;
+    for (ValueId v : values) {
+      EnsureValueCapacity(v);
+      ++delta_frequency_[v];
+    }
+  }
+  // num(v, DBlocal) moved for every value of the record; refresh heap
+  // entries so the lazy-pop freshness invariant keeps holding.
+  for (ValueId v : values) {
+    if (IsPendingQdb(v)) qdb_heap_.push(HeapEntry{LazyPriority(v), v});
+  }
+}
+
+void DomainSelector::OnQueryCompleted(const QueryOutcome& outcome) {
+  queried_coverage_.Union(table_.DomainPostings(outcome.value));
+}
+
+double DomainSelector::SmoothedDomainProbability(ValueId v) const {
+  double denominator = static_cast<double>(delta_records_) +
+                       static_cast<double>(table_.num_domain_records());
+  if (denominator == 0.0) return 0.0;
+  double numerator =
+      static_cast<double>((v < delta_frequency_.size() ? delta_frequency_[v]
+                                                       : 0) +
+                          table_.DomainFrequency(v));
+  return numerator / denominator;
+}
+
+double DomainSelector::QueriedDomainCoverage() const {
+  return queried_coverage_.Fraction(table_.num_domain_records());
+}
+
+double DomainSelector::EstimateMatches(ValueId v) const {
+  double p_queried = QueriedDomainCoverage();
+  if (p_queried <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(store_.num_records()) *
+         SmoothedDomainProbability(v) / p_queried;
+}
+
+double DomainSelector::EstimateHarvestRateQdb(ValueId v) const {
+  uint32_t num_local = store_.LocalFrequency(v);
+  double num_estimated = EstimateMatches(v);
+  if (std::isinf(num_estimated)) {
+    // No evidence yet: optimistically a full fresh page per round.
+    return static_cast<double>(page_size_);
+  }
+  // The value demonstrably matches num_local records even if the
+  // estimator disagrees.
+  num_estimated = std::max(num_estimated, static_cast<double>(num_local));
+  double fresh = num_estimated - static_cast<double>(num_local);
+  return fresh / EstimatedCost(num_estimated, page_size_);
+}
+
+double DomainSelector::EstimateHarvestRateQdt(ValueId v) const {
+  double hit_rate = QdtHitRate();
+  double num_estimated = EstimateMatches(v);
+  if (std::isinf(num_estimated)) {
+    return hit_rate * static_cast<double>(page_size_);
+  }
+  // If present, every matched record is new (the value was never
+  // returned by the target before).
+  return hit_rate * num_estimated / EstimatedCost(num_estimated, page_size_);
+}
+
+double DomainSelector::QdtHitRate() const {
+  if (discovered_values_ == 0) return 1.0;  // optimistic before evidence
+  return static_cast<double>(discovered_values_in_dm_) /
+         static_cast<double>(discovered_values_);
+}
+
+ValueId DomainSelector::SelectNext() {
+  // Q_DB head: pop up to a small window of FRESH entries from the lazy
+  // heap and score them exactly. The lazy key P(q,DM)/num_local orders
+  // candidates approximately (it ignores the ceil() in the cost), so a
+  // bounded exact re-check of the heap prefix recovers the true best
+  // without a full rescan.
+  constexpr int kExactWindow = 8;
+  ValueId window[kExactWindow];
+  int window_size = 0;
+  double best_qdb_rate = -1.0;
+  ValueId qdb_head = kInvalidValueId;
+  while (window_size < kExactWindow && !qdb_heap_.empty()) {
+    HeapEntry top = qdb_heap_.top();
+    qdb_heap_.pop();
+    if (!IsPendingQdb(top.value)) continue;
+    double priority = LazyPriority(top.value);
+    if (priority != top.priority) {
+      qdb_heap_.push(HeapEntry{priority, top.value});
+      continue;
+    }
+    window[window_size++] = top.value;
+    double rate = EstimateHarvestRateQdb(top.value);
+    if (rate > best_qdb_rate) {
+      best_qdb_rate = rate;
+      qdb_head = top.value;
+    }
+  }
+
+  // Q_DT head: skip values meanwhile discovered in the target or
+  // already handed out.
+  while (qdt_cursor_ < qdt_order_.size()) {
+    ValueId v = qdt_order_[qdt_cursor_];
+    EnsureValueCapacity(v);
+    if (seen_in_target_[v] || consumed_[v]) {
+      ++qdt_cursor_;
+      continue;
+    }
+    break;
+  }
+  ValueId qdt_head = qdt_cursor_ < qdt_order_.size()
+                         ? qdt_order_[qdt_cursor_]
+                         : kInvalidValueId;
+
+  if (qdb_head == kInvalidValueId && qdt_head == kInvalidValueId) {
+    return kInvalidValueId;
+  }
+
+  bool choose_qdb;
+  if (qdb_head == kInvalidValueId) {
+    choose_qdb = false;
+  } else if (qdt_head == kInvalidValueId) {
+    choose_qdb = true;
+  } else {
+    // Cross-pool comparison in expected-new-records-per-round units;
+    // ties favour Q_DB, whose candidate is known to exist in the target.
+    choose_qdb = best_qdb_rate >= EstimateHarvestRateQdt(qdt_head);
+  }
+
+  ValueId chosen = choose_qdb ? qdb_head : qdt_head;
+  EnsureValueCapacity(chosen);
+  consumed_[chosen] = 1;
+  if (choose_qdb) {
+    ++num_qdb_selected_;
+    qdb_pending_[chosen] = 0;
+  } else {
+    ++num_qdt_selected_;
+    ++qdt_cursor_;
+  }
+  // Return unchosen window entries to the heap (the chosen one was
+  // marked consumed and will be skipped if a stale copy remains).
+  for (int i = 0; i < window_size; ++i) {
+    if (window[i] != chosen) {
+      qdb_heap_.push(HeapEntry{LazyPriority(window[i]), window[i]});
+    }
+  }
+  return chosen;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,95 @@
+#include "src/domain/domain_table.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+DomainTable DomainTable::Build(const Table& sample,
+                               const Schema& target_schema,
+                               ValueCatalog& target_catalog) {
+  DomainTable dt;
+  dt.num_domain_records_ = sample.num_records();
+
+  // Map every sample attribute to the target attribute of the same name
+  // (kInvalidAttributeId when the target cannot be queried on it).
+  std::vector<AttributeId> attr_map(sample.schema().num_attributes(),
+                                    kInvalidAttributeId);
+  for (AttributeId a = 0; a < sample.schema().num_attributes(); ++a) {
+    StatusOr<AttributeId> target_attr =
+        target_schema.FindAttribute(sample.schema().attribute(a).name);
+    if (target_attr.ok()) attr_map[a] = *target_attr;
+  }
+
+  // Map sample value ids to target value ids, interning unseen texts.
+  const ValueCatalog& sample_catalog = sample.catalog();
+  std::vector<ValueId> value_map(sample_catalog.size(), kInvalidValueId);
+  for (ValueId sv = 0; sv < sample_catalog.size(); ++sv) {
+    AttributeId target_attr = attr_map[sample_catalog.attribute_of(sv)];
+    if (target_attr == kInvalidAttributeId) continue;
+    value_map[sv] =
+        target_catalog.Intern(target_attr, sample_catalog.text_of(sv));
+  }
+
+  // Gather entries and posting sizes (a target value may aggregate
+  // several sample values only if texts collide across mapped
+  // attributes, which Intern keys prevent; still, accumulate robustly).
+  std::unordered_map<ValueId, uint32_t> frequency;
+  for (ValueId sv = 0; sv < sample_catalog.size(); ++sv) {
+    if (value_map[sv] == kInvalidValueId) continue;
+    frequency[value_map[sv]] += sample.value_frequency(sv);
+  }
+
+  dt.values_.reserve(frequency.size());
+  dt.offsets_.reserve(frequency.size() + 1);
+  dt.offsets_.push_back(0);
+  for (const auto& [tv, freq] : frequency) {
+    dt.entry_of_.emplace(tv, static_cast<uint32_t>(dt.values_.size()));
+    dt.values_.push_back(tv);
+    dt.offsets_.push_back(dt.offsets_.back() + freq);
+  }
+  dt.postings_.resize(dt.offsets_.back());
+
+  std::vector<size_t> cursor(dt.offsets_.begin(), dt.offsets_.end() - 1);
+  for (RecordId r = 0; r < sample.num_records(); ++r) {
+    for (ValueId sv : sample.record(r)) {
+      ValueId tv = value_map[sv];
+      if (tv == kInvalidValueId) continue;
+      uint32_t entry = dt.entry_of_.at(tv);
+      dt.postings_[cursor[entry]++] = r;
+    }
+  }
+  // Record scan order keeps each posting list sorted; a target value fed
+  // by several sample values could interleave, so normalize defensively.
+  for (size_t e = 0; e < dt.values_.size(); ++e) {
+    auto begin = dt.postings_.begin() + static_cast<ptrdiff_t>(dt.offsets_[e]);
+    auto end = dt.postings_.begin() + static_cast<ptrdiff_t>(dt.offsets_[e + 1]);
+    if (!std::is_sorted(begin, end)) std::sort(begin, end);
+  }
+  return dt;
+}
+
+uint32_t DomainTable::DomainFrequency(ValueId target_value) const {
+  auto it = entry_of_.find(target_value);
+  if (it == entry_of_.end()) return 0;
+  return static_cast<uint32_t>(offsets_[it->second + 1] -
+                               offsets_[it->second]);
+}
+
+double DomainTable::Probability(ValueId target_value) const {
+  if (num_domain_records_ == 0) return 0.0;
+  return static_cast<double>(DomainFrequency(target_value)) /
+         static_cast<double>(num_domain_records_);
+}
+
+std::span<const uint32_t> DomainTable::DomainPostings(
+    ValueId target_value) const {
+  auto it = entry_of_.find(target_value);
+  if (it == entry_of_.end()) return {};
+  size_t begin = offsets_[it->second];
+  size_t end = offsets_[it->second + 1];
+  return std::span<const uint32_t>(postings_.data() + begin, end - begin);
+}
+
+}  // namespace deepcrawl

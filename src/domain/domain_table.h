@@ -1,0 +1,76 @@
+// DomainTable: the domain statistics table DT of Definition 4.1.
+//
+// Built offline from a sample database of the same domain (e.g. IMDB
+// when the crawl target is the Amazon DVD catalog), the table holds one
+// entry <qi, P(qi, DM)> per candidate query: the probability that qi
+// matches a record of the domain sample. It also retains the sample's
+// posting lists, which the §4.4 incremental coverage computation
+// (CoverageSet) consumes.
+//
+// Value identity: the crawler addresses queries by the TARGET server's
+// ValueId space. Build() therefore maps every sample value into the
+// target catalog by (attribute name, text), interning values the target
+// has never returned. Interning is pure naming — it does not reveal
+// whether the target database matches the value; a query on a
+// DT-only value still costs a communication round to find out, exactly
+// like submitting an IMDB-derived actor name to Amazon.
+
+#ifndef DEEPCRAWL_DOMAIN_DOMAIN_TABLE_H_
+#define DEEPCRAWL_DOMAIN_DOMAIN_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/relation/types.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+class DomainTable {
+ public:
+  // Builds the table from `sample`, interning value texts into
+  // `target_catalog` (the catalog of the crawl target's server table) so
+  // every DT entry is addressable as a target-space ValueId. Attributes
+  // are matched by name; sample attributes missing from
+  // `target_schema` are skipped (the target cannot be queried on them).
+  static DomainTable Build(const Table& sample, const Schema& target_schema,
+                           ValueCatalog& target_catalog);
+
+  // Number of records in the domain sample, |DM|.
+  size_t num_domain_records() const { return num_domain_records_; }
+
+  size_t num_entries() const { return values_.size(); }
+
+  bool Contains(ValueId target_value) const {
+    return entry_of_.count(target_value) != 0;
+  }
+
+  // num(qi, DM): domain-sample records matched by the value.
+  uint32_t DomainFrequency(ValueId target_value) const;
+
+  // P(qi, DM) = num(qi, DM) / |DM| (unsmoothed; §4.2's Delta-smoothing
+  // lives in the selector, which owns the Delta-DM statistics).
+  double Probability(ValueId target_value) const;
+
+  // Sorted domain-sample record ids matched by the value; empty when the
+  // value is not in the table.
+  std::span<const uint32_t> DomainPostings(ValueId target_value) const;
+
+  // All DT entries as target-space value ids (unspecified order).
+  const std::vector<ValueId>& values() const { return values_; }
+
+ private:
+  size_t num_domain_records_ = 0;
+  std::vector<ValueId> values_;
+  std::unordered_map<ValueId, uint32_t> entry_of_;  // value -> entry index
+  // Postings CSR over entry indices.
+  std::vector<uint32_t> postings_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_DOMAIN_DOMAIN_TABLE_H_

@@ -1,0 +1,26 @@
+#include "src/estimate/chao.h"
+
+namespace deepcrawl {
+
+ChaoEstimate Chao1Estimate(const LocalStore& store) {
+  ChaoEstimate estimate;
+  estimate.observed_records = store.num_records();
+  estimate.observations = store.num_observations();
+  estimate.singletons = store.RecordsObservedTimes(1);
+  estimate.doubletons = store.RecordsObservedTimes(2);
+
+  double f1 = static_cast<double>(estimate.singletons);
+  double f2 = static_cast<double>(estimate.doubletons);
+  // Bias-corrected Chao1: defined for f2 == 0 as well.
+  estimate.estimated_total =
+      static_cast<double>(estimate.observed_records) +
+      f1 * (f1 - 1.0) / (2.0 * (f2 + 1.0));
+  if (estimate.estimated_total > 0.0) {
+    estimate.estimated_coverage =
+        static_cast<double>(estimate.observed_records) /
+        estimate.estimated_total;
+  }
+  return estimate;
+}
+
+}  // namespace deepcrawl

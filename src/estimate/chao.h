@@ -1,0 +1,53 @@
+// Online database-size estimation from duplicate observations (Chao's
+// abundance-based estimators).
+//
+// §1 describes the crawl loop running "until all the possible queries
+// are issued or some stopping criterion is met", and §2.5 frames the
+// practical goal as reaching a target coverage — which requires an
+// estimate of |DB| while crawling. The overlap analysis of §5
+// (size_estimator.h) needs several independent crawls; this module
+// instead exploits what a single crawl already observes for free: how
+// often each record has been returned across queries.
+//
+// Treating each returned result record as one "capture", the classic
+// Chao1 lower-bound estimator gives
+//
+//   S_hat = S_obs + f1^2 / (2 f2)            (bias-corrected variant:
+//   S_hat = S_obs + f1 (f1 - 1) / (2 (f2 + 1)))
+//
+// where f1/f2 are the numbers of records captured exactly once/twice.
+// Captures from query-based crawling are not independent uniform draws
+// (popular-value records are captured more often), so the estimate
+// carries bias and is noisy early in a crawl, when singletons dominate
+// and f1^2/(2 f2) can overshoot badly. It converges to the truth as the
+// crawl saturates, is cheap enough to evaluate after every query, and —
+// unlike the §5 overlap analysis — needs no extra crawls.
+
+#ifndef DEEPCRAWL_ESTIMATE_CHAO_H_
+#define DEEPCRAWL_ESTIMATE_CHAO_H_
+
+#include <cstdint>
+
+#include "src/crawler/local_store.h"
+
+namespace deepcrawl {
+
+struct ChaoEstimate {
+  size_t observed_records = 0;  // S_obs
+  uint64_t observations = 0;    // total captures, duplicates included
+  size_t singletons = 0;        // f1
+  size_t doubletons = 0;        // f2
+  // Bias-corrected Chao1 estimate of |DB|; equals observed_records when
+  // nothing has been observed twice and no singletons exist.
+  double estimated_total = 0.0;
+  // observed_records / estimated_total (0 when nothing observed).
+  double estimated_coverage = 0.0;
+};
+
+// Computes the estimate from the duplicate-observation statistics the
+// LocalStore accumulates during a crawl.
+ChaoEstimate Chao1Estimate(const LocalStore& store);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_ESTIMATE_CHAO_H_

@@ -1,0 +1,76 @@
+#include "src/graph/attribute_value_graph.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+AttributeValueGraph AttributeValueGraph::Build(const Table& table) {
+  size_t n = table.num_distinct_values();
+  // Counting pass: raw (with multiplicity) neighbor slots per vertex.
+  std::vector<size_t> raw_counts(n, 0);
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    size_t record_size = table.record(r).size();
+    if (record_size < 2) continue;
+    for (ValueId v : table.record(r)) raw_counts[v] += record_size - 1;
+  }
+  std::vector<size_t> raw_offsets(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) raw_offsets[v + 1] = raw_offsets[v] + raw_counts[v];
+
+  // Fill pass: append every co-occurring value (cliques per record).
+  std::vector<ValueId> raw(raw_offsets.back());
+  std::vector<size_t> cursor(raw_offsets.begin(), raw_offsets.end() - 1);
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    std::span<const ValueId> values = table.record(r);
+    if (values.size() < 2) continue;
+    for (ValueId a : values) {
+      for (ValueId b : values) {
+        if (a == b) continue;
+        raw[cursor[a]++] = b;
+      }
+    }
+  }
+
+  // Deduplicate each adjacency list in place and compact.
+  AttributeValueGraph graph;
+  graph.offsets_.assign(n + 1, 0);
+  size_t write = 0;
+  for (size_t v = 0; v < n; ++v) {
+    auto begin = raw.begin() + static_cast<ptrdiff_t>(raw_offsets[v]);
+    auto end = raw.begin() + static_cast<ptrdiff_t>(raw_offsets[v + 1]);
+    std::sort(begin, end);
+    auto unique_end = std::unique(begin, end);
+    for (auto it = begin; it != unique_end; ++it) raw[write++] = *it;
+    graph.offsets_[v + 1] = write;
+  }
+  raw.resize(write);
+  raw.shrink_to_fit();
+  graph.adjacency_ = std::move(raw);
+  return graph;
+}
+
+std::span<const ValueId> AttributeValueGraph::Neighbors(ValueId v) const {
+  DEEPCRAWL_CHECK_LT(static_cast<size_t>(v) + 1, offsets_.size())
+      << "vertex id out of range";
+  size_t begin = offsets_[v];
+  size_t end = offsets_[v + 1];
+  return std::span<const ValueId>(adjacency_.data() + begin, end - begin);
+}
+
+bool AttributeValueGraph::HasEdge(ValueId a, ValueId b) const {
+  std::span<const ValueId> nbrs = Neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+std::vector<uint64_t> AttributeValueGraph::DegreeHistogram() const {
+  uint32_t max_degree = 0;
+  for (ValueId v = 0; v < num_vertices(); ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  std::vector<uint64_t> histogram(static_cast<size_t>(max_degree) + 1, 0);
+  for (ValueId v = 0; v < num_vertices(); ++v) ++histogram[Degree(v)];
+  return histogram;
+}
+
+}  // namespace deepcrawl

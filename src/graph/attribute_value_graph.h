@@ -1,0 +1,54 @@
+// AttributeValueGraph (AVG) — Definition 2.1 of the paper.
+//
+// An undirected graph with one vertex per distinct attribute value of a
+// database; two vertices are adjacent iff their values co-occur in at
+// least one record. The values of each record therefore form a clique,
+// and a value shared by two records "bridges" their cliques.
+//
+// The graph is stored CSR-style (concatenated sorted adjacency lists plus
+// offsets). Parallel edges arising from values co-occurring in several
+// records are collapsed; self-loops never occur because record value
+// lists are duplicate-free.
+
+#ifndef DEEPCRAWL_GRAPH_ATTRIBUTE_VALUE_GRAPH_H_
+#define DEEPCRAWL_GRAPH_ATTRIBUTE_VALUE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+class AttributeValueGraph {
+ public:
+  // Builds the AVG of every record in `table`.
+  static AttributeValueGraph Build(const Table& table);
+
+  size_t num_vertices() const { return offsets_.size() - 1; }
+  size_t num_edges() const { return adjacency_.size() / 2; }
+
+  // Distinct neighbors of `v`, sorted ascending.
+  std::span<const ValueId> Neighbors(ValueId v) const;
+
+  uint32_t Degree(ValueId v) const {
+    return static_cast<uint32_t>(Neighbors(v).size());
+  }
+
+  bool HasEdge(ValueId a, ValueId b) const;
+
+  // Degree histogram: result[d] = number of vertices with degree d.
+  std::vector<uint64_t> DegreeHistogram() const;
+
+ private:
+  AttributeValueGraph() = default;
+
+  std::vector<ValueId> adjacency_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_GRAPH_ATTRIBUTE_VALUE_GRAPH_H_

@@ -1,0 +1,69 @@
+#include "src/graph/components.h"
+
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  DEEPCRAWL_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+uint32_t UnionFind::SetSize(uint32_t x) { return size_[Find(x)]; }
+
+ConnectivityReport AnalyzeConnectivity(const Table& table) {
+  size_t n = table.num_distinct_values();
+  UnionFind uf(n);
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    auto values = table.record(r);
+    for (size_t i = 1; i < values.size(); ++i) {
+      uf.Union(values[0], values[i]);
+    }
+  }
+
+  ConnectivityReport report;
+  report.num_value_components = uf.num_sets();
+  report.record_component.resize(table.num_records());
+  std::unordered_map<uint32_t, size_t> records_per_component;
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    auto values = table.record(r);
+    DEEPCRAWL_CHECK(!values.empty());
+    uint32_t component = uf.Find(values[0]);
+    report.record_component[r] = component;
+    ++records_per_component[component];
+  }
+  for (const auto& [component, count] : records_per_component) {
+    report.largest_component_records =
+        std::max(report.largest_component_records, count);
+  }
+  if (table.num_records() > 0) {
+    report.largest_component_record_fraction =
+        static_cast<double>(report.largest_component_records) /
+        static_cast<double>(table.num_records());
+  }
+  return report;
+}
+
+}  // namespace deepcrawl

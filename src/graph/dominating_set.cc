@@ -1,0 +1,192 @@
+#include "src/graph/dominating_set.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+namespace {
+
+// Counts undominated vertices in the closed neighborhood of v.
+uint32_t ClosedNeighborhoodGain(const AttributeValueGraph& graph,
+                                const std::vector<char>& dominated,
+                                ValueId v) {
+  uint32_t gain = dominated[v] ? 0 : 1;
+  for (ValueId u : graph.Neighbors(v)) {
+    if (!dominated[u]) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+DominatingSetResult GreedyWeightedDominatingSet(
+    const AttributeValueGraph& graph, const VertexWeightFn& weight) {
+  size_t n = graph.num_vertices();
+  DominatingSetResult result;
+  if (n == 0) return result;
+
+  std::vector<char> dominated(n, 0);
+  std::vector<char> selected(n, 0);
+  size_t num_dominated = 0;
+
+  struct HeapEntry {
+    double score;  // gain / weight at push time (may be stale)
+    uint32_t gain;
+    ValueId vertex;
+    bool operator<(const HeapEntry& other) const {
+      // Max-heap by score; equal scores resolve to the smaller vertex id
+      // so the greedy's choices are fully deterministic.
+      if (score != other.score) return score < other.score;
+      return vertex > other.vertex;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  std::vector<double> weights(n);
+  for (ValueId v = 0; v < n; ++v) {
+    weights[v] = weight(v);
+    DEEPCRAWL_CHECK_GT(weights[v], 0.0) << "vertex weight must be positive";
+    uint32_t gain = graph.Degree(v) + 1;
+    heap.push(HeapEntry{static_cast<double>(gain) / weights[v], gain, v});
+  }
+
+  // Gains only shrink as vertices become dominated, so a popped entry
+  // whose recomputed gain still matches is globally maximal (standard
+  // lazy-greedy argument).
+  while (num_dominated < n) {
+    DEEPCRAWL_CHECK(!heap.empty()) << "greedy ran out of candidates";
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (selected[top.vertex]) continue;
+    uint32_t gain = ClosedNeighborhoodGain(graph, dominated, top.vertex);
+    if (gain == 0) continue;  // fully dominated already; drop
+    if (gain < top.gain) {
+      heap.push(HeapEntry{static_cast<double>(gain) / weights[top.vertex],
+                          gain, top.vertex});
+      continue;
+    }
+    // Accept.
+    selected[top.vertex] = 1;
+    result.vertices.push_back(top.vertex);
+    result.total_weight += weights[top.vertex];
+    if (!dominated[top.vertex]) {
+      dominated[top.vertex] = 1;
+      ++num_dominated;
+    }
+    for (ValueId u : graph.Neighbors(top.vertex)) {
+      if (!dominated[u]) {
+        dominated[u] = 1;
+        ++num_dominated;
+      }
+    }
+  }
+  std::sort(result.vertices.begin(), result.vertices.end());
+  return result;
+}
+
+namespace {
+
+// Branch-and-bound state for the exact solver.
+struct ExactSolver {
+  const AttributeValueGraph& graph;
+  const std::vector<double>& weights;
+  size_t n;
+  std::vector<char> in_set;
+  std::vector<uint32_t> domination_count;  // # of dominators per vertex
+  double current_weight = 0.0;
+  double best_weight = std::numeric_limits<double>::infinity();
+  std::vector<ValueId> best_set;
+  double min_weight;  // cheapest single vertex, for the lower bound
+
+  ExactSolver(const AttributeValueGraph& g, const std::vector<double>& w)
+      : graph(g), weights(w), n(g.num_vertices()),
+        in_set(n, 0), domination_count(n, 0) {
+    min_weight = std::numeric_limits<double>::infinity();
+    for (double x : w) min_weight = std::min(min_weight, x);
+  }
+
+  void Add(ValueId v) {
+    in_set[v] = 1;
+    current_weight += weights[v];
+    ++domination_count[v];
+    for (ValueId u : graph.Neighbors(v)) ++domination_count[u];
+  }
+
+  void Remove(ValueId v) {
+    in_set[v] = 0;
+    current_weight -= weights[v];
+    --domination_count[v];
+    for (ValueId u : graph.Neighbors(v)) --domination_count[u];
+  }
+
+  void Solve() {
+    // Find the first undominated vertex; every dominating set must
+    // contain it or one of its neighbors, so branching on that closed
+    // neighborhood is exhaustive.
+    ValueId undominated = kInvalidValueId;
+    for (ValueId v = 0; v < n; ++v) {
+      if (domination_count[v] == 0) {
+        undominated = v;
+        break;
+      }
+    }
+    if (undominated == kInvalidValueId) {
+      if (current_weight < best_weight) {
+        best_weight = current_weight;
+        best_set.clear();
+        for (ValueId v = 0; v < n; ++v) {
+          if (in_set[v]) best_set.push_back(v);
+        }
+      }
+      return;
+    }
+    // Lower bound: at least one more vertex is needed.
+    if (current_weight + min_weight >= best_weight) return;
+
+    auto branch = [&](ValueId v) {
+      if (in_set[v]) return;
+      Add(v);
+      Solve();
+      Remove(v);
+    };
+    branch(undominated);
+    for (ValueId u : graph.Neighbors(undominated)) branch(u);
+  }
+};
+
+}  // namespace
+
+DominatingSetResult ExactMinimumDominatingSet(
+    const AttributeValueGraph& graph, const VertexWeightFn& weight) {
+  size_t n = graph.num_vertices();
+  DominatingSetResult result;
+  if (n == 0) return result;
+  std::vector<double> weights(n);
+  for (ValueId v = 0; v < n; ++v) {
+    weights[v] = weight(v);
+    DEEPCRAWL_CHECK_GT(weights[v], 0.0) << "vertex weight must be positive";
+  }
+  ExactSolver solver(graph, weights);
+  solver.Solve();
+  result.vertices = std::move(solver.best_set);
+  result.total_weight = solver.best_weight;
+  return result;
+}
+
+bool IsDominatingSet(const AttributeValueGraph& graph,
+                     const std::vector<ValueId>& set) {
+  std::vector<char> dominated(graph.num_vertices(), 0);
+  for (ValueId v : set) {
+    dominated[v] = 1;
+    for (ValueId u : graph.Neighbors(v)) dominated[u] = 1;
+  }
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    if (!dominated[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace deepcrawl

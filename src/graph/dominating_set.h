@@ -1,0 +1,54 @@
+// Weighted Minimum Dominating Set solvers.
+//
+// Definition 2.4 of the paper shows that an optimal query selection plan
+// is a minimum-weight dominating set of the attribute-value graph: a set
+// V' such that every vertex outside V' has a neighbor in V', minimizing
+// the total query cost (weight) of V'. The problem is NP-complete; an
+// online crawler additionally only ever sees the partial local graph.
+//
+// This module provides the *offline* solvers used as baselines and in
+// tests:
+//   * GreedyWeightedDominatingSet — the classical greedy that repeatedly
+//     picks the vertex maximizing newly-dominated-vertices per unit
+//     weight; an H(Δ+1)-approximation. Runs in O((n + m) log n) via a
+//     lazy priority queue (coverage gains only ever shrink).
+//   * ExactMinimumDominatingSet — branch-and-bound for small graphs,
+//     used to validate greedy quality in tests.
+
+#ifndef DEEPCRAWL_GRAPH_DOMINATING_SET_H_
+#define DEEPCRAWL_GRAPH_DOMINATING_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/attribute_value_graph.h"
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+// Weight of selecting vertex v as a query; must be positive. The paper's
+// cost model uses cost(q) = ceil(num(q, DB) / k).
+using VertexWeightFn = std::function<double(ValueId)>;
+
+struct DominatingSetResult {
+  std::vector<ValueId> vertices;
+  double total_weight = 0.0;
+};
+
+// Greedy H(Δ+1)-approximation for weighted dominating set.
+DominatingSetResult GreedyWeightedDominatingSet(
+    const AttributeValueGraph& graph, const VertexWeightFn& weight);
+
+// Exact branch-and-bound solver. Only call on small graphs (tens of
+// vertices): worst-case exponential.
+DominatingSetResult ExactMinimumDominatingSet(
+    const AttributeValueGraph& graph, const VertexWeightFn& weight);
+
+// True iff every vertex is in `set` or adjacent to a member of `set`.
+bool IsDominatingSet(const AttributeValueGraph& graph,
+                     const std::vector<ValueId>& set);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_GRAPH_DOMINATING_SET_H_

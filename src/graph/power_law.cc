@@ -1,0 +1,66 @@
+#include "src/graph/power_law.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+std::vector<LogLogPoint> ToLogLogPoints(
+    const std::vector<uint64_t>& histogram) {
+  std::vector<LogLogPoint> points;
+  for (size_t d = 1; d < histogram.size(); ++d) {
+    if (histogram[d] == 0) continue;
+    points.push_back(LogLogPoint{
+        std::log10(static_cast<double>(d)),
+        std::log10(static_cast<double>(histogram[d]))});
+  }
+  return points;
+}
+
+std::vector<LogLogPoint> ToLogBinnedPoints(
+    const std::vector<uint64_t>& histogram, double bin_ratio) {
+  DEEPCRAWL_CHECK_GT(bin_ratio, 1.0) << "bin ratio must exceed 1";
+  std::vector<LogLogPoint> points;
+  double lo = 1.0;
+  while (lo < static_cast<double>(histogram.size())) {
+    double hi = lo * bin_ratio;
+    uint64_t total = 0;
+    size_t width = 0;
+    for (size_t d = static_cast<size_t>(lo);
+         d < histogram.size() && static_cast<double>(d) < hi; ++d) {
+      total += histogram[d];
+      ++width;
+    }
+    if (width > 0 && total > 0) {
+      double center = std::sqrt(lo * std::min(
+          hi, static_cast<double>(histogram.size())));
+      double avg_frequency =
+          static_cast<double>(total) / static_cast<double>(width);
+      points.push_back(LogLogPoint{std::log10(center),
+                                   std::log10(avg_frequency)});
+    }
+    lo = hi;
+  }
+  return points;
+}
+
+PowerLawFit FitPowerLaw(std::vector<LogLogPoint> points) {
+  DEEPCRAWL_CHECK_GE(points.size(), 2u)
+      << "need at least two log-log points to fit a power law";
+  std::vector<double> x, y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const LogLogPoint& p : points) {
+    x.push_back(p.log10_degree);
+    y.push_back(p.log10_frequency);
+  }
+  LinearFit line = FitLeastSquares(x, y);
+  PowerLawFit fit;
+  fit.exponent = -line.slope;
+  fit.r_squared = line.r_squared;
+  fit.points = std::move(points);
+  return fit;
+}
+
+}  // namespace deepcrawl

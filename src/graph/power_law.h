@@ -1,0 +1,51 @@
+// Power-law analysis of degree distributions (Figure 2 of the paper).
+//
+// §3.2 plots log(frequency) against log(degree) for the AVGs of DBLP,
+// IMDB, and the ACM Digital Library and observes a close fit to a
+// power-law: a few "hub" attribute values link to a significant share of
+// the database, while "the massive many" are sparsely connected. This
+// module turns a degree histogram into the paper's log-log scatter
+// (optionally log-binned, the standard remedy for noisy heavy tails) and
+// fits the power-law exponent by least squares.
+
+#ifndef DEEPCRAWL_GRAPH_POWER_LAW_H_
+#define DEEPCRAWL_GRAPH_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace deepcrawl {
+
+struct LogLogPoint {
+  double log10_degree = 0.0;
+  double log10_frequency = 0.0;
+};
+
+struct PowerLawFit {
+  // Fitted exponent alpha in frequency ~ degree^(-alpha); this is the
+  // negated slope of the log-log regression.
+  double exponent = 0.0;
+  double r_squared = 0.0;
+  std::vector<LogLogPoint> points;
+};
+
+// Converts a degree histogram (histogram[d] = #vertices of degree d) to
+// log-log points, skipping empty bins and degree 0.
+std::vector<LogLogPoint> ToLogLogPoints(
+    const std::vector<uint64_t>& histogram);
+
+// Log-binned variant: degrees are grouped into bins whose width grows by
+// `bin_ratio` (> 1) and each bin contributes one point at its geometric
+// center with the *average* frequency across the bin. Log-binning
+// de-noises the heavy tail where single-count degrees dominate.
+std::vector<LogLogPoint> ToLogBinnedPoints(
+    const std::vector<uint64_t>& histogram, double bin_ratio = 2.0);
+
+// Least-squares fit over the given log-log points. Requires >= 2 points.
+PowerLawFit FitPowerLaw(std::vector<LogLogPoint> points);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_GRAPH_POWER_LAW_H_

@@ -1,0 +1,74 @@
+#include "src/graph/reachability.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+namespace {
+
+// Shared BFS: expands value -> (first `limit` records, or all when
+// limit == 0) -> values, counting waves of value expansion.
+ReachabilityReport Bfs(const Table& table, const InvertedIndex& index,
+                       std::span<const ValueId> seeds, uint32_t limit) {
+  ReachabilityReport report;
+  report.reachable_record.assign(table.num_records(), 0);
+  std::vector<char> value_seen(table.num_distinct_values(), 0);
+
+  // Queue of (value, depth); depth counts query waves from the seeds.
+  std::deque<std::pair<ValueId, uint32_t>> frontier;
+  for (ValueId seed : seeds) {
+    if (seed >= table.num_distinct_values()) continue;
+    if (value_seen[seed]) continue;
+    value_seen[seed] = 1;
+    ++report.reachable_values;
+    frontier.emplace_back(seed, 0);
+  }
+
+  while (!frontier.empty()) {
+    auto [value, depth] = frontier.front();
+    frontier.pop_front();
+    std::span<const RecordId> postings = index.Postings(value);
+    size_t retrievable = postings.size();
+    if (limit > 0) retrievable = std::min<size_t>(retrievable, limit);
+    for (size_t i = 0; i < retrievable; ++i) {
+      RecordId r = postings[i];
+      if (!report.reachable_record[r]) {
+        report.reachable_record[r] = 1;
+        ++report.reachable_records;
+        report.max_depth = std::max(report.max_depth, depth + 1);
+      }
+      for (ValueId v : table.record(r)) {
+        if (value_seen[v]) continue;
+        value_seen[v] = 1;
+        ++report.reachable_values;
+        frontier.emplace_back(v, depth + 1);
+      }
+    }
+  }
+
+  if (table.num_records() > 0) {
+    report.record_fraction =
+        static_cast<double>(report.reachable_records) /
+        static_cast<double>(table.num_records());
+  }
+  return report;
+}
+
+}  // namespace
+
+ReachabilityReport ComputeReachability(const Table& table,
+                                       const InvertedIndex& index,
+                                       std::span<const ValueId> seeds) {
+  return Bfs(table, index, seeds, /*limit=*/0);
+}
+
+ReachabilityReport ComputeReachabilityWithLimit(
+    const Table& table, const InvertedIndex& index,
+    std::span<const ValueId> seeds, uint32_t result_limit) {
+  return Bfs(table, index, seeds, result_limit);
+}
+
+}  // namespace deepcrawl

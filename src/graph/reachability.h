@@ -1,0 +1,55 @@
+// Seed reachability: the "convergence coverage" of a crawl (§1, §4).
+//
+// The paper observes that "the ultimate database coverage ... is
+// predetermined by the seed values and the target query interfaces":
+// whatever the query selection policy, a crawler can only ever harvest
+// records reachable from its seeds by alternating value -> record ->
+// value hops. This module computes that fixed point exactly — the upper
+// bound every crawl trace in this repository converges to — via BFS over
+// the bipartite value/record incidence, without materializing the AVG.
+
+#ifndef DEEPCRAWL_GRAPH_REACHABILITY_H_
+#define DEEPCRAWL_GRAPH_REACHABILITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/index/inverted_index.h"
+#include "src/relation/table.h"
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+struct ReachabilityReport {
+  // Records obtainable from the seeds by any query sequence.
+  size_t reachable_records = 0;
+  double record_fraction = 0.0;
+  // Distinct values that can ever enter Lto-query.
+  size_t reachable_values = 0;
+  // Fewest query waves needed to touch the farthest reachable record
+  // (diameter-ish measure of how "deep" the database is from the seeds).
+  uint32_t max_depth = 0;
+  // reachable_record[r] != 0 iff record r is reachable.
+  std::vector<char> reachable_record;
+};
+
+// Computes the convergence coverage of `seeds` over `table`, using
+// `index` for value -> record expansion. Seed values outside the
+// catalog are ignored.
+ReachabilityReport ComputeReachability(const Table& table,
+                                       const InvertedIndex& index,
+                                       std::span<const ValueId> seeds);
+
+// Convenience: reachability when the crawler can only retrieve the
+// first `result_limit` records of any query (0 = unlimited). §5.4 notes
+// that limits "reduce the connectivity of the target database"; this
+// makes the effect exact: a record past every containing value's cutoff
+// is unreachable no matter the policy.
+ReachabilityReport ComputeReachabilityWithLimit(
+    const Table& table, const InvertedIndex& index,
+    std::span<const ValueId> seeds, uint32_t result_limit);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_GRAPH_REACHABILITY_H_

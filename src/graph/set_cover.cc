@@ -1,0 +1,95 @@
+#include "src/graph/set_cover.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+namespace {
+
+uint32_t UncoveredCount(const InvertedIndex& index,
+                        const std::vector<char>& covered, ValueId v) {
+  uint32_t gain = 0;
+  for (RecordId r : index.Postings(v)) {
+    if (!covered[r]) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+SetCoverResult GreedyWeightedSetCover(const Table& table,
+                                      const InvertedIndex& index,
+                                      const VertexWeightFn& weight) {
+  size_t num_records = table.num_records();
+  size_t num_values = table.num_distinct_values();
+  SetCoverResult result;
+  if (num_records == 0) return result;
+
+  std::vector<char> covered(num_records, 0);
+  std::vector<char> selected(num_values, 0);
+  size_t num_covered = 0;
+
+  struct HeapEntry {
+    double score;   // gain / weight at push time (may be stale)
+    uint32_t gain;
+    ValueId value;
+    bool operator<(const HeapEntry& other) const {
+      // Max-heap by score; equal scores resolve to the smaller value id.
+      if (score != other.score) return score < other.score;
+      return value > other.value;
+    }
+  };
+  std::priority_queue<HeapEntry> heap;
+  std::vector<double> weights(num_values);
+  for (ValueId v = 0; v < num_values; ++v) {
+    weights[v] = weight(v);
+    DEEPCRAWL_CHECK_GT(weights[v], 0.0) << "value weight must be positive";
+    uint32_t gain = index.MatchCount(v);
+    if (gain == 0) continue;
+    heap.push(HeapEntry{static_cast<double>(gain) / weights[v], gain, v});
+  }
+
+  // Coverage gains only shrink; the standard lazy-greedy argument makes
+  // a fresh pop globally maximal.
+  while (num_covered < num_records && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (selected[top.value]) continue;
+    uint32_t gain = UncoveredCount(index, covered, top.value);
+    if (gain == 0) continue;
+    if (gain < top.gain) {
+      heap.push(HeapEntry{static_cast<double>(gain) / weights[top.value],
+                          gain, top.value});
+      continue;
+    }
+    selected[top.value] = 1;
+    result.values.push_back(top.value);
+    result.total_weight += weights[top.value];
+    for (RecordId r : index.Postings(top.value)) {
+      if (!covered[r]) {
+        covered[r] = 1;
+        ++num_covered;
+      }
+    }
+  }
+  result.uncovered_records = num_records - num_covered;
+  std::sort(result.values.begin(), result.values.end());
+  return result;
+}
+
+bool IsRecordCover(const Table& table, const InvertedIndex& index,
+                   const std::vector<ValueId>& values) {
+  std::vector<char> covered(table.num_records(), 0);
+  for (ValueId v : values) {
+    for (RecordId r : index.Postings(v)) covered[r] = 1;
+  }
+  for (char c : covered) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,50 @@
+// Weighted set cover over records: the corrected offline query plan.
+//
+// Definition 2.4 formulates optimal query selection as a Weighted
+// Minimum Dominating Set of the attribute-value graph. Reproducing it
+// surfaced a subtlety the paper glosses over: dominating the VALUE graph
+// guarantees every *value* is returned by some query (its dominating
+// neighbor co-occurs with it in some record), but a *record* is only
+// retrieved when one of ITS OWN values is queried — a record none of
+// whose values made the dominating set is never fetched, even though
+// each of its values is "dominated" through other records. (Concretely:
+// records {a,b} and {a,q} with plan {q} — querying q retrieves {a,q},
+// discovering a and b... no: b never appears; {a,b} is lost.)
+//
+// Full record retrieval is exactly WEIGHTED SET COVER: choose values
+// whose posting lists jointly cover all records, minimizing total query
+// cost. This module provides the greedy H(n)-approximation with the
+// same lazy-heap structure and deterministic tie-breaking as the WMDS
+// solver; `bench_domset` reports both plans side by side.
+
+#ifndef DEEPCRAWL_GRAPH_SET_COVER_H_
+#define DEEPCRAWL_GRAPH_SET_COVER_H_
+
+#include <vector>
+
+#include "src/graph/dominating_set.h"  // VertexWeightFn
+#include "src/index/inverted_index.h"
+#include "src/relation/table.h"
+
+namespace deepcrawl {
+
+struct SetCoverResult {
+  std::vector<ValueId> values;
+  double total_weight = 0.0;
+  // Records not coverable by any value (only possible when some record
+  // has no values — which Table forbids — so normally zero).
+  size_t uncovered_records = 0;
+};
+
+// Greedy weighted set cover of `table`'s records by value postings.
+SetCoverResult GreedyWeightedSetCover(const Table& table,
+                                      const InvertedIndex& index,
+                                      const VertexWeightFn& weight);
+
+// True iff querying every value in `values` retrieves every record.
+bool IsRecordCover(const Table& table, const InvertedIndex& index,
+                   const std::vector<ValueId>& values);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_GRAPH_SET_COVER_H_

@@ -1,0 +1,52 @@
+#include "src/index/inverted_index.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+InvertedIndex::InvertedIndex(const Table& table) {
+  size_t num_values = table.num_distinct_values();
+  // Counting pass: value frequencies are already tracked by the table.
+  offsets_.assign(num_values + 1, 0);
+  for (ValueId v = 0; v < num_values; ++v) {
+    offsets_[v + 1] = offsets_[v] + table.value_frequency(v);
+  }
+  postings_.resize(offsets_.back());
+  // Fill pass: records are scanned in ascending id order, so every
+  // posting list comes out sorted.
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    for (ValueId v : table.record(r)) {
+      postings_[cursor[v]++] = r;
+    }
+  }
+}
+
+std::span<const RecordId> InvertedIndex::Postings(ValueId value) const {
+  if (value + 1 >= offsets_.size()) return {};
+  size_t begin = offsets_[value];
+  size_t end = offsets_[value + 1];
+  return std::span<const RecordId>(postings_.data() + begin, end - begin);
+}
+
+uint32_t InvertedIndex::CooccurrenceCount(ValueId a, ValueId b) const {
+  std::span<const RecordId> pa = Postings(a);
+  std::span<const RecordId> pb = Postings(b);
+  if (pa.size() > pb.size()) std::swap(pa, pb);
+  uint32_t count = 0;
+  size_t j = 0;
+  for (RecordId r : pa) {
+    // Galloping would help for very skewed sizes; linear merge is plenty
+    // for the scales used here.
+    while (j < pb.size() && pb[j] < r) ++j;
+    if (j < pb.size() && pb[j] == r) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace deepcrawl

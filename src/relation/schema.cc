@@ -1,0 +1,39 @@
+#include "src/relation/schema.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+StatusOr<AttributeId> Schema::AddAttribute(std::string name,
+                                           bool multi_valued) {
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("attribute '" + name + "' already defined");
+  }
+  if (attributes_.size() >= kInvalidAttributeId) {
+    return Status::ResourceExhausted("too many attributes");
+  }
+  AttributeId id = static_cast<AttributeId>(attributes_.size());
+  by_name_.emplace(name, id);
+  attributes_.push_back(AttributeDef{std::move(name), multi_valued});
+  return id;
+}
+
+StatusOr<AttributeId> Schema::FindAttribute(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const AttributeDef& Schema::attribute(AttributeId id) const {
+  DEEPCRAWL_CHECK_LT(id, attributes_.size()) << "attribute id out of range";
+  return attributes_[id];
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,54 @@
+// Schema: the queriable attributes of a structured Web database.
+//
+// Mirrors Definition 2.2 of the paper: the crawler views a Web database
+// as one universal relational table with a set of queriable attributes.
+// Attributes may be multi-valued (e.g. "Authors" in a publication
+// database); per §5, multi-valued attributes are flattened into a single
+// searchable column, which the Table representation below supports by
+// letting a record carry several values of the same attribute.
+
+#ifndef DEEPCRAWL_RELATION_SCHEMA_H_
+#define DEEPCRAWL_RELATION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/types.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+// Declares one queriable attribute.
+struct AttributeDef {
+  std::string name;
+  // True when a record may carry several values of this attribute
+  // (authors, actors, ...).
+  bool multi_valued = false;
+};
+
+// Ordered collection of attribute definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Adds an attribute; fails with kAlreadyExists on duplicate names.
+  StatusOr<AttributeId> AddAttribute(std::string name,
+                                     bool multi_valued = false);
+
+  // Returns the id for `name`, or kNotFound.
+  StatusOr<AttributeId> FindAttribute(std::string_view name) const;
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(AttributeId id) const;
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_RELATION_SCHEMA_H_

@@ -1,0 +1,45 @@
+// Tab-separated import/export of Tables.
+//
+// Lets users bring their own database dumps to the crawler simulation
+// (and persist generated workloads for external analysis). Format:
+//
+//   line 1: attribute names, tab-separated
+//   lines:  one record per line; each cell is "attr_index:value_text"?
+//
+// No — simpler and lossless for multi-valued attributes: every line is a
+// record of tab-separated cells, each cell "<attribute name>=<text>".
+// A record may repeat an attribute (multi-valued) and omit attributes
+// (sparse records). Example:
+//
+//   Title=Alien	Actor=Weaver	Actor=Holm	Director=Scott
+//
+// Tabs and newlines are not allowed inside names or values ('=' is
+// allowed in values; the first '=' splits the cell).
+
+#ifndef DEEPCRAWL_RELATION_TSV_H_
+#define DEEPCRAWL_RELATION_TSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/relation/table.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+// Reads records from `input` (one per line, format above). Attribute
+// names are added to the schema in first-appearance order. Empty lines
+// are skipped. Fails on malformed cells (no '=', empty name or value).
+StatusOr<Table> ReadTableTsv(std::istream& input);
+
+// Writes every record of `table` in the same format. Returns a Status
+// for symmetry / future IO failure mapping.
+Status WriteTableTsv(const Table& table, std::ostream& output);
+
+// File-path convenience wrappers.
+StatusOr<Table> ReadTableTsvFile(const std::string& path);
+Status WriteTableTsvFile(const Table& table, const std::string& path);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_RELATION_TSV_H_

@@ -1,0 +1,29 @@
+// Core identifier types shared across the deepcrawl relational substrate.
+//
+// Every distinct (attribute, string) pair in a database is interned to a
+// dense ValueId; every record gets a dense RecordId. All hot-path data
+// structures (postings, graphs, frontiers, selector state) are arrays
+// indexed by these IDs.
+
+#ifndef DEEPCRAWL_RELATION_TYPES_H_
+#define DEEPCRAWL_RELATION_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace deepcrawl {
+
+using AttributeId = uint16_t;
+using ValueId = uint32_t;
+using RecordId = uint32_t;
+
+inline constexpr AttributeId kInvalidAttributeId =
+    std::numeric_limits<AttributeId>::max();
+inline constexpr ValueId kInvalidValueId =
+    std::numeric_limits<ValueId>::max();
+inline constexpr RecordId kInvalidRecordId =
+    std::numeric_limits<RecordId>::max();
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_RELATION_TYPES_H_

@@ -1,0 +1,36 @@
+#include "src/relation/value_catalog.h"
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+ValueId ValueCatalog::Intern(AttributeId attr, std::string_view text) {
+  Key key{attr, std::string(text)};
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  DEEPCRAWL_CHECK_LT(attrs_.size(), kInvalidValueId)
+      << "value id space exhausted";
+  ValueId id = static_cast<ValueId>(attrs_.size());
+  attrs_.push_back(attr);
+  texts_.push_back(key.text);
+  by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+ValueId ValueCatalog::Find(AttributeId attr, std::string_view text) const {
+  auto it = by_key_.find(Key{attr, std::string(text)});
+  if (it == by_key_.end()) return kInvalidValueId;
+  return it->second;
+}
+
+AttributeId ValueCatalog::attribute_of(ValueId id) const {
+  DEEPCRAWL_CHECK_LT(id, attrs_.size()) << "value id out of range";
+  return attrs_[id];
+}
+
+const std::string& ValueCatalog::text_of(ValueId id) const {
+  DEEPCRAWL_CHECK_LT(id, texts_.size()) << "value id out of range";
+  return texts_[id];
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,59 @@
+// ValueCatalog: interning of distinct attribute values.
+//
+// The distinct attribute value set DAV of the paper (§2.1) is represented
+// as a dense id space: each distinct (attribute, text) pair receives one
+// ValueId in insertion order. The catalog is append-only; ids are stable.
+
+#ifndef DEEPCRAWL_RELATION_VALUE_CATALOG_H_
+#define DEEPCRAWL_RELATION_VALUE_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+class ValueCatalog {
+ public:
+  ValueCatalog() = default;
+
+  // Returns the id of (attr, text), interning it on first sight.
+  ValueId Intern(AttributeId attr, std::string_view text);
+
+  // Returns the id of (attr, text) or kInvalidValueId when absent.
+  ValueId Find(AttributeId attr, std::string_view text) const;
+
+  AttributeId attribute_of(ValueId id) const;
+  const std::string& text_of(ValueId id) const;
+
+  size_t size() const { return attrs_.size(); }
+
+ private:
+  struct Key {
+    AttributeId attr;
+    std::string text;
+    bool operator==(const Key& other) const {
+      return attr == other.attr && text == other.text;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // Mix the attribute into the string hash (splitmix-style finisher).
+      size_t h = std::hash<std::string>()(key.text);
+      h ^= static_cast<size_t>(key.attr) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  std::unordered_map<Key, ValueId, KeyHash> by_key_;
+  std::vector<AttributeId> attrs_;   // indexed by ValueId
+  std::vector<std::string> texts_;   // indexed by ValueId
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_RELATION_VALUE_CATALOG_H_

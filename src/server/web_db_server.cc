@@ -1,0 +1,168 @@
+#include "src/server/web_db_server.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+WebDbServer::WebDbServer(const Table& table, ServerOptions options)
+    : table_(table), options_(std::move(options)), index_(table) {
+  DEEPCRAWL_CHECK_GT(options_.page_size, 0u) << "page size must be positive";
+  if (options_.queriable_attributes.empty()) {
+    attribute_queriable_.assign(table_.schema().num_attributes(), 1);
+  } else {
+    attribute_queriable_.assign(table_.schema().num_attributes(), 0);
+    for (AttributeId attr : options_.queriable_attributes) {
+      DEEPCRAWL_CHECK_LT(attr, table_.schema().num_attributes())
+          << "queriable attribute id out of range";
+      attribute_queriable_[attr] = 1;
+    }
+  }
+}
+
+bool WebDbServer::IsQueriableValue(ValueId value) const {
+  if (value >= table_.catalog().size()) return false;
+  AttributeId attr = table_.catalog().attribute_of(value);
+  return attr < attribute_queriable_.size() &&
+         attribute_queriable_[attr] != 0;
+}
+
+void WebDbServer::ResetMeters() {
+  communication_rounds_ = 0;
+  queries_issued_ = 0;
+}
+
+StatusOr<ResultPage> WebDbServer::BuildPage(std::span<const RecordId> postings,
+                                            uint32_t total_matches,
+                                            uint32_t page_number) {
+  // The communication round was already charged by the caller.
+  uint32_t retrievable = static_cast<uint32_t>(postings.size());
+  if (options_.result_limit > 0) {
+    retrievable = std::min(retrievable, options_.result_limit);
+  }
+  uint64_t begin = static_cast<uint64_t>(page_number) * options_.page_size;
+  if (begin >= retrievable && !(page_number == 0 && retrievable == 0)) {
+    return Status::OutOfRange("page " + std::to_string(page_number) +
+                              " is past the last retrievable page");
+  }
+  uint64_t end = std::min<uint64_t>(begin + options_.page_size, retrievable);
+  ResultPage page;
+  page.page_number = page_number;
+  page.has_more = end < retrievable;
+  if (options_.reports_total_count) page.total_matches = total_matches;
+  page.records.reserve(end - begin);
+  for (uint64_t i = begin; i < end; ++i) {
+    RecordId id = postings[i];
+    page.records.push_back(ReturnedRecord{id, table_.record(id)});
+  }
+  return page;
+}
+
+StatusOr<ResultPage> WebDbServer::FetchPage(ValueId value,
+                                            uint32_t page_number) {
+  ++communication_rounds_;
+  if (page_number == 0) ++queries_issued_;
+  if (value >= table_.num_distinct_values() || !IsQueriableValue(value)) {
+    // Unknown value, or an attribute the form has no field for: the
+    // site answers "no results".
+    return BuildPage({}, 0, page_number);
+  }
+  std::span<const RecordId> postings = index_.Postings(value);
+  return BuildPage(postings, static_cast<uint32_t>(postings.size()),
+                   page_number);
+}
+
+StatusOr<ResultPage> WebDbServer::FetchPageByText(AttributeId attr,
+                                                  std::string_view text,
+                                                  uint32_t page_number) {
+  ValueId value = table_.catalog().Find(attr, text);
+  if (value == kInvalidValueId) {
+    ++communication_rounds_;
+    if (page_number == 0) ++queries_issued_;
+    return BuildPage({}, 0, page_number);
+  }
+  return FetchPage(value, page_number);
+}
+
+StatusOr<ResultPage> WebDbServer::FetchPageByKeyword(std::string_view text,
+                                                     uint32_t page_number) {
+  ++communication_rounds_;
+  if (page_number == 0) ++queries_issued_;
+  // The site's own query processor decides which column matches (§2.2);
+  // here that means unioning the postings of the keyword interpreted
+  // under every attribute.
+  std::vector<RecordId> merged;
+  for (AttributeId attr = 0; attr < table_.schema().num_attributes();
+       ++attr) {
+    ValueId value = table_.catalog().Find(attr, text);
+    if (value == kInvalidValueId) continue;
+    std::span<const RecordId> postings = index_.Postings(value);
+    std::vector<RecordId> next;
+    next.reserve(merged.size() + postings.size());
+    std::set_union(merged.begin(), merged.end(), postings.begin(),
+                   postings.end(), std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return BuildPage(merged, static_cast<uint32_t>(merged.size()), page_number);
+}
+
+StatusOr<ResultPage> WebDbServer::FetchPageConjunctive(
+    std::span<const ValueId> values, uint32_t page_number) {
+  if (values.empty()) {
+    return Status::InvalidArgument("conjunctive query needs predicates");
+  }
+  ++communication_rounds_;
+  if (page_number == 0) ++queries_issued_;
+  // Intersect postings smallest-first; bail out as soon as the running
+  // intersection empties.
+  std::vector<ValueId> ordered(values.begin(), values.end());
+  std::sort(ordered.begin(), ordered.end(), [this](ValueId a, ValueId b) {
+    return index_.MatchCount(a) < index_.MatchCount(b);
+  });
+  std::vector<RecordId> matched;
+  bool first = true;
+  for (ValueId v : ordered) {
+    if (v >= table_.num_distinct_values()) {
+      return BuildPage({}, 0, page_number);
+    }
+    std::span<const RecordId> postings = index_.Postings(v);
+    if (first) {
+      matched.assign(postings.begin(), postings.end());
+      first = false;
+    } else {
+      std::vector<RecordId> next;
+      next.reserve(std::min(matched.size(), postings.size()));
+      std::set_intersection(matched.begin(), matched.end(),
+                            postings.begin(), postings.end(),
+                            std::back_inserter(next));
+      matched = std::move(next);
+    }
+    if (matched.empty()) break;
+  }
+  return BuildPage(matched, static_cast<uint32_t>(matched.size()),
+                   page_number);
+}
+
+StatusOr<ResultPage> WebDbServer::FetchPageKeywordOf(ValueId value,
+                                                     uint32_t page_number) {
+  if (value >= table_.num_distinct_values()) {
+    ++communication_rounds_;
+    if (page_number == 0) ++queries_issued_;
+    return BuildPage({}, 0, page_number);
+  }
+  return FetchPageByKeyword(table_.catalog().text_of(value), page_number);
+}
+
+uint32_t WebDbServer::FullRetrievalCost(ValueId value) const {
+  uint32_t matches = value < table_.num_distinct_values()
+                         ? index_.MatchCount(value)
+                         : 0;
+  if (options_.result_limit > 0) {
+    matches = std::min(matches, options_.result_limit);
+  }
+  if (matches == 0) return 1;  // one round to learn there is nothing
+  return (matches + options_.page_size - 1) / options_.page_size;
+}
+
+}  // namespace deepcrawl

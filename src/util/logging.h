@@ -1,0 +1,77 @@
+// Lightweight logging and invariant-checking macros for deepcrawl.
+//
+// The library does not use exceptions. Internal invariant violations are
+// programming errors and abort the process with a diagnostic; recoverable
+// conditions are reported through util::Status instead (see status.h).
+
+#ifndef DEEPCRAWL_UTIL_LOGGING_H_
+#define DEEPCRAWL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace deepcrawl {
+namespace internal_logging {
+
+// Accumulates a fatal message and aborts the process when destroyed.
+// Used via the CHECK macros below; not intended for direct use.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed message; used by DCHECK in release builds so the
+// expression still type-checks but generates no code.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace deepcrawl
+
+// Aborts with a message if `condition` is false. Always enabled.
+#define DEEPCRAWL_CHECK(condition)                                       \
+  while (!(condition))                                                   \
+  ::deepcrawl::internal_logging::FatalMessage(__FILE__, __LINE__,        \
+                                              #condition)                \
+      .stream()
+
+#define DEEPCRAWL_CHECK_OP(a, op, b) DEEPCRAWL_CHECK((a)op(b))
+#define DEEPCRAWL_CHECK_EQ(a, b) DEEPCRAWL_CHECK_OP(a, ==, b)
+#define DEEPCRAWL_CHECK_NE(a, b) DEEPCRAWL_CHECK_OP(a, !=, b)
+#define DEEPCRAWL_CHECK_LT(a, b) DEEPCRAWL_CHECK_OP(a, <, b)
+#define DEEPCRAWL_CHECK_LE(a, b) DEEPCRAWL_CHECK_OP(a, <=, b)
+#define DEEPCRAWL_CHECK_GT(a, b) DEEPCRAWL_CHECK_OP(a, >, b)
+#define DEEPCRAWL_CHECK_GE(a, b) DEEPCRAWL_CHECK_OP(a, >=, b)
+
+// Debug-only check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DEEPCRAWL_DCHECK(condition) \
+  while (false && (condition)) ::deepcrawl::internal_logging::NullStream()
+#else
+#define DEEPCRAWL_DCHECK(condition) DEEPCRAWL_CHECK(condition)
+#endif
+
+#endif  // DEEPCRAWL_UTIL_LOGGING_H_

@@ -1,0 +1,27 @@
+#include "src/util/random.h"
+
+#include <unordered_set>
+
+namespace deepcrawl {
+
+std::vector<uint32_t> Pcg32::SampleWithoutReplacement(uint32_t population,
+                                                      uint32_t count) {
+  DEEPCRAWL_CHECK_LE(count, population)
+      << "cannot sample " << count << " from population " << population;
+  // Floyd's algorithm: O(count) expected time, O(count) space.
+  std::unordered_set<uint32_t> chosen;
+  std::vector<uint32_t> result;
+  result.reserve(count);
+  for (uint32_t j = population - count; j < population; ++j) {
+    uint32_t t = NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace deepcrawl

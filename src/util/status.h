@@ -1,0 +1,131 @@
+// Status / StatusOr: exception-free error propagation (RocksDB idiom).
+//
+// Library functions that can fail return a Status, or a StatusOr<T> when
+// they also produce a value. Callers must inspect ok() before using the
+// value; dereferencing a non-OK StatusOr aborts.
+
+#ifndef DEEPCRAWL_UTIL_STATUS_H_
+#define DEEPCRAWL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Converts a status code to its canonical lowercase name, e.g.
+// "invalid_argument".
+const char* StatusCodeToString(StatusCode code);
+
+// Value-type holding either success (OK) or an error code plus message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-OK Status explaining why the
+// value is absent.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` directly, matching absl/RocksDB usage.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    DEEPCRAWL_CHECK(!status_.ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DEEPCRAWL_CHECK(ok()) << "value() on error StatusOr: "
+                          << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DEEPCRAWL_CHECK(ok()) << "value() on error StatusOr: "
+                          << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DEEPCRAWL_CHECK(ok()) << "value() on error StatusOr: "
+                          << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace deepcrawl
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define DEEPCRAWL_RETURN_IF_ERROR(expr)                   \
+  do {                                                    \
+    ::deepcrawl::Status _status = (expr);                 \
+    if (!_status.ok()) return _status;                    \
+  } while (false)
+
+#endif  // DEEPCRAWL_UTIL_STATUS_H_

@@ -1,0 +1,75 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DEEPCRAWL_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DEEPCRAWL_CHECK_EQ(cells.size(), header_.size())
+      << "row width does not match header width";
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  auto print_separator = [&]() {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+  };
+  print_row(header_);
+  print_separator();
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string TablePrinter::FormatPercent(double fraction, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << fraction * 100.0
+      << "%";
+  return oss.str();
+}
+
+std::string TablePrinter::FormatCount(uint64_t value) {
+  // Groups digits with commas: 1234567 -> "1,234,567".
+  std::string digits = std::to_string(value);
+  std::string result;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) result.push_back(',');
+    result.push_back(*it);
+    ++count;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,47 @@
+// Fixed-width text table rendering for bench harnesses and examples.
+//
+// Every bench binary reproduces one table or figure from the paper and
+// prints it as an aligned text table; this helper keeps that output
+// uniform across binaries.
+
+#ifndef DEEPCRAWL_UTIL_TABLE_PRINTER_H_
+#define DEEPCRAWL_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepcrawl {
+
+// Collects rows of string cells and renders them with per-column
+// alignment. Example:
+//
+//   TablePrinter table({"policy", "rounds@90%"});
+//   table.AddRow({"greedy-link", "10543"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends one row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the header, a separator, and all rows.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Formatting helpers used by the bench binaries.
+  static std::string FormatDouble(double value, int precision);
+  static std::string FormatPercent(double fraction, int precision = 1);
+  static std::string FormatCount(uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,68 @@
+// Zipf / power-law samplers.
+//
+// The paper's §3.2 case study shows that attribute-value graphs of real
+// structured Web databases have power-law degree distributions: a few
+// "hub" values co-occur with a large share of the records while the
+// massive many are rare. The synthetic workload generators therefore draw
+// value popularity from Zipf distributions; this header provides an exact
+// inverse-CDF sampler (preprocessing O(n), sampling O(log n)) and a fast
+// approximate rejection sampler (O(1) per draw, no preprocessing).
+
+#ifndef DEEPCRAWL_UTIL_ZIPF_H_
+#define DEEPCRAWL_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace deepcrawl {
+
+// Exact Zipf(n, s) sampler over ranks {0, ..., n-1}:
+// P(rank = i) proportional to 1 / (i+1)^s.
+// Precomputes the CDF once; each draw is a binary search.
+class ZipfSampler {
+ public:
+  // `num_items` must be positive; `exponent` >= 0 (0 = uniform).
+  ZipfSampler(uint32_t num_items, double exponent);
+
+  // Draws a rank in [0, num_items).
+  uint32_t Sample(Pcg32& rng) const;
+
+  // Probability mass of rank i.
+  double Pmf(uint32_t i) const;
+
+  uint32_t num_items() const { return static_cast<uint32_t>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+// Rejection-inversion Zipf sampler (W. Hormann & G. Derflinger / as used
+// by YCSB-style generators). O(1) memory and O(1) expected time per
+// sample; suitable for very large n. Requires exponent != 1 handled via
+// the generalized harmonic; exponent > 0.
+class FastZipfSampler {
+ public:
+  FastZipfSampler(uint64_t num_items, double exponent);
+
+  uint64_t Sample(Pcg32& rng) const;
+
+  uint64_t num_items() const { return n_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;  // rejection threshold helper
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_UTIL_ZIPF_H_

@@ -1,0 +1,88 @@
+#include "src/crawler/local_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepcrawl {
+namespace {
+
+std::vector<ValueId> V(std::initializer_list<ValueId> ids) { return ids; }
+
+TEST(LocalStoreTest, AddRecordDeduplicatesByRecordId) {
+  LocalStore store;
+  EXPECT_TRUE(store.AddRecord(7, V({1, 2, 3})));
+  EXPECT_FALSE(store.AddRecord(7, V({1, 2, 3})));
+  EXPECT_EQ(store.num_records(), 1u);
+  EXPECT_TRUE(store.ContainsRecord(7));
+  EXPECT_FALSE(store.ContainsRecord(8));
+}
+
+TEST(LocalStoreTest, LocalFrequencyCountsRecords) {
+  LocalStore store;
+  store.AddRecord(0, V({1, 2}));
+  store.AddRecord(1, V({2, 3}));
+  store.AddRecord(2, V({2, 4}));
+  EXPECT_EQ(store.LocalFrequency(2), 3u);
+  EXPECT_EQ(store.LocalFrequency(1), 1u);
+  EXPECT_EQ(store.LocalFrequency(99), 0u);  // never seen
+}
+
+TEST(LocalStoreTest, ExactDegreesCountDistinctNeighbors) {
+  LocalStore store;
+  store.AddRecord(0, V({1, 2, 3}));
+  store.AddRecord(1, V({1, 2, 4}));
+  // Value 1 co-occurs with {2, 3, 4}: degree 3 despite 2 occurring twice.
+  EXPECT_EQ(store.LocalDegree(1), 3u);
+  EXPECT_EQ(store.LocalDegree(3), 2u);
+  EXPECT_EQ(store.LocalDegree(99), 0u);
+}
+
+TEST(LocalStoreTest, LinkCountModeCountsWithMultiplicity) {
+  LocalStore::Options options;
+  options.exact_degrees = false;
+  LocalStore store(options);
+  store.AddRecord(0, V({1, 2, 3}));
+  store.AddRecord(1, V({1, 2, 4}));
+  // Value 1: (3-1) + (3-1) = 4 link endpoints.
+  EXPECT_EQ(store.LocalDegree(1), 4u);
+}
+
+TEST(LocalStoreTest, PostingsTrackSlots) {
+  LocalStore store;
+  store.AddRecord(10, V({5}));
+  store.AddRecord(20, V({5, 6}));
+  auto postings = store.LocalPostings(5);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 0u);
+  EXPECT_EQ(postings[1], 1u);
+  EXPECT_EQ(store.OriginalRecordId(0), 10u);
+  EXPECT_EQ(store.OriginalRecordId(1), 20u);
+  EXPECT_TRUE(store.LocalPostings(99).empty());
+}
+
+TEST(LocalStoreTest, RecordValuesRoundTrip) {
+  LocalStore store;
+  store.AddRecord(3, V({9, 4, 7}));
+  auto values = store.RecordValues(0);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], 9u);  // stored in given order
+  EXPECT_EQ(values[1], 4u);
+  EXPECT_EQ(values[2], 7u);
+}
+
+TEST(LocalStoreTest, NumValuesSeenGrowsWithMaxId) {
+  LocalStore store;
+  EXPECT_EQ(store.num_values_seen(), 0u);
+  store.AddRecord(0, V({100}));
+  EXPECT_EQ(store.num_values_seen(), 101u);  // dense id space
+  EXPECT_EQ(store.LocalFrequency(50), 0u);
+}
+
+TEST(LocalStoreDeathTest, EmptyRecordAborts) {
+  LocalStore store;
+  EXPECT_DEATH(store.AddRecord(0, {}), "no values");
+}
+
+}  // namespace
+}  // namespace deepcrawl

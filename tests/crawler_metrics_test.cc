@@ -1,0 +1,63 @@
+#include "src/crawler/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace deepcrawl {
+namespace {
+
+TEST(CrawlTraceTest, EmptyTrace) {
+  CrawlTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.RecordsAtRounds(100), 0u);
+  EXPECT_EQ(trace.RoundsToRecords(0).value_or(999), 0u);
+  EXPECT_FALSE(trace.RoundsToRecords(1).has_value());
+}
+
+TEST(CrawlTraceTest, RoundsToRecordsFindsFirstCrossing) {
+  CrawlTrace trace;
+  trace.Add(1, 5);
+  trace.Add(2, 9);
+  trace.Add(4, 9);
+  trace.Add(5, 20);
+  EXPECT_EQ(trace.RoundsToRecords(1).value(), 1u);
+  EXPECT_EQ(trace.RoundsToRecords(5).value(), 1u);
+  EXPECT_EQ(trace.RoundsToRecords(6).value(), 2u);
+  EXPECT_EQ(trace.RoundsToRecords(9).value(), 2u);
+  EXPECT_EQ(trace.RoundsToRecords(10).value(), 5u);
+  EXPECT_EQ(trace.RoundsToRecords(20).value(), 5u);
+  EXPECT_FALSE(trace.RoundsToRecords(21).has_value());
+}
+
+TEST(CrawlTraceTest, RecordsAtRoundsTakesLastPointAtOrBefore) {
+  CrawlTrace trace;
+  trace.Add(2, 4);
+  trace.Add(6, 10);
+  EXPECT_EQ(trace.RecordsAtRounds(1), 0u);
+  EXPECT_EQ(trace.RecordsAtRounds(2), 4u);
+  EXPECT_EQ(trace.RecordsAtRounds(5), 4u);
+  EXPECT_EQ(trace.RecordsAtRounds(6), 10u);
+  EXPECT_EQ(trace.RecordsAtRounds(1000), 10u);
+}
+
+TEST(CrawlTraceTest, SameRoundCollapsesToLatestValue) {
+  CrawlTrace trace;
+  trace.Add(3, 1);
+  trace.Add(3, 2);
+  ASSERT_EQ(trace.points().size(), 1u);
+  EXPECT_EQ(trace.points()[0].records, 2u);
+}
+
+TEST(CrawlTraceDeathTest, DecreasingRoundsAborts) {
+  CrawlTrace trace;
+  trace.Add(5, 1);
+  EXPECT_DEATH(trace.Add(4, 2), "non-decreasing");
+}
+
+TEST(CrawlTraceDeathTest, DecreasingRecordsAborts) {
+  CrawlTrace trace;
+  trace.Add(5, 10);
+  EXPECT_DEATH(trace.Add(6, 9), "non-decreasing");
+}
+
+}  // namespace
+}  // namespace deepcrawl

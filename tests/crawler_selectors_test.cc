@@ -1,0 +1,176 @@
+// Tests of the §3.1/§3.2 query selection policies: BFS, DFS, Random,
+// Greedy Link, and the cheating Oracle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/index/inverted_index.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+
+TEST(BfsSelectorTest, FifoOrder) {
+  BfsSelector selector;
+  selector.OnValueDiscovered(3);
+  selector.OnValueDiscovered(1);
+  selector.OnValueDiscovered(2);
+  EXPECT_EQ(selector.SelectNext(), 3u);
+  EXPECT_EQ(selector.SelectNext(), 1u);
+  EXPECT_EQ(selector.SelectNext(), 2u);
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(DfsSelectorTest, LifoOrder) {
+  DfsSelector selector;
+  selector.OnValueDiscovered(3);
+  selector.OnValueDiscovered(1);
+  selector.OnValueDiscovered(2);
+  EXPECT_EQ(selector.SelectNext(), 2u);
+  EXPECT_EQ(selector.SelectNext(), 1u);
+  EXPECT_EQ(selector.SelectNext(), 3u);
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(RandomSelectorTest, ReturnsEachValueExactlyOnce) {
+  RandomSelector selector(/*seed=*/5);
+  for (ValueId v = 0; v < 50; ++v) selector.OnValueDiscovered(v);
+  std::set<ValueId> seen;
+  for (int i = 0; i < 50; ++i) {
+    ValueId v = selector.SelectNext();
+    ASSERT_NE(v, kInvalidValueId);
+    EXPECT_TRUE(seen.insert(v).second) << "value " << v << " repeated";
+  }
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(RandomSelectorTest, DeterministicPerSeed) {
+  RandomSelector a(9), b(9);
+  for (ValueId v = 0; v < 20; ++v) {
+    a.OnValueDiscovered(v);
+    b.OnValueDiscovered(v);
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.SelectNext(), b.SelectNext());
+}
+
+TEST(GreedyLinkSelectorTest, PicksHighestLocalDegree) {
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  // Simulate discovery: values 1..5 enter the frontier, then records
+  // make value 2 the best-connected.
+  for (ValueId v = 1; v <= 5; ++v) selector.OnValueDiscovered(v);
+  store.AddRecord(0, std::vector<ValueId>{2, 3, 4});
+  selector.OnRecordHarvested(0);
+  store.AddRecord(1, std::vector<ValueId>{2, 5});
+  selector.OnRecordHarvested(1);
+  // Degrees: 2 -> {3,4,5} = 3; 3 -> {2,4} = 2; 4 -> {2,3} = 2; 5 -> {2}.
+  EXPECT_EQ(selector.SelectNext(), 2u);
+  ValueId second = selector.SelectNext();
+  EXPECT_TRUE(second == 3u || second == 4u);
+}
+
+TEST(GreedyLinkSelectorTest, StaleHeapEntriesAreSkipped) {
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  selector.OnValueDiscovered(1);
+  selector.OnValueDiscovered(2);
+  // Value 1 gains degree first...
+  store.AddRecord(0, std::vector<ValueId>{1, 3});
+  selector.OnRecordHarvested(0);
+  // ...then value 2 overtakes it.
+  store.AddRecord(1, std::vector<ValueId>{2, 4, 5});
+  selector.OnRecordHarvested(1);
+  EXPECT_EQ(selector.SelectNext(), 2u);
+  EXPECT_EQ(selector.SelectNext(), 1u);
+}
+
+TEST(GreedyLinkSelectorTest, FrontierSizeTracksMembership) {
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  EXPECT_EQ(selector.frontier_size(), 0u);
+  selector.OnValueDiscovered(1);
+  selector.OnValueDiscovered(2);
+  EXPECT_EQ(selector.frontier_size(), 2u);
+  (void)selector.SelectNext();
+  EXPECT_EQ(selector.frontier_size(), 1u);
+  (void)selector.SelectNext();
+  (void)selector.SelectNext();  // empty pop is harmless
+  EXPECT_EQ(selector.frontier_size(), 0u);
+}
+
+TEST(GreedyLinkSelectorTest, DeterministicTieBreakPrefersSmallerId) {
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  selector.OnValueDiscovered(8);
+  selector.OnValueDiscovered(3);
+  // Equal (zero) degrees: smaller id first.
+  EXPECT_EQ(selector.SelectNext(), 3u);
+  EXPECT_EQ(selector.SelectNext(), 8u);
+}
+
+TEST(OracleSelectorTest, TrueHarvestRateUsesGroundTruth) {
+  Table table = MakeFigure1Table();
+  InvertedIndex truth(table);
+  LocalStore store;
+  OracleSelector selector(store, truth, /*page_size=*/2);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId b4 = GetValueId(table, "B", "b4");
+  // a2: 3 matches, cost ceil(3/2)=2, nothing local -> HR = 1.5.
+  EXPECT_DOUBLE_EQ(selector.TrueHarvestRate(a2), 1.5);
+  // b4: 1 match, cost 1 -> HR = 1.0.
+  EXPECT_DOUBLE_EQ(selector.TrueHarvestRate(b4), 1.0);
+}
+
+TEST(OracleSelectorTest, HarvestRateDropsAsRecordsArrive) {
+  Table table = MakeFigure1Table();
+  InvertedIndex truth(table);
+  LocalStore store;
+  OracleSelector selector(store, truth, 2);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  selector.OnValueDiscovered(a2);
+  double before = selector.TrueHarvestRate(a2);
+  // Record 1 (a2,b2,c1) arrives locally.
+  store.AddRecord(1, std::vector<ValueId>(table.record(1).begin(),
+                                          table.record(1).end()));
+  selector.OnRecordHarvested(0);
+  EXPECT_LT(selector.TrueHarvestRate(a2), before);
+}
+
+TEST(OracleSelectorTest, SelectsTrueBestCandidate) {
+  Table table = MakeFigure1Table();
+  InvertedIndex truth(table);
+  LocalStore store;
+  OracleSelector selector(store, truth, 2);
+  ValueId a2 = GetValueId(table, "A", "a2");  // HR 1.5
+  ValueId c1 = GetValueId(table, "C", "c1");  // 2 matches / 1 page = 2.0
+  ValueId b4 = GetValueId(table, "B", "b4");  // HR 1.0
+  selector.OnValueDiscovered(a2);
+  selector.OnValueDiscovered(c1);
+  selector.OnValueDiscovered(b4);
+  EXPECT_EQ(selector.SelectNext(), c1);
+  EXPECT_EQ(selector.SelectNext(), a2);
+  EXPECT_EQ(selector.SelectNext(), b4);
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(OracleSelectorTest, ResultLimitCapsRate) {
+  Table table = MakeFigure1Table();
+  InvertedIndex truth(table);
+  LocalStore store;
+  OracleSelector selector(store, truth, /*page_size=*/2,
+                          /*result_limit=*/2);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  // Only 2 of 3 matches retrievable: 2 new records / 1 round = 2.0.
+  EXPECT_DOUBLE_EQ(selector.TrueHarvestRate(a2), 2.0);
+}
+
+}  // namespace
+}  // namespace deepcrawl

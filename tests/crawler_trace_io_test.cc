@@ -1,0 +1,49 @@
+#include "src/crawler/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace deepcrawl {
+namespace {
+
+TEST(TraceIoTest, SingleTraceCsv) {
+  CrawlTrace trace;
+  trace.Add(1, 5);
+  trace.Add(3, 12);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTraceCsv(trace, out).ok());
+  EXPECT_EQ(out.str(), "rounds,records\n1,5\n3,12\n");
+}
+
+TEST(TraceIoTest, EmptyTraceWritesHeaderOnly) {
+  CrawlTrace trace;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTraceCsv(trace, out).ok());
+  EXPECT_EQ(out.str(), "rounds,records\n");
+}
+
+TEST(TraceIoTest, ComparisonAlignsSeries) {
+  CrawlTrace a, b;
+  a.Add(1, 2);
+  a.Add(4, 9);
+  b.Add(2, 3);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteComparisonCsv({{"greedy", &a}, {"bfs", &b}}, out).ok());
+  EXPECT_EQ(out.str(),
+            "rounds,greedy,bfs\n"
+            "1,2,0\n"
+            "2,2,3\n"
+            "4,9,3\n");
+}
+
+TEST(TraceIoTest, ComparisonRejectsEmptyAndNull) {
+  std::ostringstream out;
+  EXPECT_EQ(WriteComparisonCsv({}, out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteComparisonCsv({{"x", nullptr}}, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deepcrawl

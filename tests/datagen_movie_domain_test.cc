@@ -1,0 +1,113 @@
+#include "src/datagen/movie_domain.h"
+
+#include <gtest/gtest.h>
+
+#include "src/domain/domain_table.h"
+#include "src/graph/components.h"
+
+namespace deepcrawl {
+namespace {
+
+MovieDomainPairConfig SmallConfig() {
+  MovieDomainPairConfig config;
+  config.universe_size = 3000;
+  config.target_size = 900;
+  config.seed = 21;
+  return config;
+}
+
+TEST(MovieDomainTest, SizesFollowThePaperShape) {
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair->universe.num_records(), 3000u);
+  // Bernoulli sampling: within 30% of the requested expectation.
+  EXPECT_NEAR(static_cast<double>(pair->target.num_records()), 900.0, 270.0);
+  // DM(I) (post-1960) is a superset of DM(II) (post-1980); both are
+  // proper, sizable subsets of the universe.
+  EXPECT_GT(pair->dm1.num_records(), pair->dm2.num_records());
+  EXPECT_LT(pair->dm1.num_records(), pair->universe.num_records());
+  double dm1_fraction = static_cast<double>(pair->dm1.num_records()) /
+                        static_cast<double>(pair->universe.num_records());
+  double dm2_fraction = static_cast<double>(pair->dm2.num_records()) /
+                        static_cast<double>(pair->universe.num_records());
+  // Paper: 270k/400k = 0.675 and 190k/400k = 0.475.
+  EXPECT_NEAR(dm1_fraction, 0.675, 0.15);
+  EXPECT_NEAR(dm2_fraction, 0.475, 0.15);
+}
+
+TEST(MovieDomainTest, TargetSchemaHasEditionAttribute) {
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(pair.ok());
+  EXPECT_TRUE(pair->target.schema().FindAttribute("Edition").ok());
+  EXPECT_FALSE(pair->universe.schema().FindAttribute("Edition").ok());
+  EXPECT_TRUE(pair->target.schema().FindAttribute("Actor").ok());
+}
+
+TEST(MovieDomainTest, DomainTablesOverlapTargetValues) {
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(pair.ok());
+  Table& target = pair->target;
+  size_t values_before = target.num_distinct_values();
+  DomainTable dt1 = DomainTable::Build(pair->dm1, target.schema(),
+                                       target.mutable_catalog());
+  // A sizable share of the target's own values must be DT candidates,
+  // and DT must contribute additional (unseen) candidates.
+  size_t shared = 0;
+  for (ValueId v = 0; v < values_before; ++v) {
+    if (dt1.Contains(v)) ++shared;
+  }
+  EXPECT_GT(static_cast<double>(shared) / values_before, 0.5);
+  EXPECT_GT(target.num_distinct_values(), values_before);
+}
+
+TEST(MovieDomainTest, LargerDomainTableCoversMoreOfTheTarget) {
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(pair.ok());
+  Table& target = pair->target;
+  size_t values_before = target.num_distinct_values();
+  DomainTable dt1 = DomainTable::Build(pair->dm1, target.schema(),
+                                       target.mutable_catalog());
+  DomainTable dt2 = DomainTable::Build(pair->dm2, target.schema(),
+                                       target.mutable_catalog());
+  size_t shared1 = 0, shared2 = 0;
+  for (ValueId v = 0; v < values_before; ++v) {
+    if (dt1.Contains(v)) ++shared1;
+    if (dt2.Contains(v)) ++shared2;
+  }
+  EXPECT_GT(shared1, shared2);  // DM(I) knows more of the target
+}
+
+TEST(MovieDomainTest, TargetIsWellConnected) {
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(pair.ok());
+  ConnectivityReport report = AnalyzeConnectivity(pair->target);
+  EXPECT_GT(report.largest_component_record_fraction, 0.9);
+}
+
+TEST(MovieDomainTest, DeterministicForFixedSeed) {
+  StatusOr<MovieDomainPair> a = GenerateMovieDomainPair(SmallConfig());
+  StatusOr<MovieDomainPair> b = GenerateMovieDomainPair(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->target.num_records(), b->target.num_records());
+  EXPECT_EQ(a->dm1.num_records(), b->dm1.num_records());
+  EXPECT_EQ(a->universe.num_distinct_values(),
+            b->universe.num_distinct_values());
+}
+
+TEST(MovieDomainTest, InvalidConfigsRejected) {
+  MovieDomainPairConfig config = SmallConfig();
+  config.target_size = config.universe_size + 1;
+  EXPECT_FALSE(GenerateMovieDomainPair(config).ok());
+
+  config = SmallConfig();
+  config.universe_size = 0;
+  EXPECT_FALSE(GenerateMovieDomainPair(config).ok());
+
+  config = SmallConfig();
+  config.min_year = 2000;
+  config.max_year = 1990;
+  EXPECT_FALSE(GenerateMovieDomainPair(config).ok());
+}
+
+}  // namespace
+}  // namespace deepcrawl

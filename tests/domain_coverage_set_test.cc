@@ -1,0 +1,73 @@
+#include "src/domain/coverage_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+TEST(CoverageSetTest, StartsEmpty) {
+  CoverageSet set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_EQ(set.Fraction(10), 0.0);
+  EXPECT_EQ(set.Fraction(0), 0.0);  // degenerate universe
+}
+
+TEST(CoverageSetTest, UnionMergesWithDeduplication) {
+  CoverageSet set;
+  std::vector<uint32_t> a = {1, 3, 5};
+  std::vector<uint32_t> b = {2, 3, 6};
+  set.Union(a);
+  EXPECT_EQ(set.size(), 3u);
+  set.Union(b);
+  EXPECT_EQ(set.size(), 5u);
+  for (uint32_t id : {1, 2, 3, 5, 6}) EXPECT_TRUE(set.Contains(id));
+  EXPECT_FALSE(set.Contains(4));
+}
+
+TEST(CoverageSetTest, UnionWithEmptyIsNoop) {
+  CoverageSet set;
+  set.Union(std::vector<uint32_t>{7});
+  set.Union(std::vector<uint32_t>{});
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CoverageSetTest, ResultStaysSorted) {
+  CoverageSet set;
+  set.Union(std::vector<uint32_t>{10, 20});
+  set.Union(std::vector<uint32_t>{5, 15, 25});
+  const auto& covered = set.covered();
+  EXPECT_TRUE(std::is_sorted(covered.begin(), covered.end()));
+}
+
+TEST(CoverageSetTest, FractionAgainstUniverse) {
+  CoverageSet set;
+  set.Union(std::vector<uint32_t>{0, 1, 2});
+  EXPECT_DOUBLE_EQ(set.Fraction(12), 0.25);
+}
+
+TEST(CoverageSetTest, RandomizedAgainstReferenceSet) {
+  Pcg32 rng(33);
+  CoverageSet set;
+  std::set<uint32_t> reference;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint32_t> batch;
+    uint32_t n = rng.NextBounded(20);
+    for (uint32_t i = 0; i < n; ++i) batch.push_back(rng.NextBounded(200));
+    std::sort(batch.begin(), batch.end());
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+    set.Union(batch);
+    reference.insert(batch.begin(), batch.end());
+    ASSERT_EQ(set.size(), reference.size());
+  }
+  for (uint32_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(set.Contains(id), reference.count(id) != 0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,104 @@
+// Tests of DomainTable (Definition 4.1) construction and statistics.
+
+#include "src/domain/domain_table.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::MakeTable;
+
+TEST(DomainTableTest, MapsSharedValuesToTargetIds) {
+  Table target = MakeTable({
+      {{"Actor", "hanks"}, {"Title", "t1"}},
+  });
+  Table sample = MakeTable({
+      {{"Actor", "hanks"}, {"Title", "s1"}},
+      {{"Actor", "hanks"}, {"Title", "s2"}},
+      {{"Actor", "streep"}, {"Title", "s3"}},
+  });
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+
+  EXPECT_EQ(dt.num_domain_records(), 3u);
+  ValueId hanks = testing_util::GetValueId(target, "Actor", "hanks");
+  EXPECT_TRUE(dt.Contains(hanks));
+  EXPECT_EQ(dt.DomainFrequency(hanks), 2u);
+  EXPECT_NEAR(dt.Probability(hanks), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DomainTableTest, UnseenValuesAreInternedIntoTargetCatalog) {
+  Table target = MakeTable({{{"Actor", "hanks"}, {"Title", "t1"}}});
+  size_t before = target.num_distinct_values();
+  Table sample = MakeTable({{{"Actor", "streep"}, {"Title", "s1"}}});
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+
+  // "streep" and "s1" got fresh target ids with zero target postings.
+  EXPECT_GT(target.catalog().size(), before);
+  StatusOr<AttributeId> actor = target.schema().FindAttribute("Actor");
+  ASSERT_TRUE(actor.ok());
+  ValueId streep = target.catalog().Find(*actor, "streep");
+  ASSERT_NE(streep, kInvalidValueId);
+  EXPECT_TRUE(dt.Contains(streep));
+  EXPECT_EQ(target.value_frequency(streep), 0u);
+}
+
+TEST(DomainTableTest, AttributesMissingFromTargetAreSkipped) {
+  Table target = MakeTable({{{"Actor", "hanks"}}});
+  Table sample = MakeTable({
+      {{"Actor", "hanks"}, {"BoxOffice", "1M"}},
+  });
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+  // BoxOffice is not queriable on the target: no entry for "1M".
+  EXPECT_EQ(dt.num_entries(), 1u);
+}
+
+TEST(DomainTableTest, PostingsAreSortedDomainRecordIds) {
+  Table target = MakeTable({{{"Actor", "hanks"}, {"Title", "t"}}});
+  Table sample = MakeTable({
+      {{"Actor", "streep"}, {"Title", "s0"}},
+      {{"Actor", "hanks"}, {"Title", "s1"}},
+      {{"Actor", "hanks"}, {"Title", "s2"}},
+  });
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+  ValueId hanks = testing_util::GetValueId(target, "Actor", "hanks");
+  auto postings = dt.DomainPostings(hanks);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0], 1u);
+  EXPECT_EQ(postings[1], 2u);
+}
+
+TEST(DomainTableTest, MissingValueHasZeroStatistics) {
+  Table target = MakeTable({{{"Actor", "hanks"}}});
+  Table sample = MakeTable({{{"Actor", "hanks"}}});
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+  EXPECT_FALSE(dt.Contains(9999));
+  EXPECT_EQ(dt.DomainFrequency(9999), 0u);
+  EXPECT_EQ(dt.Probability(9999), 0.0);
+  EXPECT_TRUE(dt.DomainPostings(9999).empty());
+}
+
+TEST(DomainTableTest, ValuesListMatchesEntries) {
+  Table target = MakeTable({{{"Actor", "a"}, {"Title", "t"}}});
+  Table sample = MakeTable({
+      {{"Actor", "a"}, {"Title", "x"}},
+      {{"Actor", "b"}, {"Title", "y"}},
+  });
+  DomainTable dt =
+      DomainTable::Build(sample, target.schema(), target.mutable_catalog());
+  EXPECT_EQ(dt.values().size(), dt.num_entries());
+  for (ValueId v : dt.values()) {
+    EXPECT_TRUE(dt.Contains(v));
+    EXPECT_GT(dt.DomainFrequency(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,109 @@
+// Tests of the §5 overlap-analysis size estimation pipeline.
+
+#include "src/estimate/size_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/datagen/workload_config.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+TEST(CaptureRecaptureTest, ClassicFormula) {
+  std::vector<RecordId> a = {1, 2, 3, 4, 5};
+  std::vector<RecordId> b = {4, 5, 6, 7};
+  // overlap = 2 -> estimate = 5*4/2 = 10.
+  StatusOr<double> estimate = CaptureRecaptureEstimate(a, b);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 10.0);
+}
+
+TEST(CaptureRecaptureTest, IdenticalSamplesEstimateTheirSize) {
+  std::vector<RecordId> a = {10, 20, 30};
+  StatusOr<double> estimate = CaptureRecaptureEstimate(a, a);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(*estimate, 3.0);
+}
+
+TEST(CaptureRecaptureTest, DisjointSamplesFail) {
+  std::vector<RecordId> a = {1, 2};
+  std::vector<RecordId> b = {3, 4};
+  EXPECT_EQ(CaptureRecaptureEstimate(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SizeEstimationTest, EstimatesWithinReasonOnSyntheticDb) {
+  SyntheticDbConfig config;
+  config.name = "estimation-target";
+  config.num_records = 2000;
+  config.seed = 5;
+  config.attributes = {
+      {.name = "Brand", .num_distinct = 60, .zipf_exponent = 1.0},
+      {.name = "Model", .num_distinct = 700, .zipf_exponent = 0.8},
+  };
+  StatusOr<Table> table = GenerateTable(config);
+  ASSERT_TRUE(table.ok());
+  WebDbServer server(*table, ServerOptions{});
+
+  SizeEstimationOptions options;
+  options.num_crawls = 6;
+  options.rounds_per_crawl = 120;
+  options.seed = 3;
+  StatusOr<SizeEstimationReport> report = EstimateDatabaseSize(
+      server,
+      [](const LocalStore& store) {
+        return std::make_unique<GreedyLinkSelector>(store);
+      },
+      options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->crawl_sizes.size(), 6u);
+  EXPECT_EQ(report->pairwise_estimates.size() + report->disjoint_pairs, 15u);
+  ASSERT_GE(report->pairwise_estimates.size(), 2u);
+  // Capture-recapture over non-uniform samples biases low (hubs are
+  // recaptured first); the point is the right order of magnitude.
+  EXPECT_GT(report->t_test.mean, 200.0);
+  EXPECT_LT(report->t_test.mean, 4000.0);
+  EXPECT_GT(report->t_test.one_sided_upper, report->t_test.mean);
+}
+
+TEST(SizeEstimationTest, FullCrawlsEstimateExactly) {
+  // With budgets large enough to drain the database, every sample is the
+  // full record set and every estimate equals |DB| exactly.
+  Table table = testing_util::MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  SizeEstimationOptions options;
+  options.num_crawls = 3;
+  options.rounds_per_crawl = 100000;
+  StatusOr<SizeEstimationReport> report = EstimateDatabaseSize(
+      server,
+      [](const LocalStore& store) {
+        return std::make_unique<GreedyLinkSelector>(store);
+      },
+      options);
+  ASSERT_TRUE(report.ok());
+  for (double estimate : report->pairwise_estimates) {
+    EXPECT_DOUBLE_EQ(estimate, 5.0);
+  }
+}
+
+TEST(SizeEstimationTest, RejectsSingleCrawl) {
+  Table table = testing_util::MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  SizeEstimationOptions options;
+  options.num_crawls = 1;
+  StatusOr<SizeEstimationReport> report = EstimateDatabaseSize(
+      server,
+      [](const LocalStore&) {
+        return std::make_unique<BfsSelector>();
+      },
+      options);
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,122 @@
+// Tests of the attribute-value graph construction (Definition 2.1).
+
+#include "src/graph/attribute_value_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+TEST(AttributeValueGraphTest, Figure1Adjacency) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  EXPECT_EQ(graph.num_vertices(), 9u);
+
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId b2 = GetValueId(table, "B", "b2");
+  ValueId c1 = GetValueId(table, "C", "c1");
+  ValueId c2 = GetValueId(table, "C", "c2");
+  ValueId b3 = GetValueId(table, "B", "b3");
+  ValueId a1 = GetValueId(table, "A", "a1");
+  ValueId b1 = GetValueId(table, "B", "b1");
+  ValueId a3 = GetValueId(table, "A", "a3");
+  ValueId b4 = GetValueId(table, "B", "b4");
+
+  // Example 2.1: a2's neighbors are exactly {c1, b2, c2, b3}.
+  auto nbrs = graph.Neighbors(a2);
+  std::vector<ValueId> expected = {c1, b2, c2, b3};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), expected.begin(),
+                         expected.end()));
+  EXPECT_EQ(graph.Degree(a2), 4u);
+
+  // c1 bridges the (a1,b1) clique and the a2 cliques.
+  EXPECT_TRUE(graph.HasEdge(c1, a1));
+  EXPECT_TRUE(graph.HasEdge(c1, b1));
+  EXPECT_TRUE(graph.HasEdge(c1, a2));
+  EXPECT_TRUE(graph.HasEdge(c1, b2));
+  EXPECT_FALSE(graph.HasEdge(c1, c2));
+  EXPECT_FALSE(graph.HasEdge(a1, a2));
+
+  // c2 is the other bridge: neighbors {a2, b2, b3, a3, b4}.
+  EXPECT_EQ(graph.Degree(c2), 5u);
+  EXPECT_TRUE(graph.HasEdge(c2, a3));
+  EXPECT_TRUE(graph.HasEdge(c2, b4));
+}
+
+TEST(AttributeValueGraphTest, EdgesAreSymmetric) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  for (ValueId v = 0; v < graph.num_vertices(); ++v) {
+    for (ValueId u : graph.Neighbors(v)) {
+      EXPECT_TRUE(graph.HasEdge(u, v)) << u << " <-> " << v;
+    }
+  }
+}
+
+TEST(AttributeValueGraphTest, NoSelfLoops) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  for (ValueId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_FALSE(graph.HasEdge(v, v));
+  }
+}
+
+TEST(AttributeValueGraphTest, ParallelEdgesCollapsed) {
+  // a2/b2 co-occur in two records but the edge appears once.
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId b2 = GetValueId(table, "B", "b2");
+  auto nbrs = graph.Neighbors(a2);
+  EXPECT_EQ(std::count(nbrs.begin(), nbrs.end(), b2), 1);
+}
+
+TEST(AttributeValueGraphTest, RecordFormsClique) {
+  Table table = MakeTable({{{"A", "w"}, {"B", "x"}, {"C", "y"}, {"D", "z"}}});
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 6u);  // K4
+  for (ValueId v = 0; v < 4; ++v) EXPECT_EQ(graph.Degree(v), 3u);
+}
+
+TEST(AttributeValueGraphTest, SingleValueRecordHasIsolatedVertex) {
+  Table table = MakeTable({{{"A", "lonely"}}});
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  EXPECT_EQ(graph.num_vertices(), 1u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.Degree(0), 0u);
+}
+
+TEST(AttributeValueGraphTest, DegreeHistogramSumsToVertices) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  std::vector<uint64_t> histogram = graph.DegreeHistogram();
+  uint64_t total = 0;
+  for (uint64_t h : histogram) total += h;
+  EXPECT_EQ(total, graph.num_vertices());
+}
+
+TEST(AttributeValueGraphTest, SharedValueBridgesCliques) {
+  // Two records sharing value m: m's degree spans both cliques.
+  Table table = MakeTable({
+      {{"A", "m"}, {"B", "p"}},
+      {{"A", "m"}, {"B", "q"}},
+  });
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  ValueId m = GetValueId(table, "A", "m");
+  EXPECT_EQ(graph.Degree(m), 2u);
+  EXPECT_FALSE(graph.HasEdge(GetValueId(table, "B", "p"),
+                             GetValueId(table, "B", "q")));
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,81 @@
+#include "src/graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already joined
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SetSize(1), 3u);
+  EXPECT_EQ(uf.SetSize(4), 1u);
+}
+
+TEST(UnionFindTest, SingleElement) {
+  UnionFind uf(1);
+  EXPECT_EQ(uf.Find(0), 0u);
+  EXPECT_EQ(uf.num_sets(), 1u);
+}
+
+TEST(ConnectivityTest, Figure1IsFullyConnected) {
+  Table table = MakeFigure1Table();
+  ConnectivityReport report = AnalyzeConnectivity(table);
+  EXPECT_EQ(report.num_value_components, 1u);
+  EXPECT_EQ(report.largest_component_records, table.num_records());
+  EXPECT_DOUBLE_EQ(report.largest_component_record_fraction, 1.0);
+}
+
+TEST(ConnectivityTest, DataIslandsAreSeparate) {
+  // §4 Limitation 2: disconnected database graphs.
+  Table table = MakeTable({
+      {{"X", "x1"}, {"Y", "y1"}},
+      {{"X", "x1"}, {"Y", "y2"}},
+      {{"X", "x2"}, {"Y", "y3"}},
+      {{"X", "x2"}, {"Y", "y4"}},
+      {{"X", "x3"}, {"Y", "y5"}},
+  });
+  ConnectivityReport report = AnalyzeConnectivity(table);
+  EXPECT_EQ(report.num_value_components, 3u);
+  EXPECT_EQ(report.largest_component_records, 2u);
+  EXPECT_DOUBLE_EQ(report.largest_component_record_fraction, 0.4);
+}
+
+TEST(ConnectivityTest, RecordsInSameComponentShareRepresentative) {
+  Table table = MakeTable({
+      {{"X", "x1"}, {"Y", "y1"}},
+      {{"X", "x1"}, {"Y", "y2"}},
+      {{"X", "x2"}, {"Y", "y3"}},
+  });
+  ConnectivityReport report = AnalyzeConnectivity(table);
+  ASSERT_EQ(report.record_component.size(), 3u);
+  EXPECT_EQ(report.record_component[0], report.record_component[1]);
+  EXPECT_NE(report.record_component[0], report.record_component[2]);
+}
+
+TEST(ConnectivityTest, BridgeValueMergesIslands) {
+  // y2 appears in both halves, joining them.
+  Table table = MakeTable({
+      {{"X", "x1"}, {"Y", "y1"}},
+      {{"X", "x1"}, {"Y", "y2"}},
+      {{"X", "x2"}, {"Y", "y2"}},
+      {{"X", "x2"}, {"Y", "y3"}},
+  });
+  ConnectivityReport report = AnalyzeConnectivity(table);
+  EXPECT_EQ(report.num_value_components, 1u);
+  EXPECT_DOUBLE_EQ(report.largest_component_record_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace deepcrawl

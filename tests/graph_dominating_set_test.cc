@@ -1,0 +1,156 @@
+// Tests of the Weighted Minimum Dominating Set solvers (Definition 2.4),
+// including exact-vs-greedy property sweeps on random databases.
+
+#include "src/graph/dominating_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+VertexWeightFn UnitWeight() {
+  return [](ValueId) { return 1.0; };
+}
+
+TEST(DominatingSetTest, Figure1GreedyIsDominating) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  DominatingSetResult result = GreedyWeightedDominatingSet(graph,
+                                                           UnitWeight());
+  EXPECT_TRUE(IsDominatingSet(graph, result.vertices));
+  EXPECT_DOUBLE_EQ(result.total_weight,
+                   static_cast<double>(result.vertices.size()));
+}
+
+TEST(DominatingSetTest, Figure1ExactOptimumIsTwo) {
+  // {c1, c2} dominates Figure 1's graph: c1 covers a1,b1,a2,b2; c2
+  // covers a2,b2,b3,a3,b4. No single vertex covers all 9.
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  DominatingSetResult exact = ExactMinimumDominatingSet(graph, UnitWeight());
+  EXPECT_TRUE(IsDominatingSet(graph, exact.vertices));
+  EXPECT_EQ(exact.vertices.size(), 2u);
+}
+
+TEST(DominatingSetTest, SingleCliqueNeedsOneVertex) {
+  Table table = MakeTable({{{"A", "w"}, {"B", "x"}, {"C", "y"}}});
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  DominatingSetResult exact = ExactMinimumDominatingSet(graph, UnitWeight());
+  EXPECT_EQ(exact.vertices.size(), 1u);
+  DominatingSetResult greedy = GreedyWeightedDominatingSet(graph,
+                                                           UnitWeight());
+  EXPECT_EQ(greedy.vertices.size(), 1u);
+}
+
+TEST(DominatingSetTest, IsolatedVerticesMustAllBeSelected) {
+  Table table = MakeTable({{{"A", "p"}}, {{"A", "q"}}, {{"A", "r"}}});
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  DominatingSetResult exact = ExactMinimumDominatingSet(graph, UnitWeight());
+  EXPECT_EQ(exact.vertices.size(), 3u);
+  DominatingSetResult greedy = GreedyWeightedDominatingSet(graph,
+                                                           UnitWeight());
+  EXPECT_EQ(greedy.vertices.size(), 3u);
+}
+
+TEST(DominatingSetTest, WeightsSteerExactChoice) {
+  // Star: hub h connected to leaves. With unit weights {h} wins; with a
+  // huge hub weight, picking the hub is still optimal for domination of
+  // leaves... unless leaves can cover themselves more cheaply.
+  Table table = MakeTable({
+      {{"H", "hub"}, {"L", "l1"}},
+      {{"H", "hub"}, {"L", "l2"}},
+      {{"H", "hub"}, {"L", "l3"}},
+  });
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  ValueId hub = GetValueId(table, "H", "hub");
+
+  DominatingSetResult cheap_hub = ExactMinimumDominatingSet(
+      graph, [&](ValueId v) { return v == hub ? 0.5 : 1.0; });
+  ASSERT_EQ(cheap_hub.vertices.size(), 1u);
+  EXPECT_EQ(cheap_hub.vertices[0], hub);
+
+  // Hub so expensive that selecting all three leaves is cheaper.
+  DominatingSetResult pricey_hub = ExactMinimumDominatingSet(
+      graph, [&](ValueId v) { return v == hub ? 10.0 : 1.0; });
+  EXPECT_TRUE(IsDominatingSet(graph, pricey_hub.vertices));
+  EXPECT_LT(pricey_hub.total_weight, 10.0);
+  for (ValueId v : pricey_hub.vertices) EXPECT_NE(v, hub);
+}
+
+TEST(DominatingSetTest, IsDominatingSetRejectsNonCover) {
+  Table table = MakeFigure1Table();
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  ValueId a1 = GetValueId(table, "A", "a1");
+  EXPECT_FALSE(IsDominatingSet(graph, {a1}));
+  EXPECT_FALSE(IsDominatingSet(graph, {}));
+}
+
+// Property sweep: on random small databases, greedy must always produce
+// a valid dominating set whose weight is within the H(Delta+1)
+// approximation bound of the exact optimum.
+class DominatingSetPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DominatingSetPropertyTest, GreedyWithinHarmonicBoundOfExact) {
+  Pcg32 rng(GetParam());
+  // Random database: 6-9 records, 2-3 attributes, tiny pools.
+  std::vector<testing_util::Row> rows;
+  uint32_t num_records = 6 + rng.NextBounded(4);
+  uint32_t num_attrs = 2 + rng.NextBounded(2);
+  for (uint32_t r = 0; r < num_records; ++r) {
+    testing_util::Row row;
+    for (uint32_t a = 0; a < num_attrs; ++a) {
+      row.push_back({"attr" + std::to_string(a),
+                     "v" + std::to_string(rng.NextBounded(4))});
+    }
+    rows.push_back(row);
+  }
+  Table table = testing_util::MakeTable(rows);
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+
+  // Paper-style weights: cost of fully draining the value at k=2.
+  VertexWeightFn weight = [&](ValueId v) {
+    return static_cast<double>((table.value_frequency(v) + 1) / 2);
+  };
+  DominatingSetResult greedy = GreedyWeightedDominatingSet(graph, weight);
+  DominatingSetResult exact = ExactMinimumDominatingSet(graph, weight);
+
+  ASSERT_TRUE(IsDominatingSet(graph, greedy.vertices));
+  ASSERT_TRUE(IsDominatingSet(graph, exact.vertices));
+  EXPECT_LE(exact.total_weight, greedy.total_weight + 1e-9);
+
+  uint32_t max_degree = 0;
+  for (ValueId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, graph.Degree(v));
+  }
+  double harmonic = 0.0;
+  for (uint32_t i = 1; i <= max_degree + 1; ++i) harmonic += 1.0 / i;
+  EXPECT_LE(greedy.total_weight, exact.total_weight * harmonic + 1e-9)
+      << "greedy exceeded the H(Delta+1) bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, DominatingSetPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(DominatingSetTest, EmptyGraph) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A").ok());
+  Table table(std::move(schema));
+  AttributeValueGraph graph = AttributeValueGraph::Build(table);
+  EXPECT_TRUE(GreedyWeightedDominatingSet(graph, UnitWeight())
+                  .vertices.empty());
+  EXPECT_TRUE(ExactMinimumDominatingSet(graph, UnitWeight())
+                  .vertices.empty());
+}
+
+}  // namespace
+}  // namespace deepcrawl

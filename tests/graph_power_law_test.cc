@@ -1,0 +1,67 @@
+#include "src/graph/power_law.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace deepcrawl {
+namespace {
+
+// Builds a histogram following frequency(d) = round(C * d^-alpha).
+std::vector<uint64_t> SyntheticPowerLawHistogram(double alpha, double c,
+                                                 size_t max_degree) {
+  std::vector<uint64_t> histogram(max_degree + 1, 0);
+  for (size_t d = 1; d <= max_degree; ++d) {
+    histogram[d] = static_cast<uint64_t>(
+        std::llround(c * std::pow(static_cast<double>(d), -alpha)));
+  }
+  return histogram;
+}
+
+TEST(PowerLawTest, LogLogPointsSkipEmptyBinsAndDegreeZero) {
+  std::vector<uint64_t> histogram = {7, 4, 0, 2};
+  std::vector<LogLogPoint> points = ToLogLogPoints(histogram);
+  ASSERT_EQ(points.size(), 2u);  // degrees 1 and 3 only
+  EXPECT_DOUBLE_EQ(points[0].log10_degree, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].log10_frequency, std::log10(4.0));
+  EXPECT_DOUBLE_EQ(points[1].log10_degree, std::log10(3.0));
+}
+
+TEST(PowerLawTest, FitRecoversExponent) {
+  for (double alpha : {1.5, 2.0, 2.5}) {
+    std::vector<uint64_t> histogram =
+        SyntheticPowerLawHistogram(alpha, 1e6, 200);
+    PowerLawFit fit = FitPowerLaw(ToLogLogPoints(histogram));
+    EXPECT_NEAR(fit.exponent, alpha, 0.1) << "alpha=" << alpha;
+    EXPECT_GT(fit.r_squared, 0.98);
+  }
+}
+
+TEST(PowerLawTest, LogBinningReducesPointCount) {
+  std::vector<uint64_t> histogram =
+      SyntheticPowerLawHistogram(2.0, 1e6, 1000);
+  std::vector<LogLogPoint> raw = ToLogLogPoints(histogram);
+  std::vector<LogLogPoint> binned = ToLogBinnedPoints(histogram, 2.0);
+  EXPECT_LT(binned.size(), raw.size());
+  EXPECT_GE(binned.size(), 5u);
+}
+
+TEST(PowerLawTest, LogBinnedFitStillRecoversExponent) {
+  std::vector<uint64_t> histogram =
+      SyntheticPowerLawHistogram(2.2, 1e7, 2000);
+  PowerLawFit fit = FitPowerLaw(ToLogBinnedPoints(histogram, 1.7));
+  EXPECT_NEAR(fit.exponent, 2.2, 0.25);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(PowerLawTest, UniformDegreesFitFlat) {
+  // Every degree has the same frequency: exponent ~ 0.
+  std::vector<uint64_t> histogram(50, 10);
+  histogram[0] = 0;
+  PowerLawFit fit = FitPowerLaw(ToLogLogPoints(histogram));
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,79 @@
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+TEST(InvertedIndexTest, PostingsMatchTable) {
+  Table table = MakeFigure1Table();
+  InvertedIndex index(table);
+  auto a2 = index.Postings(GetValueId(table, "A", "a2"));
+  ASSERT_EQ(a2.size(), 3u);
+  EXPECT_EQ(a2[0], 1u);
+  EXPECT_EQ(a2[1], 2u);
+  EXPECT_EQ(a2[2], 3u);
+  EXPECT_EQ(index.MatchCount(GetValueId(table, "B", "b4")), 1u);
+}
+
+TEST(InvertedIndexTest, PostingsAreSorted) {
+  Table table = MakeFigure1Table();
+  InvertedIndex index(table);
+  for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+    auto postings = index.Postings(v);
+    EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+    EXPECT_EQ(postings.size(), table.value_frequency(v));
+  }
+}
+
+TEST(InvertedIndexTest, OutOfRangeValueHasEmptyPostings) {
+  Table table = MakeFigure1Table();
+  InvertedIndex index(table);
+  EXPECT_TRUE(index.Postings(9999).empty());
+  EXPECT_EQ(index.MatchCount(9999), 0u);
+}
+
+TEST(InvertedIndexTest, TotalPostingsEqualsSumOfRecordSizes) {
+  Table table = MakeFigure1Table();
+  InvertedIndex index(table);
+  size_t total = 0;
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    total += table.record(r).size();
+  }
+  EXPECT_EQ(index.total_postings(), total);
+}
+
+TEST(InvertedIndexTest, CooccurrenceCount) {
+  Table table = MakeFigure1Table();
+  InvertedIndex index(table);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId b2 = GetValueId(table, "B", "b2");
+  ValueId c2 = GetValueId(table, "C", "c2");
+  ValueId a1 = GetValueId(table, "A", "a1");
+  EXPECT_EQ(index.CooccurrenceCount(a2, b2), 2u);
+  EXPECT_EQ(index.CooccurrenceCount(a2, c2), 2u);
+  EXPECT_EQ(index.CooccurrenceCount(a1, c2), 0u);
+  // Symmetry.
+  EXPECT_EQ(index.CooccurrenceCount(b2, a2),
+            index.CooccurrenceCount(a2, b2));
+  // Self co-occurrence equals frequency.
+  EXPECT_EQ(index.CooccurrenceCount(a2, a2), 3u);
+}
+
+TEST(InvertedIndexTest, SingleRecordTable) {
+  Table table = MakeTable({{{"A", "only"}}});
+  InvertedIndex index(table);
+  EXPECT_EQ(index.num_values(), 1u);
+  EXPECT_EQ(index.MatchCount(0), 1u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,150 @@
+// Tests for the relational substrate: Schema, ValueCatalog, Table.
+
+#include <gtest/gtest.h>
+
+#include "src/relation/schema.h"
+#include "src/relation/table.h"
+#include "src/relation/value_catalog.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+TEST(SchemaTest, AddAndFindAttributes) {
+  Schema schema;
+  StatusOr<AttributeId> title = schema.AddAttribute("Title");
+  StatusOr<AttributeId> author = schema.AddAttribute("Author", true);
+  ASSERT_TRUE(title.ok());
+  ASSERT_TRUE(author.ok());
+  EXPECT_EQ(*title, 0);
+  EXPECT_EQ(*author, 1);
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  EXPECT_FALSE(schema.attribute(*title).multi_valued);
+  EXPECT_TRUE(schema.attribute(*author).multi_valued);
+
+  StatusOr<AttributeId> found = schema.FindAttribute("Author");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *author);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("X").ok());
+  StatusOr<AttributeId> dup = schema.AddAttribute("X");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyNameRejected) {
+  Schema schema;
+  EXPECT_EQ(schema.AddAttribute("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, MissingAttributeIsNotFound) {
+  Schema schema;
+  EXPECT_EQ(schema.FindAttribute("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ValueCatalogTest, InternIsIdempotent) {
+  ValueCatalog catalog;
+  ValueId a = catalog.Intern(0, "tom hanks");
+  ValueId b = catalog.Intern(0, "tom hanks");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(ValueCatalogTest, SameTextDifferentAttributeIsDistinct) {
+  ValueCatalog catalog;
+  ValueId actor = catalog.Intern(0, "Clint Eastwood");
+  ValueId director = catalog.Intern(1, "Clint Eastwood");
+  EXPECT_NE(actor, director);
+  EXPECT_EQ(catalog.attribute_of(actor), 0);
+  EXPECT_EQ(catalog.attribute_of(director), 1);
+  EXPECT_EQ(catalog.text_of(actor), catalog.text_of(director));
+}
+
+TEST(ValueCatalogTest, FindReturnsInvalidWhenAbsent) {
+  ValueCatalog catalog;
+  catalog.Intern(0, "x");
+  EXPECT_EQ(catalog.Find(0, "y"), kInvalidValueId);
+  EXPECT_EQ(catalog.Find(1, "x"), kInvalidValueId);
+  EXPECT_NE(catalog.Find(0, "x"), kInvalidValueId);
+}
+
+TEST(TableTest, RecordsAreSortedAndDeduplicated) {
+  Table table = MakeTable({{{"A", "x"}, {"A", "x"}, {"B", "y"}}});
+  ASSERT_EQ(table.num_records(), 1u);
+  auto values = table.record(0);
+  EXPECT_EQ(values.size(), 2u);  // duplicate collapsed
+  EXPECT_LT(values[0], values[1]);
+}
+
+TEST(TableTest, ValueFrequencyCountsRecords) {
+  Table table = MakeFigure1Table();
+  EXPECT_EQ(table.value_frequency(testing_util::GetValueId(table, "A", "a2")),
+            3u);
+  EXPECT_EQ(table.value_frequency(testing_util::GetValueId(table, "C", "c2")),
+            3u);
+  EXPECT_EQ(table.value_frequency(testing_util::GetValueId(table, "B", "b4")),
+            1u);
+}
+
+TEST(TableTest, DistinctValuesPerAttribute) {
+  Table table = MakeFigure1Table();
+  std::vector<size_t> counts = table.DistinctValuesPerAttribute();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3u);  // a1, a2, a3
+  EXPECT_EQ(counts[1], 4u);  // b1..b4
+  EXPECT_EQ(counts[2], 2u);  // c1, c2
+  EXPECT_EQ(table.num_distinct_values(), 9u);
+}
+
+TEST(TableTest, EmptyRecordRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A").ok());
+  Table table(std::move(schema));
+  EXPECT_EQ(table.AddRecord({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, CellWithUnknownAttributeRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A").ok());
+  Table table(std::move(schema));
+  EXPECT_EQ(table.AddRecord({Cell{5, "x"}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, EmptyCellTextRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A").ok());
+  Table table(std::move(schema));
+  EXPECT_EQ(table.AddRecord({Cell{0, ""}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AddRecordFromValueIdsValidatesInterning) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("A").ok());
+  Table table(std::move(schema));
+  ValueId v = table.mutable_catalog().Intern(0, "x");
+  ASSERT_TRUE(table.AddRecordFromValueIds({v}).ok());
+  EXPECT_EQ(table.AddRecordFromValueIds({v + 100}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, MultiValuedAttributeWithinOneRecord) {
+  Table table = MakeTable({
+      {{"Author", "smith"}, {"Author", "jones"}, {"Title", "t1"}},
+  });
+  EXPECT_EQ(table.record(0).size(), 3u);
+  EXPECT_EQ(table.num_distinct_values(), 3u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,121 @@
+// Tests of conjunctive multi-predicate queries (§2.2 future-work
+// extension).
+
+#include <gtest/gtest.h>
+
+#include "src/server/web_db_server.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+using testing_util::MakeTable;
+
+TEST(ConjunctiveQueryTest, IntersectsPredicates) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId c2 = GetValueId(table, "C", "c2");
+  // a2 matches records 1,2,3; c2 matches 2,3,4 -> intersection {2,3}.
+  StatusOr<ResultPage> page =
+      server.FetchPageConjunctive(std::vector<ValueId>{a2, c2}, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->records.size(), 2u);
+  EXPECT_EQ(page->total_matches.value_or(0), 2u);
+  EXPECT_EQ(page->records[0].id, 2u);
+  EXPECT_EQ(page->records[1].id, 3u);
+}
+
+TEST(ConjunctiveQueryTest, SinglePredicateEqualsSimpleQuery) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  StatusOr<ResultPage> conjunctive =
+      server.FetchPageConjunctive(std::vector<ValueId>{a2}, 0);
+  StatusOr<ResultPage> simple = server.FetchPage(a2, 0);
+  ASSERT_TRUE(conjunctive.ok() && simple.ok());
+  ASSERT_EQ(conjunctive->records.size(), simple->records.size());
+  for (size_t i = 0; i < simple->records.size(); ++i) {
+    EXPECT_EQ(conjunctive->records[i].id, simple->records[i].id);
+  }
+}
+
+TEST(ConjunctiveQueryTest, DisjointPredicatesReturnEmpty) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a1 = GetValueId(table, "A", "a1");
+  ValueId c2 = GetValueId(table, "C", "c2");
+  StatusOr<ResultPage> page =
+      server.FetchPageConjunctive(std::vector<ValueId>{a1, c2}, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->records.empty());
+  EXPECT_FALSE(page->has_more);
+}
+
+TEST(ConjunctiveQueryTest, UnknownValueYieldsEmpty) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  StatusOr<ResultPage> page =
+      server.FetchPageConjunctive(std::vector<ValueId>{a2, 99999}, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->records.empty());
+}
+
+TEST(ConjunctiveQueryTest, EmptyPredicateListRejected) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  EXPECT_EQ(server.FetchPageConjunctive({}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQueryTest, CostsOneRoundPerPage) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId b2 = GetValueId(table, "B", "b2");
+  ASSERT_TRUE(
+      server.FetchPageConjunctive(std::vector<ValueId>{a2, b2}, 0).ok());
+  EXPECT_EQ(server.communication_rounds(), 1u);
+  EXPECT_EQ(server.queries_issued(), 1u);
+}
+
+TEST(ConjunctiveQueryTest, PaginationAndLimitApply) {
+  std::vector<testing_util::Row> rows;
+  for (int i = 0; i < 25; ++i) {
+    rows.push_back({{"X", "x"}, {"Y", "y"}, {"Id", "r" + std::to_string(i)}});
+  }
+  Table table = testing_util::MakeTable(rows);
+  ServerOptions options;
+  options.page_size = 10;
+  options.result_limit = 15;
+  WebDbServer server(table, options);
+  ValueId x = GetValueId(table, "X", "x");
+  ValueId y = GetValueId(table, "Y", "y");
+
+  StatusOr<ResultPage> page0 =
+      server.FetchPageConjunctive(std::vector<ValueId>{x, y}, 0);
+  ASSERT_TRUE(page0.ok());
+  EXPECT_EQ(page0->records.size(), 10u);
+  EXPECT_TRUE(page0->has_more);
+  StatusOr<ResultPage> page1 =
+      server.FetchPageConjunctive(std::vector<ValueId>{x, y}, 1);
+  ASSERT_TRUE(page1.ok());
+  EXPECT_EQ(page1->records.size(), 5u);  // limit 15 caps the second page
+  EXPECT_FALSE(page1->has_more);
+}
+
+TEST(ConjunctiveQueryTest, DuplicatePredicatesAreHarmless) {
+  Table table = MakeFigure1Table();
+  WebDbServer server(table, ServerOptions{});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  StatusOr<ResultPage> page =
+      server.FetchPageConjunctive(std::vector<ValueId>{a2, a2, a2}, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->records.size(), 3u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,99 @@
+// Statistical property sweeps across seeds: distribution-level checks
+// on the samplers and generators that the experiment harnesses lean on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/datagen/publication_domain.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/zipf.h"
+
+namespace deepcrawl {
+namespace {
+
+class ZipfChiSquareTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfChiSquareTest, ExactSamplerMatchesPmfByChiSquare) {
+  auto [seed, exponent] = GetParam();
+  constexpr uint32_t kItems = 30;
+  constexpr int kDraws = 60000;
+  ZipfSampler zipf(kItems, exponent);
+  Pcg32 rng(seed);
+  std::vector<int> counts(kItems, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+
+  double chi_square = 0.0;
+  for (uint32_t i = 0; i < kItems; ++i) {
+    double expected = zipf.Pmf(i) * kDraws;
+    ASSERT_GT(expected, 5.0) << "bin too thin for a chi-square check";
+    double diff = counts[i] - expected;
+    chi_square += diff * diff / expected;
+  }
+  // 29 degrees of freedom: the 99.9th percentile is ~58.3. A correct
+  // sampler fails this with probability ~0.1% per (seed, exponent).
+  EXPECT_LT(chi_square, 58.3) << "exponent " << exponent;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZipfChiSquareTest,
+    ::testing::Combine(::testing::Values(11ull, 29ull),
+                       ::testing::Values(0.0, 0.7, 1.0, 1.4)));
+
+TEST(StudentTSweepTest, QuantileMonotoneInProbabilityAndDf) {
+  for (double df : {2.0, 5.0, 14.0, 50.0}) {
+    double previous = -1e9;
+    for (double p : {0.55, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+      double q = StudentTQuantile(p, df);
+      EXPECT_GT(q, previous) << "df " << df << " p " << p;
+      previous = q;
+    }
+  }
+  // For a fixed upper-tail probability, heavier tails (smaller df) give
+  // larger quantiles.
+  for (double p : {0.9, 0.95, 0.99}) {
+    EXPECT_GT(StudentTQuantile(p, 2), StudentTQuantile(p, 14));
+    EXPECT_GT(StudentTQuantile(p, 14), StudentTQuantile(p, 1000));
+  }
+}
+
+class PublicationPairSweepTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PublicationPairSweepTest, StructuralInvariantsAcrossSeeds) {
+  PublicationDomainPairConfig config;
+  config.universe_size = 2500;
+  config.seed = GetParam();
+  StatusOr<PublicationDomainPair> pair =
+      GeneratePublicationDomainPair(config);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+
+  // Subset relations on record counts.
+  EXPECT_LE(pair->target.num_records(), pair->universe.num_records());
+  EXPECT_LE(pair->sample.num_records(), pair->universe.num_records());
+  // Every target record's Title exists in the universe (targets are
+  // universe papers).
+  StatusOr<AttributeId> target_title =
+      pair->target.schema().FindAttribute("Title");
+  StatusOr<AttributeId> universe_title =
+      pair->universe.schema().FindAttribute("Title");
+  ASSERT_TRUE(target_title.ok() && universe_title.ok());
+  size_t checked = 0;
+  for (ValueId v = 0; v < pair->target.num_distinct_values(); ++v) {
+    if (pair->target.catalog().attribute_of(v) != *target_title) continue;
+    EXPECT_NE(pair->universe.catalog().Find(
+                  *universe_title, pair->target.catalog().text_of(v)),
+              kInvalidValueId);
+    ++checked;
+  }
+  EXPECT_EQ(checked, pair->target.num_records());  // titles are unique
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PublicationPairSweepTest,
+                         ::testing::Values(1, 7, 19, 42));
+
+}  // namespace
+}  // namespace deepcrawl

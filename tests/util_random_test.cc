@@ -1,0 +1,121 @@
+#include "src/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace deepcrawl {
+namespace {
+
+TEST(Pcg32Test, DeterministicForFixedSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 10), b(1, 11);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU32() != b.NextU32()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedIsRoughlyUniform) {
+  Pcg32 rng(99);
+  constexpr uint32_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    // Expected 10000 per bucket; allow 10% slack.
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets / 10.0);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, NextBoolMatchesProbability) {
+  Pcg32 rng(21);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32Test, NextInRangeInclusiveBounds) {
+  Pcg32 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.NextInRange(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    if (x == -2) saw_lo = true;
+    if (x == 2) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(17);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Pcg32Test, SampleWithoutReplacementIsDistinctAndInRange) {
+  Pcg32 rng(31);
+  std::vector<uint32_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (uint32_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Pcg32Test, SampleWholePopulation) {
+  Pcg32 rng(31);
+  std::vector<uint32_t> sample = rng.SampleWithoutReplacement(12, 12);
+  std::set<uint32_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 12u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,55 @@
+#include "src/util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace deepcrawl {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table({"policy", "rounds"});
+  table.AddRow({"bfs", "120"});
+  table.AddRow({"greedy-link", "45"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| policy      | rounds |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| greedy-link | 45     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("|-------------|--------|"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, NumRowsCountsAddedRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, FormatDoubleRespectsPrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, FormatPercent) {
+  EXPECT_EQ(TablePrinter::FormatPercent(0.85), "85.0%");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.333, 0), "33%");
+  EXPECT_EQ(TablePrinter::FormatPercent(1.0, 0), "100%");
+}
+
+TEST(TablePrinterTest, FormatCountGroupsDigits) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(1234567), "1,234,567");
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace deepcrawl

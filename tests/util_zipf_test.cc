@@ -1,0 +1,102 @@
+#include "src/util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (uint32_t i = 0; i < 100; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.2);
+  for (uint32_t i = 1; i < 50; ++i) {
+    EXPECT_GE(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfSamplerTest, PmfRatioMatchesExponent) {
+  // P(0) / P(1) should equal 2^s for Zipf(s).
+  ZipfSampler zipf(1000, 1.5);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(ZipfSamplerTest, SamplingMatchesPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Pcg32 rng(42);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (uint32_t i = 0; i < 20; ++i) {
+    double expected = zipf.Pmf(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 10)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfSamplerTest, SingleItemAlwaysRankZero) {
+  ZipfSampler zipf(1, 1.0);
+  Pcg32 rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+class FastZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(FastZipfParamTest, StaysInRangeAndHitsHead) {
+  auto [n, s] = GetParam();
+  FastZipfSampler zipf(n, s);
+  Pcg32 rng(77);
+  uint64_t head_hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_LT(k, n);
+    if (k == 0) ++head_hits;
+  }
+  // Rank 0 is the most probable rank for any positive exponent.
+  EXPECT_GT(head_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FastZipfParamTest,
+    ::testing::Values(std::make_tuple(10ull, 0.5),
+                      std::make_tuple(1000ull, 0.99),
+                      std::make_tuple(1000ull, 1.0),
+                      std::make_tuple(100000ull, 1.2),
+                      std::make_tuple(5ull, 2.0)));
+
+TEST(FastZipfSamplerTest, AgreesWithExactSamplerOnHeadMass) {
+  // Compare empirical head-rank frequency of the two samplers.
+  constexpr uint64_t kN = 500;
+  constexpr double kS = 1.1;
+  ZipfSampler exact(kN, kS);
+  FastZipfSampler fast(kN, kS);
+  Pcg32 rng1(5), rng2(5);
+  constexpr int kDraws = 100000;
+  int exact_head = 0, fast_head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (exact.Sample(rng1) < 3) ++exact_head;
+    if (fast.Sample(rng2) < 3) ++fast_head;
+  }
+  EXPECT_NEAR(static_cast<double>(exact_head) / kDraws,
+              static_cast<double>(fast_head) / kDraws, 0.01);
+}
+
+}  // namespace
+}  // namespace deepcrawl

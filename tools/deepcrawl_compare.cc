@@ -1,0 +1,210 @@
+// deepcrawl_compare — run several query-selection policies against the
+// same target and compare their coverage/cost curves (the shape of the
+// paper's Figures 3-5, for your own data).
+//
+// Example:
+//   deepcrawl_compare --workload=ebay --scale=0.1 ...
+//       --policies=bfs,random,greedy,mmmi --max-rounds=2000 ...
+//       --comparison-csv=curves.csv
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/crawler/crawler.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/mmmi_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/crawler/trace_io.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/datagen/workload_config.h"
+#include "src/relation/tsv.h"
+#include "src/server/web_db_server.h"
+#include "src/util/flags.h"
+#include "src/util/table_printer.h"
+
+namespace deepcrawl {
+namespace {
+
+struct Options {
+  std::string input;
+  std::string workload;
+  double scale = 0.1;
+  int64_t gen_seed = 1;
+  std::string policies = "bfs,random,greedy,mmmi";
+  int64_t page_size = 10;
+  int64_t result_limit = 0;
+  int64_t max_rounds = 0;
+  double saturation = 0.85;
+  int64_t seed = 1;
+  std::string comparison_csv;
+  bool help = false;
+};
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ',')) {
+    if (!part.empty()) parts.push_back(part);
+  }
+  return parts;
+}
+
+StatusOr<Table> LoadTarget(const Options& options) {
+  if (!options.input.empty()) return ReadTableTsvFile(options.input);
+  if (options.workload == "ebay") {
+    return GenerateTable(EbayConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "acm") {
+    return GenerateTable(AcmDlConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "dblp") {
+    return GenerateTable(DblpConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "imdb") {
+    return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
+  }
+  return Status::InvalidArgument(
+      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb");
+}
+
+int Run(const Options& options) {
+  StatusOr<Table> loaded = LoadTarget(options);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const Table& target = *loaded;
+  std::cout << "target: " << target.num_records() << " records, "
+            << target.num_distinct_values() << " distinct values\n\n";
+
+  ServerOptions server_options;
+  server_options.page_size = static_cast<uint32_t>(options.page_size);
+  server_options.result_limit =
+      static_cast<uint32_t>(options.result_limit);
+  WebDbServer server(target, server_options);
+
+  // One deterministic seed value shared by every policy.
+  ValueId seed_value = static_cast<ValueId>(
+      (1 + 2654435761ull * static_cast<uint64_t>(options.seed)) %
+      target.num_distinct_values());
+  while (target.value_frequency(seed_value) == 0) {
+    seed_value = static_cast<ValueId>((seed_value + 1) %
+                                      target.num_distinct_values());
+  }
+
+  TablePrinter table(
+      {"policy", "records", "coverage", "rounds", "queries", "stop"});
+  std::vector<CrawlTrace> traces;
+  std::vector<NamedTrace> named;
+  std::vector<std::string> names = SplitCommas(options.policies);
+  traces.reserve(names.size());
+  for (const std::string& name : names) {
+    LocalStore store;
+    std::unique_ptr<QuerySelector> selector;
+    if (name == "bfs") {
+      selector = std::make_unique<BfsSelector>();
+    } else if (name == "dfs") {
+      selector = std::make_unique<DfsSelector>();
+    } else if (name == "random") {
+      selector = std::make_unique<RandomSelector>(options.seed);
+    } else if (name == "greedy") {
+      selector = std::make_unique<GreedyLinkSelector>(store);
+    } else if (name == "mmmi") {
+      selector = std::make_unique<MmmiSelector>(store);
+    } else if (name == "oracle") {
+      selector = std::make_unique<OracleSelector>(
+          store, server.index(), server_options.page_size,
+          server_options.result_limit);
+    } else {
+      std::cerr << "error: unknown policy '" << name << "'\n";
+      return 1;
+    }
+
+    CrawlOptions crawl_options;
+    crawl_options.max_rounds = static_cast<uint64_t>(options.max_rounds);
+    if (options.saturation > 0.0) {
+      crawl_options.saturation_records = static_cast<uint64_t>(
+          options.saturation * static_cast<double>(target.num_records()));
+    }
+    server.ResetMeters();
+    Crawler crawler(server, *selector, store, crawl_options);
+    crawler.AddSeed(seed_value);
+    StatusOr<CrawlResult> result = crawler.Run();
+    if (!result.ok()) {
+      std::cerr << "crawl failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    double coverage = static_cast<double>(result->records) /
+                      static_cast<double>(target.num_records());
+    table.AddRow({name, std::to_string(result->records),
+                  TablePrinter::FormatPercent(coverage, 1),
+                  std::to_string(result->rounds),
+                  std::to_string(result->queries),
+                  StopReasonToString(result->stop_reason)});
+    traces.push_back(std::move(result->trace));
+  }
+  table.Print(std::cout);
+
+  if (!options.comparison_csv.empty()) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      named.push_back(NamedTrace{names[i], &traces[i]});
+    }
+    std::ofstream file(options.comparison_csv);
+    Status written = file ? WriteComparisonCsv(named, file)
+                          : Status::NotFound("cannot create '" +
+                                             options.comparison_csv + "'");
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\ncurves written to " << options.comparison_csv << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepcrawl
+
+int main(int argc, char** argv) {
+  using namespace deepcrawl;
+  Options options;
+  FlagParser parser;
+  parser.AddString("input", &options.input, "TSV target database");
+  parser.AddString("workload", &options.workload,
+                   "generate instead: ebay|acm|dblp|imdb");
+  parser.AddDouble("scale", &options.scale, "workload scale factor");
+  parser.AddInt64("gen-seed", &options.gen_seed, "generator seed");
+  parser.AddString("policies", &options.policies,
+                   "comma-separated: bfs,dfs,random,greedy,mmmi,oracle");
+  parser.AddInt64("page-size", &options.page_size, "records per page (k)");
+  parser.AddInt64("result-limit", &options.result_limit,
+                  "max retrievable records per query (0 = unlimited)");
+  parser.AddInt64("max-rounds", &options.max_rounds,
+                  "round budget per policy (0 = unbounded)");
+  parser.AddDouble("saturation", &options.saturation,
+                   "coverage at which MMMI switches on");
+  parser.AddInt64("seed", &options.seed, "seed-value choice");
+  parser.AddString("comparison-csv", &options.comparison_csv,
+                   "write aligned per-policy coverage curves to this CSV");
+  parser.AddBool("help", &options.help, "print this help");
+
+  Status parsed = parser.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.ToString() << "\n\nflags:\n"
+              << parser.HelpText();
+    return 2;
+  }
+  if (options.help) {
+    std::cout << "deepcrawl_compare — compare query-selection policies "
+                 "on one target\n\nflags:\n"
+              << parser.HelpText();
+    return 0;
+  }
+  return Run(options);
+}

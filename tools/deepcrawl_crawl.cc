@@ -1,0 +1,300 @@
+// deepcrawl_crawl — a command-line hidden-Web crawl driver.
+//
+// The paper's conclusion names "the implementation and deployment of a
+// real world product database crawler" as future work; this tool is that
+// front end for the simulated substrate: load (or generate) a target
+// database, put it behind the query-interface simulator, crawl it with
+// any of the library's selection policies, and export the harvest and
+// the coverage trace.
+//
+// Examples:
+//   # Crawl a TSV dump with greedy-link selection, write the harvest.
+//   deepcrawl_crawl --input=cars.tsv --policy=greedy ...
+//       --output-tsv=harvest.tsv --trace-csv=trace.csv
+//
+//   # Generate the paper's eBay workload and crawl to 90% coverage.
+//   deepcrawl_crawl --workload=ebay --scale=0.1 --policy=mmmi ...
+//       --target-coverage=0.9
+//
+//   # Domain-knowledge crawl: the DT comes from a second TSV.
+//   deepcrawl_crawl --input=amazon.tsv --policy=domain ...
+//       --domain-input=imdb.tsv
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/crawler/crawler.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/mmmi_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/crawler/trace_io.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/datagen/workload_config.h"
+#include "src/domain/domain_selector.h"
+#include "src/domain/domain_table.h"
+#include "src/estimate/chao.h"
+#include "src/relation/tsv.h"
+#include "src/server/web_db_server.h"
+#include "src/util/flags.h"
+#include "src/util/random.h"
+#include "src/util/table_printer.h"
+
+namespace deepcrawl {
+namespace {
+
+struct Options {
+  std::string input;
+  std::string workload;
+  double scale = 0.1;
+  int64_t gen_seed = 1;
+
+  std::string policy = "greedy";
+  std::string domain_input;
+  int64_t page_size = 10;
+  int64_t result_limit = 0;
+  bool counts = true;
+  bool keyword = false;
+  int64_t max_rounds = 0;
+  double target_coverage = 0.0;
+  double saturation = 0.85;
+  int64_t num_seeds = 1;
+  int64_t seed = 1;
+  std::string trace_csv;
+  std::string output_tsv;
+  bool help = false;
+};
+
+StatusOr<Table> LoadTarget(const Options& options) {
+  if (!options.input.empty()) return ReadTableTsvFile(options.input);
+  if (options.workload == "ebay") {
+    return GenerateTable(EbayConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "acm") {
+    return GenerateTable(AcmDlConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "dblp") {
+    return GenerateTable(DblpConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "imdb") {
+    return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
+  }
+  return Status::InvalidArgument(
+      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb");
+}
+
+// Writes the harvested records back out as a TSV, reconstructing cells
+// through the target's catalog.
+Status WriteHarvest(const Table& target, const LocalStore& store,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot create '" + path + "'");
+  for (uint32_t slot = 0; slot < store.num_records(); ++slot) {
+    bool first = true;
+    for (ValueId v : store.RecordValues(slot)) {
+      if (!first) file << '\t';
+      first = false;
+      AttributeId attr = target.catalog().attribute_of(v);
+      file << target.schema().attribute(attr).name << '='
+           << target.catalog().text_of(v);
+    }
+    file << '\n';
+  }
+  if (!file) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+int Run(const Options& options) {
+  StatusOr<Table> loaded = LoadTarget(options);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  Table target = std::move(*loaded);
+  std::cout << "target: " << target.num_records() << " records, "
+            << target.num_distinct_values() << " distinct values, "
+            << target.schema().num_attributes() << " attributes\n";
+
+  // Optional domain table (required by --policy=domain).
+  std::optional<DomainTable> dt;
+  std::optional<Table> domain_sample;
+  if (!options.domain_input.empty()) {
+    StatusOr<Table> sample = ReadTableTsvFile(options.domain_input);
+    if (!sample.ok()) {
+      std::cerr << "error: " << sample.status().ToString() << "\n";
+      return 1;
+    }
+    domain_sample = std::move(*sample);
+    dt = DomainTable::Build(*domain_sample, target.schema(),
+                            target.mutable_catalog());
+    std::cout << "domain table: " << dt->num_entries()
+              << " candidate queries from " << dt->num_domain_records()
+              << " sample records\n";
+  }
+
+  ServerOptions server_options;
+  server_options.page_size = static_cast<uint32_t>(options.page_size);
+  server_options.result_limit =
+      static_cast<uint32_t>(options.result_limit);
+  server_options.reports_total_count = options.counts;
+  WebDbServer server(target, server_options);
+
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector;
+  if (options.policy == "bfs") {
+    selector = std::make_unique<BfsSelector>();
+  } else if (options.policy == "dfs") {
+    selector = std::make_unique<DfsSelector>();
+  } else if (options.policy == "random") {
+    selector = std::make_unique<RandomSelector>(options.seed);
+  } else if (options.policy == "greedy") {
+    selector = std::make_unique<GreedyLinkSelector>(store);
+  } else if (options.policy == "mmmi") {
+    selector = std::make_unique<MmmiSelector>(store);
+  } else if (options.policy == "oracle") {
+    selector = std::make_unique<OracleSelector>(
+        store, server.index(), server_options.page_size,
+        server_options.result_limit);
+  } else if (options.policy == "domain") {
+    if (!dt.has_value()) {
+      std::cerr << "error: --policy=domain needs --domain-input=<tsv>\n";
+      return 1;
+    }
+    selector = std::make_unique<DomainSelector>(store, *dt,
+                                                server_options.page_size);
+  } else {
+    std::cerr << "error: unknown --policy '" << options.policy << "'\n";
+    return 1;
+  }
+
+  CrawlOptions crawl_options;
+  crawl_options.max_rounds = static_cast<uint64_t>(options.max_rounds);
+  crawl_options.use_keyword_interface = options.keyword;
+  if (options.target_coverage > 0.0) {
+    crawl_options.target_records = static_cast<uint64_t>(
+        options.target_coverage *
+        static_cast<double>(target.num_records()));
+  }
+  if (options.saturation > 0.0) {
+    crawl_options.saturation_records = static_cast<uint64_t>(
+        options.saturation * static_cast<double>(target.num_records()));
+  }
+
+  Crawler crawler(server, *selector, store, crawl_options);
+  Pcg32 rng(static_cast<uint64_t>(options.seed));
+  for (int64_t i = 0; i < options.num_seeds; ++i) {
+    ValueId seed_value = rng.NextBounded(
+        static_cast<uint32_t>(target.num_distinct_values()));
+    while (target.value_frequency(seed_value) == 0) {
+      seed_value = static_cast<ValueId>(
+          (seed_value + 1) % target.num_distinct_values());
+    }
+    crawler.AddSeed(seed_value);
+  }
+
+  StatusOr<CrawlResult> result = crawler.Run();
+  if (!result.ok()) {
+    std::cerr << "crawl failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  double coverage = target.num_records() == 0
+                        ? 0.0
+                        : static_cast<double>(result->records) /
+                              static_cast<double>(target.num_records());
+  ChaoEstimate chao = Chao1Estimate(store);
+  std::cout << "\npolicy " << selector->name() << " ("
+            << StopReasonToString(result->stop_reason) << ")\n"
+            << "  records harvested:  " << result->records << " ("
+            << TablePrinter::FormatPercent(coverage, 1) << " coverage)\n"
+            << "  communication:      " << result->rounds << " rounds, "
+            << result->queries << " queries\n"
+            << "  online size est.:   "
+            << TablePrinter::FormatDouble(chao.estimated_total, 0)
+            << " records (Chao1)\n";
+
+  if (!options.trace_csv.empty()) {
+    std::ofstream file(options.trace_csv);
+    Status written = file ? WriteTraceCsv(result->trace, file)
+                          : Status::NotFound("cannot create '" +
+                                             options.trace_csv + "'");
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  trace written to:   " << options.trace_csv << "\n";
+  }
+  if (!options.output_tsv.empty()) {
+    Status written = WriteHarvest(target, store, options.output_tsv);
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  harvest written to: " << options.output_tsv << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepcrawl
+
+int main(int argc, char** argv) {
+  using namespace deepcrawl;
+  Options options;
+  FlagParser parser;
+  parser.AddString("input", &options.input,
+                   "TSV file with the target database (see src/relation/"
+                   "tsv.h for the format)");
+  parser.AddString("workload", &options.workload,
+                   "generate a canned workload instead: ebay|acm|dblp|imdb");
+  parser.AddDouble("scale", &options.scale,
+                   "scale factor for --workload (1.0 = paper size)");
+  parser.AddInt64("gen-seed", &options.gen_seed,
+                  "generator seed for --workload");
+  parser.AddString("policy", &options.policy,
+                   "bfs|dfs|random|greedy|mmmi|oracle|domain");
+  parser.AddString("domain-input", &options.domain_input,
+                   "TSV with a same-domain sample database (builds the "
+                   "domain statistics table)");
+  parser.AddInt64("page-size", &options.page_size,
+                  "records per result page (k)");
+  parser.AddInt64("result-limit", &options.result_limit,
+                  "max retrievable records per query (0 = unlimited)");
+  parser.AddBool("counts", &options.counts,
+                 "server reports total match counts (--no-counts to "
+                 "disable)");
+  parser.AddBool("keyword", &options.keyword,
+                 "crawl through the keyword box instead of typed fields");
+  parser.AddInt64("max-rounds", &options.max_rounds,
+                  "communication-round budget (0 = unbounded)");
+  parser.AddDouble("target-coverage", &options.target_coverage,
+                   "stop at this fraction of the target's records "
+                   "(0 = crawl to exhaustion)");
+  parser.AddDouble("saturation", &options.saturation,
+                   "coverage at which MMMI switches on");
+  parser.AddInt64("seeds", &options.num_seeds,
+                  "number of random seed values");
+  parser.AddInt64("seed", &options.seed, "RNG seed for seed-value choice");
+  parser.AddString("trace-csv", &options.trace_csv,
+                   "write the rounds/records trace to this CSV");
+  parser.AddString("output-tsv", &options.output_tsv,
+                   "write the harvested records to this TSV");
+  parser.AddBool("help", &options.help, "print this help");
+
+  Status parsed = parser.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.ToString() << "\n\nflags:\n"
+              << parser.HelpText();
+    return 2;
+  }
+  if (options.help) {
+    std::cout << "deepcrawl_crawl — query-selection crawling of a "
+                 "(simulated) hidden-Web database\n\nflags:\n"
+              << parser.HelpText();
+    return 0;
+  }
+  return Run(options);
+}
