@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort.dir/bench_abort.cc.o"
+  "CMakeFiles/bench_abort.dir/bench_abort.cc.o.d"
+  "bench_abort"
+  "bench_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_pub.dir/bench_domain_pub.cc.o"
+  "CMakeFiles/bench_domain_pub.dir/bench_domain_pub.cc.o.d"
+  "bench_domain_pub"
+  "bench_domain_pub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_pub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domset.dir/bench_domset.cc.o"
+  "CMakeFiles/bench_domset.dir/bench_domset.cc.o.d"
+  "bench_domset"
+  "bench_domset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmmi_ablation.dir/bench_mmmi_ablation.cc.o"
+  "CMakeFiles/bench_mmmi_ablation.dir/bench_mmmi_ablation.cc.o.d"
+  "bench_mmmi_ablation"
+  "bench_mmmi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmmi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_stop.dir/adaptive_stop.cpp.o"
+  "CMakeFiles/adaptive_stop.dir/adaptive_stop.cpp.o.d"
+  "adaptive_stop"
+  "adaptive_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marginal_harvest.dir/marginal_harvest.cpp.o"
+  "CMakeFiles/marginal_harvest.dir/marginal_harvest.cpp.o.d"
+  "marginal_harvest"
+  "marginal_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marginal_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for marginal_harvest.
+# This may be replaced when dependencies are built.

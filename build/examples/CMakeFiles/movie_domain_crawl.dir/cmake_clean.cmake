@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_domain_crawl.dir/movie_domain_crawl.cpp.o"
+  "CMakeFiles/movie_domain_crawl.dir/movie_domain_crawl.cpp.o.d"
+  "movie_domain_crawl"
+  "movie_domain_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_domain_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_planning.dir/offline_planning.cpp.o"
+  "CMakeFiles/offline_planning.dir/offline_planning.cpp.o.d"
+  "offline_planning"
+  "offline_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

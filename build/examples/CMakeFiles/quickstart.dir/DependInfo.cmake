@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/deepcrawl_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/domain/CMakeFiles/deepcrawl_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/deepcrawl_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/deepcrawl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/deepcrawl_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/deepcrawl_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/deepcrawl_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/deepcrawl_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepcrawl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

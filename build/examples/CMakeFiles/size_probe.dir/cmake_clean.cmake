@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_probe.dir/size_probe.cpp.o"
+  "CMakeFiles/size_probe.dir/size_probe.cpp.o.d"
+  "size_probe"
+  "size_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

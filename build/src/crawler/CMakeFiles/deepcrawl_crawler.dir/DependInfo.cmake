@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crawler/abort_policy.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/abort_policy.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/abort_policy.cc.o.d"
+  "/root/repo/src/crawler/crawler.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/crawler.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/crawler.cc.o.d"
+  "/root/repo/src/crawler/greedy_link_selector.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/greedy_link_selector.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/greedy_link_selector.cc.o.d"
+  "/root/repo/src/crawler/local_store.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/local_store.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/local_store.cc.o.d"
+  "/root/repo/src/crawler/metrics.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/metrics.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/metrics.cc.o.d"
+  "/root/repo/src/crawler/mmmi_selector.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/mmmi_selector.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/mmmi_selector.cc.o.d"
+  "/root/repo/src/crawler/naive_selectors.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/naive_selectors.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/naive_selectors.cc.o.d"
+  "/root/repo/src/crawler/oracle_selector.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/oracle_selector.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/oracle_selector.cc.o.d"
+  "/root/repo/src/crawler/scripted_selector.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/scripted_selector.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/scripted_selector.cc.o.d"
+  "/root/repo/src/crawler/trace_io.cc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/trace_io.cc.o" "gcc" "src/crawler/CMakeFiles/deepcrawl_crawler.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/deepcrawl_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/deepcrawl_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/deepcrawl_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepcrawl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

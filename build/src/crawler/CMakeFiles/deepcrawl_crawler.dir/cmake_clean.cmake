@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_crawler.dir/abort_policy.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/abort_policy.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/crawler.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/crawler.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/greedy_link_selector.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/greedy_link_selector.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/local_store.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/local_store.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/metrics.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/metrics.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/mmmi_selector.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/mmmi_selector.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/naive_selectors.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/naive_selectors.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/oracle_selector.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/oracle_selector.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/scripted_selector.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/scripted_selector.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler.dir/trace_io.cc.o"
+  "CMakeFiles/deepcrawl_crawler.dir/trace_io.cc.o.d"
+  "libdeepcrawl_crawler.a"
+  "libdeepcrawl_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

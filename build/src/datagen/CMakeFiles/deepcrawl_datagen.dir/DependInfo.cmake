@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/canned_workloads.cc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/canned_workloads.cc.o" "gcc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/canned_workloads.cc.o.d"
+  "/root/repo/src/datagen/movie_domain.cc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/movie_domain.cc.o" "gcc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/movie_domain.cc.o.d"
+  "/root/repo/src/datagen/publication_domain.cc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/publication_domain.cc.o" "gcc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/publication_domain.cc.o.d"
+  "/root/repo/src/datagen/workload_config.cc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/workload_config.cc.o" "gcc" "src/datagen/CMakeFiles/deepcrawl_datagen.dir/workload_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/deepcrawl_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepcrawl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_datagen.dir/canned_workloads.cc.o"
+  "CMakeFiles/deepcrawl_datagen.dir/canned_workloads.cc.o.d"
+  "CMakeFiles/deepcrawl_datagen.dir/movie_domain.cc.o"
+  "CMakeFiles/deepcrawl_datagen.dir/movie_domain.cc.o.d"
+  "CMakeFiles/deepcrawl_datagen.dir/publication_domain.cc.o"
+  "CMakeFiles/deepcrawl_datagen.dir/publication_domain.cc.o.d"
+  "CMakeFiles/deepcrawl_datagen.dir/workload_config.cc.o"
+  "CMakeFiles/deepcrawl_datagen.dir/workload_config.cc.o.d"
+  "libdeepcrawl_datagen.a"
+  "libdeepcrawl_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

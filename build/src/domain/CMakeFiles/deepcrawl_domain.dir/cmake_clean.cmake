@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_domain.dir/coverage_set.cc.o"
+  "CMakeFiles/deepcrawl_domain.dir/coverage_set.cc.o.d"
+  "CMakeFiles/deepcrawl_domain.dir/domain_selector.cc.o"
+  "CMakeFiles/deepcrawl_domain.dir/domain_selector.cc.o.d"
+  "CMakeFiles/deepcrawl_domain.dir/domain_table.cc.o"
+  "CMakeFiles/deepcrawl_domain.dir/domain_table.cc.o.d"
+  "libdeepcrawl_domain.a"
+  "libdeepcrawl_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

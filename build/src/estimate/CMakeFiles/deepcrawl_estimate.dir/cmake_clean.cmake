@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_estimate.dir/chao.cc.o"
+  "CMakeFiles/deepcrawl_estimate.dir/chao.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate.dir/size_estimator.cc.o"
+  "CMakeFiles/deepcrawl_estimate.dir/size_estimator.cc.o.d"
+  "libdeepcrawl_estimate.a"
+  "libdeepcrawl_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepcrawl_estimate.a"
+)

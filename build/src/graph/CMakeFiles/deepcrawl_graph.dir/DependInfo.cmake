@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attribute_value_graph.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/attribute_value_graph.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/attribute_value_graph.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/dominating_set.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/dominating_set.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/dominating_set.cc.o.d"
+  "/root/repo/src/graph/power_law.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/power_law.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/power_law.cc.o.d"
+  "/root/repo/src/graph/reachability.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/reachability.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/reachability.cc.o.d"
+  "/root/repo/src/graph/set_cover.cc" "src/graph/CMakeFiles/deepcrawl_graph.dir/set_cover.cc.o" "gcc" "src/graph/CMakeFiles/deepcrawl_graph.dir/set_cover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/deepcrawl_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/deepcrawl_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepcrawl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_graph.dir/attribute_value_graph.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/attribute_value_graph.cc.o.d"
+  "CMakeFiles/deepcrawl_graph.dir/components.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/components.cc.o.d"
+  "CMakeFiles/deepcrawl_graph.dir/dominating_set.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/dominating_set.cc.o.d"
+  "CMakeFiles/deepcrawl_graph.dir/power_law.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/power_law.cc.o.d"
+  "CMakeFiles/deepcrawl_graph.dir/reachability.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/reachability.cc.o.d"
+  "CMakeFiles/deepcrawl_graph.dir/set_cover.cc.o"
+  "CMakeFiles/deepcrawl_graph.dir/set_cover.cc.o.d"
+  "libdeepcrawl_graph.a"
+  "libdeepcrawl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_index.dir/inverted_index.cc.o"
+  "CMakeFiles/deepcrawl_index.dir/inverted_index.cc.o.d"
+  "libdeepcrawl_index.a"
+  "libdeepcrawl_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

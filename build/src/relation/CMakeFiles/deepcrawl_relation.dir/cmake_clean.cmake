@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_relation.dir/schema.cc.o"
+  "CMakeFiles/deepcrawl_relation.dir/schema.cc.o.d"
+  "CMakeFiles/deepcrawl_relation.dir/table.cc.o"
+  "CMakeFiles/deepcrawl_relation.dir/table.cc.o.d"
+  "CMakeFiles/deepcrawl_relation.dir/tsv.cc.o"
+  "CMakeFiles/deepcrawl_relation.dir/tsv.cc.o.d"
+  "CMakeFiles/deepcrawl_relation.dir/value_catalog.cc.o"
+  "CMakeFiles/deepcrawl_relation.dir/value_catalog.cc.o.d"
+  "libdeepcrawl_relation.a"
+  "libdeepcrawl_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_server.dir/web_db_server.cc.o"
+  "CMakeFiles/deepcrawl_server.dir/web_db_server.cc.o.d"
+  "libdeepcrawl_server.a"
+  "libdeepcrawl_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

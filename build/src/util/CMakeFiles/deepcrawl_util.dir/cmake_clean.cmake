@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_util.dir/flags.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/flags.cc.o.d"
+  "CMakeFiles/deepcrawl_util.dir/random.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/random.cc.o.d"
+  "CMakeFiles/deepcrawl_util.dir/stats.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/stats.cc.o.d"
+  "CMakeFiles/deepcrawl_util.dir/status.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/status.cc.o.d"
+  "CMakeFiles/deepcrawl_util.dir/table_printer.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/deepcrawl_util.dir/zipf.cc.o"
+  "CMakeFiles/deepcrawl_util.dir/zipf.cc.o.d"
+  "libdeepcrawl_util.a"
+  "libdeepcrawl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_abort_policy_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_abort_policy_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_keyword_mode_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_keyword_mode_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_local_store_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_local_store_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_metrics_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_metrics_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_mmmi_behavior_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_mmmi_behavior_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_mmmi_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_mmmi_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_property_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_property_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_scripted_selector_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_scripted_selector_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_selectors_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_selectors_test.cc.o.d"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_trace_io_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_policy_tests.dir/crawler_trace_io_test.cc.o.d"
+  "deepcrawl_crawler_policy_tests"
+  "deepcrawl_crawler_policy_tests.pdb"
+  "deepcrawl_crawler_policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_crawler_policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_crawler_tests.dir/crawler_crawler_test.cc.o"
+  "CMakeFiles/deepcrawl_crawler_tests.dir/crawler_crawler_test.cc.o.d"
+  "deepcrawl_crawler_tests"
+  "deepcrawl_crawler_tests.pdb"
+  "deepcrawl_crawler_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_crawler_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

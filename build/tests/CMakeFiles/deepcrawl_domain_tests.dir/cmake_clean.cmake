@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_coverage_set_test.cc.o"
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_coverage_set_test.cc.o.d"
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_selector_test.cc.o"
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_selector_test.cc.o.d"
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_table_test.cc.o"
+  "CMakeFiles/deepcrawl_domain_tests.dir/domain_table_test.cc.o.d"
+  "deepcrawl_domain_tests"
+  "deepcrawl_domain_tests.pdb"
+  "deepcrawl_domain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_domain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

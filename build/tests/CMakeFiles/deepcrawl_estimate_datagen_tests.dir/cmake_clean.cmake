@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_calibration_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_calibration_test.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_movie_domain_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_movie_domain_test.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_publication_domain_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_publication_domain_test.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_workload_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/datagen_workload_test.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/estimate_chao_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/estimate_chao_test.cc.o.d"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/estimate_size_estimator_test.cc.o"
+  "CMakeFiles/deepcrawl_estimate_datagen_tests.dir/estimate_size_estimator_test.cc.o.d"
+  "deepcrawl_estimate_datagen_tests"
+  "deepcrawl_estimate_datagen_tests.pdb"
+  "deepcrawl_estimate_datagen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_estimate_datagen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_avg_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_avg_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_components_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_components_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_dominating_set_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_dominating_set_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_domset_reference_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_domset_reference_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_power_law_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_power_law_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_reachability_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_reachability_test.cc.o.d"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_set_cover_test.cc.o"
+  "CMakeFiles/deepcrawl_graph_tests.dir/graph_set_cover_test.cc.o.d"
+  "deepcrawl_graph_tests"
+  "deepcrawl_graph_tests.pdb"
+  "deepcrawl_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_integration_tests.dir/cross_module_test.cc.o"
+  "CMakeFiles/deepcrawl_integration_tests.dir/cross_module_test.cc.o.d"
+  "CMakeFiles/deepcrawl_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/deepcrawl_integration_tests.dir/integration_test.cc.o.d"
+  "deepcrawl_integration_tests"
+  "deepcrawl_integration_tests.pdb"
+  "deepcrawl_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

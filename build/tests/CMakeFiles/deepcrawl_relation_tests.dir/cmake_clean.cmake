@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_relation_tests.dir/index_inverted_index_test.cc.o"
+  "CMakeFiles/deepcrawl_relation_tests.dir/index_inverted_index_test.cc.o.d"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_test.cc.o"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_test.cc.o.d"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_tsv_fuzz_test.cc.o"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_tsv_fuzz_test.cc.o.d"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_tsv_test.cc.o"
+  "CMakeFiles/deepcrawl_relation_tests.dir/relation_tsv_test.cc.o.d"
+  "deepcrawl_relation_tests"
+  "deepcrawl_relation_tests.pdb"
+  "deepcrawl_relation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_relation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

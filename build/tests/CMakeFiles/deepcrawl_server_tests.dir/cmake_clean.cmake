@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_server_tests.dir/server_conjunctive_test.cc.o"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_conjunctive_test.cc.o.d"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_interface_schema_test.cc.o"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_interface_schema_test.cc.o.d"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_paging_property_test.cc.o"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_paging_property_test.cc.o.d"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_web_db_server_test.cc.o"
+  "CMakeFiles/deepcrawl_server_tests.dir/server_web_db_server_test.cc.o.d"
+  "deepcrawl_server_tests"
+  "deepcrawl_server_tests.pdb"
+  "deepcrawl_server_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_server_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_util_tests.dir/statistical_sweeps_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/statistical_sweeps_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_flags_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_flags_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_random_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_random_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_stats_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_stats_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_status_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_status_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_table_printer_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_table_printer_test.cc.o.d"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_zipf_test.cc.o"
+  "CMakeFiles/deepcrawl_util_tests.dir/util_zipf_test.cc.o.d"
+  "deepcrawl_util_tests"
+  "deepcrawl_util_tests.pdb"
+  "deepcrawl_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/deepcrawl_crawler_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_relation_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_server_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_crawler_policy_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_domain_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_estimate_datagen_tests[1]_include.cmake")
+include("/root/repo/build/tests/deepcrawl_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_compare.dir/deepcrawl_compare.cc.o"
+  "CMakeFiles/deepcrawl_compare.dir/deepcrawl_compare.cc.o.d"
+  "deepcrawl_compare"
+  "deepcrawl_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

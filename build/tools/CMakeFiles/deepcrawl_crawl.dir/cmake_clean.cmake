@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcrawl_crawl.dir/deepcrawl_crawl.cc.o"
+  "CMakeFiles/deepcrawl_crawl.dir/deepcrawl_crawl.cc.o.d"
+  "deepcrawl_crawl"
+  "deepcrawl_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcrawl_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
