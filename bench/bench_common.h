@@ -18,6 +18,7 @@
 #include "src/crawler/local_store.h"
 #include "src/crawler/query_selector.h"
 #include "src/relation/table.h"
+#include "src/server/query_interface.h"
 #include "src/server/web_db_server.h"
 #include "src/util/logging.h"
 #include "src/util/table_printer.h"
@@ -33,14 +34,17 @@ inline void PrintBanner(const std::string& artifact,
             << "this run:    " << this_run << "\n\n";
 }
 
-// Runs one crawl of `server` with `selector`, seeded with `seed_value`,
+// Runs one crawl of `server` (any QueryInterface — the bare simulator or
+// a fault-injecting proxy) with `selector`, seeded with `seed_value`,
 // and returns the result. Resets the server meters first so rounds are
 // per-crawl. Aborts on crawl errors (bench fixtures are valid).
-inline CrawlResult RunCrawl(WebDbServer& server, QuerySelector& selector,
+inline CrawlResult RunCrawl(QueryInterface& server, QuerySelector& selector,
                             LocalStore& store, const CrawlOptions& options,
-                            ValueId seed_value) {
+                            ValueId seed_value,
+                            const RetryPolicy* retry_policy = nullptr) {
   server.ResetMeters();
-  Crawler crawler(server, selector, store, options);
+  Crawler crawler(server, selector, store, options,
+                  /*abort_policy=*/nullptr, retry_policy);
   crawler.AddSeed(seed_value);
   StatusOr<CrawlResult> result = crawler.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();

@@ -1,0 +1,93 @@
+// Robustness sweep — coverage cost under transient source failures.
+//
+// The paper's controlled servers (§5) never fail, but the real sources
+// they stand in for do: §5.4 mentions rate limits and result caps, and
+// any multi-day crawl sees timeouts and 503s. This harness measures how
+// the communication-round cost of reaching 90% coverage grows with the
+// transient-failure rate when the crawler retries with capped
+// exponential backoff and degrades gracefully (re-queue, then abandon)
+// instead of dying.
+//
+// Failed attempts cost a round each (the round trip happened), so the
+// overhead at failure rate p should track 1/(1-p) plus the re-drained
+// prefixes of re-queued values.
+
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/retry_policy.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/server/faulty_server.h"
+#include "src/util/table_printer.h"
+
+namespace {
+constexpr int kNumSeeds = 4;
+constexpr double kCoverage = 0.90;
+}  // namespace
+
+int main() {
+  using namespace deepcrawl;
+  bench::PrintBanner(
+      "Robustness sweep: rounds to 90% coverage vs transient-failure rate",
+      "no faults in the paper's controlled experiments; real sources "
+      "(§5.4) time out and rate-limit",
+      "regenerated eBay database at scale 0.05, greedy-link selection, "
+      "retry budget 4 attempts / 2 re-queues, average of " +
+          std::to_string(kNumSeeds) + " crawl seeds");
+
+  const double fault_rates[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+
+  TablePrinter table({"failure rate", "coverage", "rounds to 90%",
+                      "vs fault-free", "retries", "re-queues", "abandoned"});
+  double baseline = 0.0;
+  for (double rate : fault_rates) {
+    double rounds = 0, coverage = 0, retries = 0, requeues = 0, abandoned = 0;
+    for (int s = 0; s < kNumSeeds; ++s) {
+      StatusOr<Table> db = GenerateTable(EbayConfig(0.05, /*seed=*/11));
+      DEEPCRAWL_CHECK(db.ok());
+      WebDbServer backend(*db, ServerOptions());
+      FaultyServer server(backend, FaultProfile::Transient(rate),
+                          /*seed=*/100 + static_cast<uint64_t>(s));
+
+      CrawlOptions options;
+      options.target_records = static_cast<uint64_t>(
+          kCoverage * static_cast<double>(db->num_records()));
+
+      RetryPolicyConfig retry_config;
+      retry_config.seed = 0x5eed + static_cast<uint64_t>(s);
+      RetryPolicy retry(retry_config);
+      LocalStore store;
+      GreedyLinkSelector selector(store);
+      CrawlResult result =
+          bench::RunCrawl(server, selector, store, options,
+                          bench::SeedValue(*db, static_cast<uint32_t>(s)),
+                          &retry);
+      rounds += static_cast<double>(result.rounds);
+      coverage += static_cast<double>(result.records) /
+                  static_cast<double>(db->num_records());
+      retries += static_cast<double>(result.resilience.retries);
+      requeues += static_cast<double>(result.resilience.requeues);
+      abandoned += static_cast<double>(result.resilience.abandoned_values);
+    }
+    rounds /= kNumSeeds;
+    coverage /= kNumSeeds;
+    if (rate == 0.0) baseline = rounds;
+    table.AddRow({TablePrinter::FormatPercent(rate, 0),
+                  TablePrinter::FormatPercent(coverage, 1),
+                  TablePrinter::FormatDouble(rounds, 0),
+                  TablePrinter::FormatPercent(rounds / baseline, 0),
+                  TablePrinter::FormatDouble(retries / kNumSeeds, 0),
+                  TablePrinter::FormatDouble(requeues / kNumSeeds, 1),
+                  TablePrinter::FormatDouble(abandoned / kNumSeeds, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nreading: retried rounds dominate the overhead — it stays "
+               "near the 1/(1-p) waterline of paying one round per failed "
+               "attempt. Re-queues and abandonments only appear once "
+               "max_attempts consecutive failures of one value become "
+               "likely; the crawl itself never dies, it just pays more "
+               "rounds for the same coverage.\n";
+  return 0;
+}

@@ -18,14 +18,15 @@ const char* StopReasonToString(StopReason reason) {
   return "unknown";
 }
 
-Crawler::Crawler(WebDbServer& server, QuerySelector& selector,
+Crawler::Crawler(QueryInterface& server, QuerySelector& selector,
                  LocalStore& store, CrawlOptions options,
-                 AbortPolicy* abort_policy)
+                 AbortPolicy* abort_policy, const RetryPolicy* retry_policy)
     : server_(server),
       selector_(selector),
       store_(store),
       options_(options),
-      abort_policy_(abort_policy) {}
+      abort_policy_(abort_policy),
+      retry_policy_(retry_policy) {}
 
 void Crawler::DiscoverValue(ValueId v) {
   if (v >= seen_.size()) seen_.resize(static_cast<size_t>(v) + 1, 0);
@@ -40,6 +41,18 @@ void Crawler::DiscoverValue(ValueId v) {
 
 void Crawler::AddSeed(ValueId v) { DiscoverValue(v); }
 
+ValueId Crawler::NextValue() {
+  ValueId value = selector_.SelectNext();
+  if (value != kInvalidValueId) return value;
+  // Re-queued values wait at the frontier tail: they only come up once
+  // the selector has nothing better.
+  if (!retry_queue_.empty()) {
+    value = retry_queue_.front();
+    retry_queue_.pop_front();
+  }
+  return value;
+}
+
 StatusOr<CrawlResult> Crawler::Run() {
   auto make_result = [&](StopReason reason) {
     CrawlResult result;
@@ -48,6 +61,7 @@ StatusOr<CrawlResult> Crawler::Run() {
     result.queries = queries_issued_;
     result.records = store_.num_records();
     result.trace = trace_;
+    result.resilience = trace_.resilience();
     return result;
   };
 
@@ -60,26 +74,68 @@ StatusOr<CrawlResult> Crawler::Run() {
       return make_result(StopReason::kRoundBudget);
     }
 
-    ValueId value = selector_.SelectNext();
-    if (value == kInvalidValueId) {
-      return make_result(StopReason::kFrontierExhausted);
+    ValueId value;
+    uint32_t page;
+    uint32_t failures;
+    QueryOutcome outcome;
+    if (pending_.has_value()) {
+      // A previous Run() hit the round budget mid-drain; continue that
+      // drain where it stopped instead of re-issuing the drained prefix.
+      value = pending_->value;
+      page = pending_->next_page;
+      failures = pending_->failures;
+      outcome = pending_->outcome;
+      pending_.reset();
+    } else {
+      value = NextValue();
+      if (value == kInvalidValueId) {
+        return make_result(StopReason::kFrontierExhausted);
+      }
+      ++queries_issued_;
+      page = 0;
+      failures = 0;
+      outcome.value = value;
     }
-    ++queries_issued_;
 
     // Drain the query page by page.
-    QueryOutcome outcome;
-    outcome.value = value;
     QueryProgress progress;
     progress.page_size = server_.options().page_size;
     bool budget_hit = false;
     bool target_hit = false;
-    for (uint32_t page = 0;; ++page) {
+    bool gave_up = false;
+    for (;;) {
       StatusOr<ResultPage> fetched =
           options_.use_keyword_interface
               ? server_.FetchPageKeywordOf(value, page)
               : server_.FetchPage(value, page);
       ++rounds_used_;
-      if (!fetched.ok()) return fetched.status();
+      if (!fetched.ok()) {
+        const Status& failure = fetched.status();
+        if (retry_policy_ == nullptr ||
+            !RetryPolicy::IsRetryable(failure)) {
+          return failure;
+        }
+        ++failures;
+        ++trace_.resilience().transient_failures;
+        if (!retry_policy_->ShouldRetry(failure, failures)) {
+          gave_up = true;  // retry budget for this drain is exhausted
+          break;
+        }
+        uint64_t wait =
+            retry_policy_->BackoffTicks(failure, failures, value);
+        clock_.Advance(wait);
+        trace_.resilience().backoff_ticks += wait;
+        ++trace_.resilience().retries;
+        if (options_.max_rounds > 0 &&
+            rounds_used_ >= options_.max_rounds) {
+          // Budget expired between attempts; the failed page is retried
+          // first when Run() is called again.
+          pending_ = PendingDrain{value, page, failures, outcome};
+          budget_hit = true;
+          break;
+        }
+        continue;  // retry the same page
+      }
       const ResultPage& result_page = *fetched;
 
       for (const ReturnedRecord& record : result_page.records) {
@@ -112,6 +168,7 @@ StatusOr<CrawlResult> Crawler::Run() {
         break;
       }
       if (options_.max_rounds > 0 && rounds_used_ >= options_.max_rounds) {
+        pending_ = PendingDrain{value, page + 1, failures, outcome};
         budget_hit = true;
         break;
       }
@@ -130,9 +187,36 @@ StatusOr<CrawlResult> Crawler::Run() {
           break;
         }
       }
+      ++page;
     }
 
-    selector_.OnQueryCompleted(outcome);
+    if (budget_hit) {
+      // The unfinished drain was parked in pending_; the selector hears
+      // OnQueryCompleted only when the drain actually ends.
+      return make_result(StopReason::kRoundBudget);
+    }
+
+    outcome.fetch_failures = failures;
+    if (gave_up) {
+      // Graceful degradation: pages were lost, but the crawl survives.
+      // Give the value a bounded number of fresh chances at the frontier
+      // tail before writing it off.
+      outcome.degraded = true;
+      ++trace_.resilience().degraded_queries;
+      uint32_t& requeues = requeue_count_[value];
+      if (requeues < retry_policy_->config().max_requeues) {
+        ++requeues;
+        ++trace_.resilience().requeues;
+        retry_queue_.push_back(value);
+        // Not completed: the selector is notified when the re-issued
+        // drain finishes or the value is abandoned.
+      } else {
+        ++trace_.resilience().abandoned_values;
+        selector_.OnQueryCompleted(outcome);
+      }
+    } else {
+      selector_.OnQueryCompleted(outcome);
+    }
 
     if (!saturation_notified_ && options_.saturation_records > 0 &&
         store_.num_records() >= options_.saturation_records) {
@@ -140,7 +224,6 @@ StatusOr<CrawlResult> Crawler::Run() {
       selector_.OnSaturation();
     }
     if (target_hit) return make_result(StopReason::kTargetReached);
-    if (budget_hit) return make_result(StopReason::kRoundBudget);
   }
 }
 

@@ -2,30 +2,45 @@
 //
 // Starting from seed attribute values, the crawler repeatedly
 //   1. asks its QuerySelector for the next value to query,
-//   2. probes the WebDbServer page by page (each page = one
-//      communication round, the paper's cost unit), optionally aborting
-//      the drain early via an AbortPolicy (§3.4),
+//   2. probes the source page by page (each page = one communication
+//      round, the paper's cost unit), optionally aborting the drain
+//      early via an AbortPolicy (§3.4),
 //   3. extracts returned records into the LocalStore, decomposes them
 //      into attribute values, and feeds newly-seen values back to the
 //      selector as future query candidates,
 // until the frontier empties, a round budget is exhausted, or a target
 // number of records has been harvested.
 //
-// The crawler itself never touches the backend Table: everything it
-// knows arrived through result pages, exactly like a crawler talking to
-// a real Web source.
+// The crawler depends only on the QueryInterface — never the backend
+// Table: everything it knows arrived through result pages, exactly like
+// a crawler talking to a real Web source. The same loop therefore runs
+// against the perfect simulator (WebDbServer) or the fault-injecting
+// proxy (FaultyServer).
+//
+// Resilience: with a RetryPolicy attached, transient fetch failures
+// (kUnavailable / kDeadlineExceeded / kResourceExhausted) are retried
+// with capped exponential backoff over a simulated clock; every retry
+// costs a communication round. When a value's per-drain retry budget is
+// exhausted the crawl degrades gracefully instead of dying: the value is
+// re-queued at the frontier tail (bounded times), then abandoned, and
+// the trace's ResilienceCounters record all of it. Without a policy a
+// failed fetch fails the crawl (the pre-resilience behaviour).
 
 #ifndef DEEPCRAWL_CRAWLER_CRAWLER_H_
 #define DEEPCRAWL_CRAWLER_CRAWLER_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/crawler/abort_policy.h"
 #include "src/crawler/local_store.h"
 #include "src/crawler/metrics.h"
 #include "src/crawler/query_selector.h"
-#include "src/server/web_db_server.h"
+#include "src/crawler/retry_policy.h"
+#include "src/server/query_interface.h"
 #include "src/util/status.h"
 
 namespace deepcrawl {
@@ -61,14 +76,18 @@ struct CrawlResult {
   uint64_t queries = 0;
   uint64_t records = 0;
   CrawlTrace trace;
+  // Copy of trace.resilience(), for reporting convenience.
+  ResilienceCounters resilience;
 };
 
 class Crawler {
  public:
   // All referenced objects must outlive the crawler. `abort_policy` may
-  // be null (never abort).
-  Crawler(WebDbServer& server, QuerySelector& selector, LocalStore& store,
-          CrawlOptions options, AbortPolicy* abort_policy = nullptr);
+  // be null (never abort); `retry_policy` may be null (fail the crawl on
+  // the first fetch error).
+  Crawler(QueryInterface& server, QuerySelector& selector, LocalStore& store,
+          CrawlOptions options, AbortPolicy* abort_policy = nullptr,
+          const RetryPolicy* retry_policy = nullptr);
 
   Crawler(const Crawler&) = delete;
   Crawler& operator=(const Crawler&) = delete;
@@ -80,10 +99,10 @@ class Crawler {
   // Runs the crawl loop until a stop condition fires. May be called
   // again afterwards to continue (e.g. with a larger budget). If the
   // round budget expires while a query is still being drained, the
-  // query's remaining pages are abandoned (exactly like an abort-policy
-  // abort); a later Run() proceeds with fresh selections, so a sliced
-  // crawl can reach exhaustion in slightly fewer rounds than a one-shot
-  // crawl that drained every query completely.
+  // drain's position is retained and the next Run() resumes it at the
+  // page after the last one fetched — the drained prefix is never
+  // re-issued and its records are never double-counted. An abort-policy
+  // abort, by contrast, abandons the remaining pages for good.
   StatusOr<CrawlResult> Run();
 
   // Adjusts the round budget between Run() calls (0 = unbounded),
@@ -96,21 +115,44 @@ class Crawler {
 
   const LocalStore& store() const { return store_; }
 
+  // Simulated time spent, including retry backoff waits.
+  const SimulatedClock& clock() const { return clock_; }
+
  private:
+  // A drain interrupted by the round budget, to resume on the next Run().
+  struct PendingDrain {
+    ValueId value = kInvalidValueId;
+    uint32_t next_page = 0;
+    uint32_t failures = 0;  // failed fetches of this drain so far
+    QueryOutcome outcome;
+  };
+
   // Marks `v` seen and tells the selector it entered Lto-query.
   void DiscoverValue(ValueId v);
 
-  WebDbServer& server_;
+  // Pops the next value to drain: selector frontier first, then the
+  // retry queue (re-queued values sit at the frontier tail).
+  ValueId NextValue();
+
+  QueryInterface& server_;
   QuerySelector& selector_;
   LocalStore& store_;
   CrawlOptions options_;
   AbortPolicy* abort_policy_;
+  const RetryPolicy* retry_policy_;
 
   std::vector<char> seen_;  // value already in Lto-query or Lqueried
   bool saturation_notified_ = false;
   uint64_t rounds_used_ = 0;
   uint64_t queries_issued_ = 0;
   CrawlTrace trace_;
+  SimulatedClock clock_;
+
+  // Graceful-degradation state: values whose drain gave up, waiting at
+  // the frontier tail, and how often each was already re-queued.
+  std::deque<ValueId> retry_queue_;
+  std::unordered_map<ValueId, uint32_t> requeue_count_;
+  std::optional<PendingDrain> pending_;
 };
 
 }  // namespace deepcrawl

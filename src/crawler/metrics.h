@@ -18,6 +18,31 @@ namespace deepcrawl {
 struct TracePoint {
   uint64_t rounds = 0;   // cumulative communication rounds
   uint64_t records = 0;  // cumulative distinct records harvested
+
+  bool operator==(const TracePoint&) const = default;
+};
+
+// Resilience tallies of a crawl under transient source failures (see
+// src/crawler/retry_policy.h and src/server/faulty_server.h). All
+// counters are cumulative over the crawl, so benches can report
+// coverage-under-faults next to the coverage-versus-rounds trace.
+struct ResilienceCounters {
+  // Page fetches that failed with a retryable status.
+  uint64_t transient_failures = 0;
+  // Fetches re-issued after a failure (each also cost one round).
+  uint64_t retries = 0;
+  // Simulated-clock ticks spent backing off between attempts.
+  uint64_t backoff_ticks = 0;
+  // Values re-queued at the frontier tail after their per-drain retry
+  // budget ran out.
+  uint64_t requeues = 0;
+  // Values dropped for good after exhausting the re-queue budget.
+  uint64_t abandoned_values = 0;
+  // Queries that ended with pages lost to failures (requeued or
+  // abandoned), i.e. completed in degraded mode.
+  uint64_t degraded_queries = 0;
+
+  bool operator==(const ResilienceCounters&) const = default;
 };
 
 // Monotone (in both fields) crawl progress trace.
@@ -29,6 +54,10 @@ class CrawlTrace {
   const std::vector<TracePoint>& points() const { return points_; }
   bool empty() const { return points_.empty(); }
 
+  // Resilience tallies accumulated alongside the trace points.
+  ResilienceCounters& resilience() { return resilience_; }
+  const ResilienceCounters& resilience() const { return resilience_; }
+
   // Fewest rounds after which at least `target_records` records were
   // harvested; nullopt when the trace never reaches the target.
   std::optional<uint64_t> RoundsToRecords(uint64_t target_records) const;
@@ -39,6 +68,7 @@ class CrawlTrace {
 
  private:
   std::vector<TracePoint> points_;
+  ResilienceCounters resilience_;
 };
 
 }  // namespace deepcrawl

@@ -40,6 +40,12 @@ struct QueryOutcome {
   uint32_t records_returned = 0;
   uint32_t new_records = 0;
   bool aborted = false;  // stopped early by the abort policy
+  // Transient fetch failures survived while draining this query (each
+  // cost a communication round; see retry_policy.h).
+  uint32_t fetch_failures = 0;
+  // True when pages were lost to failures: the drain gave up after its
+  // retry budget and the value was re-queued or abandoned.
+  bool degraded = false;
 };
 
 class QuerySelector {

@@ -1,0 +1,154 @@
+#include "src/server/faulty_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+FaultyServer::FaultyServer(QueryInterface& inner, FaultProfile profile,
+                           uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed) {
+  double sum = profile_.unavailable_rate + profile_.timeout_rate +
+               profile_.rate_limit_rate + profile_.truncate_rate +
+               profile_.duplicate_rate;
+  DEEPCRAWL_CHECK(sum <= 1.0 + 1e-9) << "fault rates sum to " << sum;
+  DEEPCRAWL_CHECK(profile_.unavailable_rate >= 0.0 &&
+                  profile_.timeout_rate >= 0.0 &&
+                  profile_.rate_limit_rate >= 0.0 &&
+                  profile_.truncate_rate >= 0.0 &&
+                  profile_.duplicate_rate >= 0.0)
+      << "fault rates must be non-negative";
+}
+
+void FaultyServer::set_schedule(FaultSchedule schedule) {
+  schedule_ = std::move(schedule);
+  schedule_pos_ = 0;
+}
+
+FaultAction FaultyServer::NextAction() {
+  if (schedule_pos_ < schedule_.size()) return schedule_[schedule_pos_++];
+  if (profile_.IsAllZero()) return FaultAction::kNone;
+  // One uniform draw per fetch keeps the decision sequence a pure
+  // function of (seed, call index), independent of which fault fires.
+  double u = rng_.NextDouble();
+  double threshold = profile_.unavailable_rate;
+  if (u < threshold) return FaultAction::kUnavailable;
+  threshold += profile_.timeout_rate;
+  if (u < threshold) return FaultAction::kTimeout;
+  threshold += profile_.rate_limit_rate;
+  if (u < threshold) return FaultAction::kRateLimit;
+  threshold += profile_.truncate_rate;
+  if (u < threshold) return FaultAction::kTruncate;
+  threshold += profile_.duplicate_rate;
+  if (u < threshold) return FaultAction::kDuplicate;
+  return FaultAction::kNone;
+}
+
+Status FaultyServer::InjectFailure(FaultAction action, uint32_t page_number) {
+  // The rejected round trip still happened: charge it here, because the
+  // backend never saw the call.
+  ++injected_failure_rounds_;
+  if (page_number == 0) ++injected_failure_queries_;
+  switch (action) {
+    case FaultAction::kUnavailable:
+      ++counters_.unavailable;
+      return Status::Unavailable("source temporarily unavailable");
+    case FaultAction::kTimeout:
+      ++counters_.timeouts;
+      return Status::DeadlineExceeded("page fetch timed out");
+    case FaultAction::kRateLimit:
+      ++counters_.rate_limited;
+      return Status::ResourceExhausted("rate limited")
+          .WithRetryAfter(profile_.retry_after_rounds);
+    default:
+      break;
+  }
+  DEEPCRAWL_CHECK(false) << "not a failure action";
+  return Status::Internal("unreachable");
+}
+
+void FaultyServer::MutatePage(FaultAction action, ResultPage& page) {
+  if (action == FaultAction::kTruncate) {
+    // Silently drop the trailing half of the page (at least one record).
+    // `has_more` is left untouched: the client cannot tell the listing
+    // was short, exactly like a flaky real-world result page.
+    if (page.records.empty()) return;
+    size_t drop = std::max<size_t>(1, page.records.size() / 2);
+    page.records.resize(page.records.size() - drop);
+    ++counters_.truncated_pages;
+    return;
+  }
+  if (action == FaultAction::kDuplicate) {
+    // Echo the first record again in the last slot, silently hiding the
+    // record that was there.
+    if (page.records.size() < 2) return;
+    page.records.back() = page.records.front();
+    ++counters_.duplicated_records;
+    return;
+  }
+}
+
+template <typename Fetch>
+StatusOr<ResultPage> FaultyServer::Dispatch(uint32_t page_number,
+                                            Fetch&& fetch) {
+  FaultAction action = NextAction();
+  switch (action) {
+    case FaultAction::kUnavailable:
+    case FaultAction::kTimeout:
+    case FaultAction::kRateLimit:
+      return InjectFailure(action, page_number);
+    default:
+      break;
+  }
+  StatusOr<ResultPage> fetched = fetch();
+  if (fetched.ok() && action != FaultAction::kNone) {
+    MutatePage(action, *fetched);
+  }
+  return fetched;
+}
+
+StatusOr<ResultPage> FaultyServer::FetchPage(ValueId value,
+                                             uint32_t page_number) {
+  return Dispatch(page_number,
+                  [&] { return inner_.FetchPage(value, page_number); });
+}
+
+StatusOr<ResultPage> FaultyServer::FetchPageByText(AttributeId attr,
+                                                   std::string_view text,
+                                                   uint32_t page_number) {
+  return Dispatch(page_number, [&] {
+    return inner_.FetchPageByText(attr, text, page_number);
+  });
+}
+
+StatusOr<ResultPage> FaultyServer::FetchPageByKeyword(std::string_view text,
+                                                      uint32_t page_number) {
+  return Dispatch(page_number, [&] {
+    return inner_.FetchPageByKeyword(text, page_number);
+  });
+}
+
+StatusOr<ResultPage> FaultyServer::FetchPageConjunctive(
+    std::span<const ValueId> values, uint32_t page_number) {
+  return Dispatch(page_number, [&] {
+    return inner_.FetchPageConjunctive(values, page_number);
+  });
+}
+
+StatusOr<ResultPage> FaultyServer::FetchPageKeywordOf(ValueId value,
+                                                      uint32_t page_number) {
+  return Dispatch(page_number, [&] {
+    return inner_.FetchPageKeywordOf(value, page_number);
+  });
+}
+
+void FaultyServer::ResetMeters() {
+  inner_.ResetMeters();
+  injected_failure_rounds_ = 0;
+  injected_failure_queries_ = 0;
+}
+
+}  // namespace deepcrawl

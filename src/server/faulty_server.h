@@ -1,0 +1,167 @@
+// FaultyServer: a fault-injecting proxy over any QueryInterface.
+//
+// The paper's controlled servers (§5) answer every query perfectly, but
+// the real sources they model (Amazon, Yahoo Automobile, §5.4) time out,
+// rate-limit, and truncate result lists. This proxy sits between the
+// crawler and a backend QueryInterface and injects exactly those
+// behaviours, driven by a seeded RNG and a declarative FaultProfile, so
+// resilience experiments stay bit-reproducible:
+//
+//   * transient unavailability  -> kUnavailable, no page;
+//   * deadline timeout          -> kDeadlineExceeded, no page;
+//   * rate-limit rejection      -> kResourceExhausted with a
+//                                  retry-after hint (HTTP 429 style);
+//   * truncated page            -> OK page that silently dropped its
+//                                  trailing records (a flaky listing);
+//   * duplicate echo            -> OK page where one record appears
+//                                  twice, hiding another (real listings
+//                                  repeat entries across re-renders).
+//
+// Failed attempts still cost one communication round — the round trip
+// happened — so the proxy keeps its own meters on top of the backend's.
+// For tests, a scripted FaultSchedule overrides the RNG: action i
+// applies to the i-th fetch, and the schedule falls back to fault-free
+// once exhausted.
+//
+// A FaultyServer with an all-zero profile and no schedule is behaviorally
+// identical to its backend on every interface method (asserted by a
+// property test).
+
+#ifndef DEEPCRAWL_SERVER_FAULTY_SERVER_H_
+#define DEEPCRAWL_SERVER_FAULTY_SERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/server/query_interface.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+// Per-round fault probabilities. At most one fault fires per fetch; the
+// rates must sum to at most 1.
+struct FaultProfile {
+  double unavailable_rate = 0.0;   // transient 503-style failure
+  double timeout_rate = 0.0;       // deadline expired mid-transfer
+  double rate_limit_rate = 0.0;    // 429 rejection with retry-after hint
+  double truncate_rate = 0.0;      // page silently loses trailing records
+  double duplicate_rate = 0.0;     // page echoes one record twice
+
+  // Retry-after hint (in communication rounds) attached to rate-limit
+  // rejections.
+  uint32_t retry_after_rounds = 4;
+
+  bool IsAllZero() const {
+    return unavailable_rate == 0.0 && timeout_rate == 0.0 &&
+           rate_limit_rate == 0.0 && truncate_rate == 0.0 &&
+           duplicate_rate == 0.0;
+  }
+
+  // Failure-only profile: probability `rate` of transient unavailability
+  // per round (the acceptance experiments' "10% transient failures").
+  static FaultProfile Transient(double rate) {
+    FaultProfile profile;
+    profile.unavailable_rate = rate;
+    return profile;
+  }
+};
+
+// One scripted fault decision; kNone forwards the fetch untouched.
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kUnavailable,
+  kTimeout,
+  kRateLimit,
+  kTruncate,
+  kDuplicate,
+};
+
+using FaultSchedule = std::vector<FaultAction>;
+
+// Injection tallies, for tests and coverage-under-faults reports.
+struct FaultCounters {
+  uint64_t unavailable = 0;
+  uint64_t timeouts = 0;
+  uint64_t rate_limited = 0;
+  uint64_t truncated_pages = 0;
+  uint64_t duplicated_records = 0;
+
+  uint64_t failures() const { return unavailable + timeouts + rate_limited; }
+  uint64_t total() const {
+    return failures() + truncated_pages + duplicated_records;
+  }
+};
+
+class FaultyServer : public QueryInterface {
+ public:
+  // `inner` must outlive the proxy. The same (seed, profile, call
+  // sequence) triple always yields the same faults.
+  FaultyServer(QueryInterface& inner, FaultProfile profile, uint64_t seed);
+
+  FaultyServer(const FaultyServer&) = delete;
+  FaultyServer& operator=(const FaultyServer&) = delete;
+
+  // Scripted mode: overrides the RNG until the schedule is exhausted.
+  void set_schedule(FaultSchedule schedule);
+
+  // QueryInterface implementation. Fetches are forwarded to the backend
+  // unless a failure fault fires first; page-mutating faults apply to
+  // the backend's successful response.
+  StatusOr<ResultPage> FetchPage(ValueId value, uint32_t page_number) override;
+  StatusOr<ResultPage> FetchPageByText(AttributeId attr,
+                                       std::string_view text,
+                                       uint32_t page_number) override;
+  StatusOr<ResultPage> FetchPageByKeyword(std::string_view text,
+                                          uint32_t page_number) override;
+  StatusOr<ResultPage> FetchPageConjunctive(std::span<const ValueId> values,
+                                            uint32_t page_number) override;
+  StatusOr<ResultPage> FetchPageKeywordOf(ValueId value,
+                                          uint32_t page_number) override;
+
+  // Meters include rounds spent on injected failures (the crawler paid
+  // for them), on top of the backend's own accounting.
+  uint64_t communication_rounds() const override {
+    return inner_.communication_rounds() + injected_failure_rounds_;
+  }
+  uint64_t queries_issued() const override {
+    return inner_.queries_issued() + injected_failure_queries_;
+  }
+  void ResetMeters() override;
+
+  const ServerOptions& options() const override { return inner_.options(); }
+  bool IsQueriableValue(ValueId value) const override {
+    return inner_.IsQueriableValue(value);
+  }
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultCounters& fault_counters() const { return counters_; }
+
+ private:
+  // Draws the fault decision for the next fetch (schedule first, RNG
+  // otherwise).
+  FaultAction NextAction();
+  // Returns the injected failure status for `action`, charging the round
+  // to the proxy's own meters.
+  Status InjectFailure(FaultAction action, uint32_t page_number);
+  // Applies a page-mutating fault in place.
+  void MutatePage(FaultAction action, ResultPage& page);
+
+  template <typename Fetch>
+  StatusOr<ResultPage> Dispatch(uint32_t page_number, Fetch&& fetch);
+
+  QueryInterface& inner_;
+  FaultProfile profile_;
+  Pcg32 rng_;
+  FaultSchedule schedule_;
+  size_t schedule_pos_ = 0;
+  uint64_t injected_failure_rounds_ = 0;
+  uint64_t injected_failure_queries_ = 0;
+  FaultCounters counters_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_SERVER_FAULTY_SERVER_H_

@@ -4,7 +4,8 @@
 // This module plays the role of the paper's "controlled database
 // servers" (§5): server programs that mimic Web-site behaviour on top of
 // a relational backend. The crawler may interact with a database ONLY
-// through this interface, which exposes exactly what a real site would:
+// through the QueryInterface this class implements, which exposes
+// exactly what a real site would:
 //
 //   * single-attribute equality queries (Definition 2.2), addressed by
 //     interned value id, by (attribute, text), or by bare keyword;
@@ -19,13 +20,14 @@
 //
 // Every page fetch increments the communication-round meter, which is the
 // paper's cost measure. The meter can be snapshotted and reset by the
-// experiment harness.
+// experiment harness. Unlike a real source, WebDbServer answers every
+// query perfectly; wrap it in a FaultyServer (faulty_server.h) to model
+// transient failures.
 
 #ifndef DEEPCRAWL_SERVER_WEB_DB_SERVER_H_
 #define DEEPCRAWL_SERVER_WEB_DB_SERVER_H_
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -33,47 +35,12 @@
 #include "src/index/inverted_index.h"
 #include "src/relation/table.h"
 #include "src/relation/types.h"
+#include "src/server/query_interface.h"
 #include "src/util/status.h"
 
 namespace deepcrawl {
 
-struct ServerOptions {
-  // Maximum records per result page (k in Definition 2.3).
-  uint32_t page_size = 10;
-  // Maximum matched records retrievable per query; 0 means unlimited.
-  // (§5.4: Amazon caps at 3200; the paper also studies 10 and 50.)
-  uint32_t result_limit = 0;
-  // Whether pages carry the total number of matches ("95 cars found").
-  bool reports_total_count = true;
-  // Interface schema Aq of Definition 2.2: the attributes the query form
-  // accepts, which may be a strict subset of the result schema Ar
-  // ("users can query Amazon with book title only"). Empty = every
-  // attribute is queriable. Queries on non-queriable attributes return
-  // empty results (the form has no such field), still costing a round.
-  std::vector<AttributeId> queriable_attributes;
-};
-
-// One record as returned on a result page. The id stands in for the
-// extracted record content (a real crawler deduplicates on content; the
-// simulation deduplicates on id, which is equivalent because records are
-// distinct).
-struct ReturnedRecord {
-  RecordId id = kInvalidRecordId;
-  std::span<const ValueId> values;
-};
-
-struct ResultPage {
-  std::vector<ReturnedRecord> records;
-  uint32_t page_number = 0;
-  // Total matched records in the backend (possibly more than are
-  // retrievable under the result limit); absent when the source does not
-  // report counts.
-  std::optional<uint32_t> total_matches;
-  // True when a further page can be fetched for the same query.
-  bool has_more = false;
-};
-
-class WebDbServer {
+class WebDbServer : public QueryInterface {
  public:
   // `table` must outlive the server and must not change afterwards.
   WebDbServer(const Table& table, ServerOptions options);
@@ -81,50 +48,26 @@ class WebDbServer {
   WebDbServer(const WebDbServer&) = delete;
   WebDbServer& operator=(const WebDbServer&) = delete;
 
-  // Fetches result page `page_number` (0-based) for the equality query
-  // on `value`. Costs one communication round, including when the page
-  // turns out empty or out of range (the HTTP round trip still happened).
-  // Fails with kOutOfRange when page_number is past the last retrievable
-  // page.
-  StatusOr<ResultPage> FetchPage(ValueId value, uint32_t page_number);
-
-  // Same, addressing the value as (attribute, text) the way a structured
-  // query form would. Unknown values yield an empty OK page (the site
-  // answers "0 results"), still costing one round.
+  // QueryInterface implementation; see query_interface.h for contracts.
+  StatusOr<ResultPage> FetchPage(ValueId value, uint32_t page_number) override;
   StatusOr<ResultPage> FetchPageByText(AttributeId attr,
                                        std::string_view text,
-                                       uint32_t page_number);
-
-  // Keyword-style query (§2.2 "fading schema"): the text is matched
-  // against every attribute and the union of matches is returned. Costs
-  // one round per page like the other forms.
+                                       uint32_t page_number) override;
   StatusOr<ResultPage> FetchPageByKeyword(std::string_view text,
-                                          uint32_t page_number);
-
-  // Conjunctive multi-predicate query (the paper's §2.2 future work:
-  // "highly structured and restrictive" interfaces such as airfare or
-  // hotel forms only accept multi-attribute queries). Returns records
-  // matching EVERY given value. Duplicate values are allowed;
-  // an empty value list is rejected. Costs one round per page.
+                                          uint32_t page_number) override;
   StatusOr<ResultPage> FetchPageConjunctive(std::span<const ValueId> values,
-                                            uint32_t page_number);
-
-  // Keyword query addressed by an interned value: "throws" the value's
-  // text into the site's single search box and lets the site decide
-  // which column it matches (§2.2's "fading schema" crawling mode).
-  // Equivalent to FetchPageByKeyword(text_of(value), page) but without
-  // string plumbing on the crawler side. Out-of-range ids yield an
-  // empty page; one round per page either way.
+                                            uint32_t page_number) override;
   StatusOr<ResultPage> FetchPageKeywordOf(ValueId value,
-                                          uint32_t page_number);
+                                          uint32_t page_number) override;
 
-  // --- cost accounting -------------------------------------------------
+  uint64_t communication_rounds() const override {
+    return communication_rounds_;
+  }
+  uint64_t queries_issued() const override { return queries_issued_; }
+  void ResetMeters() override;
 
-  // Total communication rounds since construction or the last reset.
-  uint64_t communication_rounds() const { return communication_rounds_; }
-  // Number of distinct query submissions (page 0 fetches).
-  uint64_t queries_issued() const { return queries_issued_; }
-  void ResetMeters();
+  const ServerOptions& options() const override { return options_; }
+  bool IsQueriableValue(ValueId value) const override;
 
   // --- harness-only introspection (not visible to selectors) -----------
 
@@ -132,7 +75,6 @@ class WebDbServer {
   // coverage in controlled experiments.
   size_t true_record_count() const { return table_.num_records(); }
 
-  const ServerOptions& options() const { return options_; }
   const Table& table() const { return table_; }
   const InvertedIndex& index() const { return index_; }
 
@@ -140,11 +82,6 @@ class WebDbServer {
   // cost(q, DB) of Definition 2.3, under the configured page size and
   // result limit. Zero-match queries still cost one round to learn that.
   uint32_t FullRetrievalCost(ValueId value) const;
-
-  // Whether the interface schema accepts queries on this value's
-  // attribute (Definition 2.2's Aq). Crawlers use this to keep
-  // unqueriable values out of Lto-query. Unknown ids are unqueriable.
-  bool IsQueriableValue(ValueId value) const;
 
  private:
   StatusOr<ResultPage> BuildPage(std::span<const RecordId> postings,

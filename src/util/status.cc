@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -24,6 +24,12 @@ enum class StatusCode {
   kAlreadyExists,
   kResourceExhausted,
   kInternal,
+  // Transient failures of a remote source (see src/server/faulty_server.h):
+  // the source could not be reached / refused service right now.
+  kUnavailable,
+  // The source accepted the request but the (simulated) deadline expired
+  // before the page arrived.
+  kDeadlineExceeded,
 };
 
 // Converts a status code to its canonical lowercase name, e.g.
@@ -61,10 +67,28 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Retry-after hint in simulated communication rounds, the way an HTTP
+  // 429 carries a Retry-After header. Attached by rate-limiting sources;
+  // honored by RetryPolicy as a lower bound on the backoff.
+  Status WithRetryAfter(uint32_t rounds) const {
+    Status copy = *this;
+    copy.retry_after_rounds_ = rounds;
+    return copy;
+  }
+  std::optional<uint32_t> retry_after_rounds() const {
+    return retry_after_rounds_;
+  }
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;
@@ -72,6 +96,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  std::optional<uint32_t> retry_after_rounds_;
 };
 
 // Holds either a value of type T or a non-OK Status explaining why the
@@ -127,5 +152,20 @@ class StatusOr {
     ::deepcrawl::Status _status = (expr);                 \
     if (!_status.ok()) return _status;                    \
   } while (false)
+
+// Evaluates `expr` (a StatusOr<T> expression); on error returns the
+// status from the enclosing function, otherwise moves the value into
+// `lhs`, which may be a declaration:
+//   DEEPCRAWL_ASSIGN_OR_RETURN(Table table, ReadTableTsvFile(path));
+#define DEEPCRAWL_ASSIGN_OR_RETURN(lhs, expr)           \
+  DEEPCRAWL_ASSIGN_OR_RETURN_IMPL_(                     \
+      DEEPCRAWL_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define DEEPCRAWL_STATUS_CONCAT_(a, b) DEEPCRAWL_STATUS_CONCAT_IMPL_(a, b)
+#define DEEPCRAWL_STATUS_CONCAT_IMPL_(a, b) a##b
+#define DEEPCRAWL_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                     \
+  if (!var.ok()) return var.status();                    \
+  lhs = std::move(var).value()
 
 #endif  // DEEPCRAWL_UTIL_STATUS_H_

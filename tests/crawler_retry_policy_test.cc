@@ -1,0 +1,148 @@
+// Tests of the retry/backoff policy: retryability classification, the
+// per-drain attempt budget, capped exponential backoff, deterministic
+// jitter, and the retry-after floor.
+
+#include "src/crawler/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepcrawl {
+namespace {
+
+TEST(RetryPolicyTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("503")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::DeadlineExceeded("timeout")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::ResourceExhausted("429")));
+}
+
+TEST(RetryPolicyTest, PermanentCodesAreNotRetryable) {
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OutOfRange("past last page")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("gone")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Internal("bug")));
+}
+
+TEST(RetryPolicyTest, ShouldRetryStopsAtMaxAttempts) {
+  RetryPolicyConfig config;
+  config.max_attempts = 3;
+  RetryPolicy policy(config);
+  Status transient = Status::Unavailable("503");
+
+  EXPECT_TRUE(policy.ShouldRetry(transient, 1));
+  EXPECT_TRUE(policy.ShouldRetry(transient, 2));
+  EXPECT_FALSE(policy.ShouldRetry(transient, 3));
+  EXPECT_FALSE(policy.ShouldRetry(transient, 4));
+}
+
+TEST(RetryPolicyTest, ShouldRetryRejectsPermanentFailures) {
+  RetryPolicy policy;
+  EXPECT_FALSE(policy.ShouldRetry(Status::OutOfRange("done"), 1));
+}
+
+TEST(RetryPolicyTest, MaxAttemptsOneMeansNoRetries) {
+  RetryPolicyConfig config;
+  config.max_attempts = 1;
+  RetryPolicy policy(config);
+  EXPECT_FALSE(policy.ShouldRetry(Status::Unavailable("503"), 1));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 2;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_ticks = 10;
+  config.jitter = 0.0;  // full window, no randomization
+  RetryPolicy policy(config);
+  Status transient = Status::Unavailable("503");
+
+  EXPECT_EQ(policy.BackoffTicks(transient, 1, 0), 2u);
+  EXPECT_EQ(policy.BackoffTicks(transient, 2, 0), 4u);
+  EXPECT_EQ(policy.BackoffTicks(transient, 3, 0), 8u);
+  EXPECT_EQ(policy.BackoffTicks(transient, 4, 0), 10u);  // capped
+  EXPECT_EQ(policy.BackoffTicks(transient, 9, 0), 10u);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndWithinWindow) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 8;
+  config.max_backoff_ticks = 64;
+  config.jitter = 0.5;
+  RetryPolicy a(config);
+  RetryPolicy b(config);
+  Status transient = Status::Unavailable("503");
+
+  for (uint32_t failures = 1; failures <= 4; ++failures) {
+    for (ValueId value = 0; value < 20; ++value) {
+      uint64_t ticks = a.BackoffTicks(transient, failures, value);
+      // Stateless: only (seed, value, failures) matter, not call order.
+      EXPECT_EQ(ticks, b.BackoffTicks(transient, failures, value));
+      uint64_t window = std::min<uint64_t>(
+          config.max_backoff_ticks, config.initial_backoff_ticks
+                                        << (failures - 1));
+      EXPECT_GE(ticks, 1u);
+      EXPECT_LE(ticks, window);
+      // Half the window is guaranteed at jitter=0.5.
+      EXPECT_GE(ticks, window - window / 2);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, DistinctSeedsDecorrelateJitter) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 64;
+  config.max_backoff_ticks = 64;
+  config.jitter = 1.0;
+  RetryPolicyConfig other = config;
+  other.seed = config.seed + 1;
+  RetryPolicy a(config);
+  RetryPolicy b(other);
+  Status transient = Status::Unavailable("503");
+
+  int differing = 0;
+  for (ValueId value = 0; value < 50; ++value) {
+    if (a.BackoffTicks(transient, 1, value) !=
+        b.BackoffTicks(transient, 1, value)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 25);
+}
+
+TEST(RetryPolicyTest, RetryAfterHintFloorsBackoff) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 1;
+  config.max_backoff_ticks = 2;
+  config.jitter = 0.0;
+  RetryPolicy policy(config);
+
+  Status rate_limited = Status::ResourceExhausted("429").WithRetryAfter(9);
+  EXPECT_EQ(policy.BackoffTicks(rate_limited, 1, 0), 9u);
+  // A hint below the computed backoff does not shrink it.
+  Status mild = Status::ResourceExhausted("429").WithRetryAfter(1);
+  EXPECT_EQ(policy.BackoffTicks(mild, 2, 0), 2u);
+}
+
+TEST(RetryPolicyTest, BackoffIsAtLeastOneTick) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 1;
+  config.max_backoff_ticks = 1;
+  config.jitter = 1.0;
+  RetryPolicy policy(config);
+  for (ValueId value = 0; value < 20; ++value) {
+    EXPECT_GE(policy.BackoffTicks(Status::Unavailable("x"), 1, value), 1u);
+  }
+}
+
+TEST(SimulatedClockTest, AdvanceAccumulates) {
+  SimulatedClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.Advance(3);
+  clock.Advance(5);
+  EXPECT_EQ(clock.now(), 8u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -22,6 +22,9 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
@@ -34,6 +37,23 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+}
+
+TEST(StatusTest, RetryAfterHintRoundTrips) {
+  Status plain = Status::ResourceExhausted("429");
+  EXPECT_FALSE(plain.retry_after_rounds().has_value());
+
+  Status hinted = plain.WithRetryAfter(6);
+  ASSERT_TRUE(hinted.retry_after_rounds().has_value());
+  EXPECT_EQ(*hinted.retry_after_rounds(), 6u);
+  // The hint rides along with code and message.
+  EXPECT_EQ(hinted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(hinted.message(), "429");
+  // The original is untouched (WithRetryAfter copies).
+  EXPECT_FALSE(plain.retry_after_rounds().has_value());
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -72,6 +92,43 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   Status s = UsesReturnIfError();
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> MaybeInt(bool succeed) {
+  if (!succeed) return Status::Unavailable("flaky");
+  return 21;
+}
+
+StatusOr<int> UsesAssignOrReturn(bool succeed) {
+  DEEPCRAWL_ASSIGN_OR_RETURN(int half, MaybeInt(succeed));
+  // Also exercise assignment to an existing variable.
+  int other = 0;
+  DEEPCRAWL_ASSIGN_OR_RETURN(other, MaybeInt(succeed));
+  return half + other;
+}
+
+TEST(StatusTest, AssignOrReturnUnwrapsValue) {
+  StatusOr<int> v = UsesAssignOrReturn(true);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusTest, AssignOrReturnPropagatesError) {
+  StatusOr<int> v = UsesAssignOrReturn(false);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+StatusOr<std::unique_ptr<int>> MakeBox() { return std::make_unique<int>(9); }
+
+TEST(StatusTest, AssignOrReturnMovesMoveOnlyValues) {
+  auto run = []() -> StatusOr<int> {
+    DEEPCRAWL_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox());
+    return *box;
+  };
+  StatusOr<int> v = run();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 9);
 }
 
 TEST(StatusOrDeathTest, ValueOnErrorAborts) {

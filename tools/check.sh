@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: the plain build and an ASan/UBSan build.
+#
+# Usage: tools/check.sh [--no-asan]
+#
+# The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
+# the sanitizer pass rebuilds everything into build-asan/ with
+# -DASAN=ON (-fsanitize=address,undefined) and runs the same suite, so
+# memory and UB bugs surface before they flake in production runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+echo "=== pass 1/2: plain build (build/) ==="
+run_suite build
+
+if [[ "${1:-}" == "--no-asan" ]]; then
+  echo "=== pass 2/2 skipped (--no-asan) ==="
+  exit 0
+fi
+
+echo "=== pass 2/2: sanitizer build (build-asan/, -DASAN=ON) ==="
+run_suite build-asan -DASAN=ON
+
+echo "all checks passed (plain + asan/ubsan)"

@@ -73,13 +73,8 @@ StatusOr<Table> LoadTarget(const Options& options) {
       "give --input=<tsv> or --workload=ebay|acm|dblp|imdb");
 }
 
-int Run(const Options& options) {
-  StatusOr<Table> loaded = LoadTarget(options);
-  if (!loaded.ok()) {
-    std::cerr << "error: " << loaded.status().ToString() << "\n";
-    return 1;
-  }
-  const Table& target = *loaded;
+Status Run(const Options& options) {
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options));
   std::cout << "target: " << target.num_records() << " records, "
             << target.num_distinct_values() << " distinct values\n\n";
 
@@ -122,8 +117,7 @@ int Run(const Options& options) {
           store, server.index(), server_options.page_size,
           server_options.result_limit);
     } else {
-      std::cerr << "error: unknown policy '" << name << "'\n";
-      return 1;
+      return Status::InvalidArgument("unknown policy '" + name + "'");
     }
 
     CrawlOptions crawl_options;
@@ -135,19 +129,15 @@ int Run(const Options& options) {
     server.ResetMeters();
     Crawler crawler(server, *selector, store, crawl_options);
     crawler.AddSeed(seed_value);
-    StatusOr<CrawlResult> result = crawler.Run();
-    if (!result.ok()) {
-      std::cerr << "crawl failed: " << result.status().ToString() << "\n";
-      return 1;
-    }
-    double coverage = static_cast<double>(result->records) /
+    DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, crawler.Run());
+    double coverage = static_cast<double>(result.records) /
                       static_cast<double>(target.num_records());
-    table.AddRow({name, std::to_string(result->records),
+    table.AddRow({name, std::to_string(result.records),
                   TablePrinter::FormatPercent(coverage, 1),
-                  std::to_string(result->rounds),
-                  std::to_string(result->queries),
-                  StopReasonToString(result->stop_reason)});
-    traces.push_back(std::move(result->trace));
+                  std::to_string(result.rounds),
+                  std::to_string(result.queries),
+                  StopReasonToString(result.stop_reason)});
+    traces.push_back(std::move(result.trace));
   }
   table.Print(std::cout);
 
@@ -156,16 +146,14 @@ int Run(const Options& options) {
       named.push_back(NamedTrace{names[i], &traces[i]});
     }
     std::ofstream file(options.comparison_csv);
-    Status written = file ? WriteComparisonCsv(named, file)
-                          : Status::NotFound("cannot create '" +
-                                             options.comparison_csv + "'");
-    if (!written.ok()) {
-      std::cerr << "error: " << written.ToString() << "\n";
-      return 1;
+    if (!file) {
+      return Status::NotFound("cannot create '" + options.comparison_csv +
+                              "'");
     }
+    DEEPCRAWL_RETURN_IF_ERROR(WriteComparisonCsv(named, file));
     std::cout << "\ncurves written to " << options.comparison_csv << "\n";
   }
-  return 0;
+  return Status::OK();
 }
 
 }  // namespace
@@ -206,5 +194,10 @@ int main(int argc, char** argv) {
               << parser.HelpText();
     return 0;
   }
-  return Run(options);
+  Status status = Run(options);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
 }

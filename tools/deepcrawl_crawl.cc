@@ -19,6 +19,10 @@
 //   # Domain-knowledge crawl: the DT comes from a second TSV.
 //   deepcrawl_crawl --input=amazon.tsv --policy=domain ...
 //       --domain-input=imdb.tsv
+//
+//   # Crawl a source that fails 10% of the time, with retries.
+//   deepcrawl_crawl --workload=ebay --scale=0.1 --policy=greedy ...
+//       --fault-profile=flaky --fault-seed=7
 
 #include <fstream>
 #include <iostream>
@@ -31,6 +35,7 @@
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
 #include "src/crawler/oracle_selector.h"
+#include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
 #include "src/datagen/canned_workloads.h"
 #include "src/datagen/workload_config.h"
@@ -38,6 +43,7 @@
 #include "src/domain/domain_table.h"
 #include "src/estimate/chao.h"
 #include "src/relation/tsv.h"
+#include "src/server/faulty_server.h"
 #include "src/server/web_db_server.h"
 #include "src/util/flags.h"
 #include "src/util/random.h"
@@ -65,8 +71,71 @@ struct Options {
   int64_t seed = 1;
   std::string trace_csv;
   std::string output_tsv;
+
+  // Fault injection (see src/server/faulty_server.h). The preset picks a
+  // base FaultProfile; the individual rates override it when >= 0.
+  std::string fault_profile = "none";
+  double fault_unavailable = -1.0;
+  double fault_timeout = -1.0;
+  double fault_rate_limit = -1.0;
+  double fault_truncate = -1.0;
+  double fault_duplicate = -1.0;
+  int64_t fault_retry_after = 4;
+  int64_t fault_seed = 1;
+  int64_t retry_attempts = 4;
+  int64_t retry_requeues = 2;
+
   bool help = false;
 };
+
+StatusOr<FaultProfile> BuildFaultProfile(const Options& options) {
+  FaultProfile profile;
+  if (options.fault_profile == "flaky") {
+    // ~10% of rounds lost to transient failures, mixed kinds.
+    profile.unavailable_rate = 0.05;
+    profile.timeout_rate = 0.03;
+    profile.rate_limit_rate = 0.02;
+  } else if (options.fault_profile == "lossy") {
+    // Pages silently lose or repeat records; no hard failures.
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.05;
+  } else if (options.fault_profile == "hostile") {
+    // Both at once, at rates that make retries and re-queues routine.
+    profile.unavailable_rate = 0.10;
+    profile.timeout_rate = 0.05;
+    profile.rate_limit_rate = 0.05;
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.02;
+  } else if (options.fault_profile != "none") {
+    return Status::InvalidArgument("unknown --fault-profile '" +
+                                   options.fault_profile +
+                                   "' (none|flaky|lossy|hostile)");
+  }
+  if (options.fault_unavailable >= 0.0) {
+    profile.unavailable_rate = options.fault_unavailable;
+  }
+  if (options.fault_timeout >= 0.0) profile.timeout_rate = options.fault_timeout;
+  if (options.fault_rate_limit >= 0.0) {
+    profile.rate_limit_rate = options.fault_rate_limit;
+  }
+  if (options.fault_truncate >= 0.0) {
+    profile.truncate_rate = options.fault_truncate;
+  }
+  if (options.fault_duplicate >= 0.0) {
+    profile.duplicate_rate = options.fault_duplicate;
+  }
+  profile.retry_after_rounds =
+      static_cast<uint32_t>(options.fault_retry_after);
+  double sum = profile.unavailable_rate + profile.timeout_rate +
+               profile.rate_limit_rate + profile.truncate_rate +
+               profile.duplicate_rate;
+  if (sum > 1.0) {
+    return Status::InvalidArgument(
+        "--fault-* rates must sum to at most 1 (got " + std::to_string(sum) +
+        ")");
+  }
+  return profile;
+}
 
 StatusOr<Table> LoadTarget(const Options& options) {
   if (!options.input.empty()) return ReadTableTsvFile(options.input);
@@ -107,13 +176,8 @@ Status WriteHarvest(const Table& target, const LocalStore& store,
   return Status::OK();
 }
 
-int Run(const Options& options) {
-  StatusOr<Table> loaded = LoadTarget(options);
-  if (!loaded.ok()) {
-    std::cerr << "error: " << loaded.status().ToString() << "\n";
-    return 1;
-  }
-  Table target = std::move(*loaded);
+Status Run(const Options& options) {
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options));
   std::cout << "target: " << target.num_records() << " records, "
             << target.num_distinct_values() << " distinct values, "
             << target.schema().num_attributes() << " attributes\n";
@@ -122,12 +186,9 @@ int Run(const Options& options) {
   std::optional<DomainTable> dt;
   std::optional<Table> domain_sample;
   if (!options.domain_input.empty()) {
-    StatusOr<Table> sample = ReadTableTsvFile(options.domain_input);
-    if (!sample.ok()) {
-      std::cerr << "error: " << sample.status().ToString() << "\n";
-      return 1;
-    }
-    domain_sample = std::move(*sample);
+    DEEPCRAWL_ASSIGN_OR_RETURN(Table sample,
+                               ReadTableTsvFile(options.domain_input));
+    domain_sample = std::move(sample);
     dt = DomainTable::Build(*domain_sample, target.schema(),
                             target.mutable_catalog());
     std::cout << "domain table: " << dt->num_entries()
@@ -140,7 +201,38 @@ int Run(const Options& options) {
   server_options.result_limit =
       static_cast<uint32_t>(options.result_limit);
   server_options.reports_total_count = options.counts;
-  WebDbServer server(target, server_options);
+  WebDbServer backend(target, server_options);
+
+  // With faults configured, the crawler talks to the fault proxy and
+  // survives the failures through its retry policy.
+  DEEPCRAWL_ASSIGN_OR_RETURN(FaultProfile profile,
+                             BuildFaultProfile(options));
+  bool faults_enabled = !profile.IsAllZero();
+  std::optional<FaultyServer> faulty;
+  if (faults_enabled) {
+    faulty.emplace(backend, profile,
+                   static_cast<uint64_t>(options.fault_seed));
+    std::cout << "faults: unavailable=" << profile.unavailable_rate
+              << " timeout=" << profile.timeout_rate
+              << " rate-limit=" << profile.rate_limit_rate
+              << " truncate=" << profile.truncate_rate
+              << " duplicate=" << profile.duplicate_rate << "\n";
+  }
+  QueryInterface& server = faults_enabled
+                               ? static_cast<QueryInterface&>(*faulty)
+                               : backend;
+
+  if (options.retry_attempts < 1) {
+    return Status::InvalidArgument("--retry-attempts must be >= 1");
+  }
+  if (options.retry_requeues < 0) {
+    return Status::InvalidArgument("--retry-requeues must be >= 0");
+  }
+  RetryPolicyConfig retry_config;
+  retry_config.max_attempts = static_cast<uint32_t>(options.retry_attempts);
+  retry_config.max_requeues = static_cast<uint32_t>(options.retry_requeues);
+  retry_config.seed = static_cast<uint64_t>(options.fault_seed);
+  RetryPolicy retry_policy(retry_config);
 
   LocalStore store;
   std::unique_ptr<QuerySelector> selector;
@@ -156,18 +248,18 @@ int Run(const Options& options) {
     selector = std::make_unique<MmmiSelector>(store);
   } else if (options.policy == "oracle") {
     selector = std::make_unique<OracleSelector>(
-        store, server.index(), server_options.page_size,
+        store, backend.index(), server_options.page_size,
         server_options.result_limit);
   } else if (options.policy == "domain") {
     if (!dt.has_value()) {
-      std::cerr << "error: --policy=domain needs --domain-input=<tsv>\n";
-      return 1;
+      return Status::InvalidArgument(
+          "--policy=domain needs --domain-input=<tsv>");
     }
     selector = std::make_unique<DomainSelector>(store, *dt,
                                                 server_options.page_size);
   } else {
-    std::cerr << "error: unknown --policy '" << options.policy << "'\n";
-    return 1;
+    return Status::InvalidArgument("unknown --policy '" + options.policy +
+                                   "'");
   }
 
   CrawlOptions crawl_options;
@@ -183,7 +275,9 @@ int Run(const Options& options) {
         options.saturation * static_cast<double>(target.num_records()));
   }
 
-  Crawler crawler(server, *selector, store, crawl_options);
+  Crawler crawler(server, *selector, store, crawl_options,
+                  /*abort_policy=*/nullptr,
+                  faults_enabled ? &retry_policy : nullptr);
   Pcg32 rng(static_cast<uint64_t>(options.seed));
   for (int64_t i = 0; i < options.num_seeds; ++i) {
     ValueId seed_value = rng.NextBounded(
@@ -195,47 +289,44 @@ int Run(const Options& options) {
     crawler.AddSeed(seed_value);
   }
 
-  StatusOr<CrawlResult> result = crawler.Run();
-  if (!result.ok()) {
-    std::cerr << "crawl failed: " << result.status().ToString() << "\n";
-    return 1;
-  }
+  DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, crawler.Run());
 
   double coverage = target.num_records() == 0
                         ? 0.0
-                        : static_cast<double>(result->records) /
+                        : static_cast<double>(result.records) /
                               static_cast<double>(target.num_records());
   ChaoEstimate chao = Chao1Estimate(store);
   std::cout << "\npolicy " << selector->name() << " ("
-            << StopReasonToString(result->stop_reason) << ")\n"
-            << "  records harvested:  " << result->records << " ("
+            << StopReasonToString(result.stop_reason) << ")\n"
+            << "  records harvested:  " << result.records << " ("
             << TablePrinter::FormatPercent(coverage, 1) << " coverage)\n"
-            << "  communication:      " << result->rounds << " rounds, "
-            << result->queries << " queries\n"
+            << "  communication:      " << result.rounds << " rounds, "
+            << result.queries << " queries\n"
             << "  online size est.:   "
             << TablePrinter::FormatDouble(chao.estimated_total, 0)
             << " records (Chao1)\n";
+  if (faults_enabled) {
+    const ResilienceCounters& res = result.resilience;
+    std::cout << "  resilience:         " << res.transient_failures
+              << " failures, " << res.retries << " retries ("
+              << res.backoff_ticks << " backoff ticks), " << res.requeues
+              << " re-queues, " << res.abandoned_values << " abandoned\n";
+  }
 
   if (!options.trace_csv.empty()) {
     std::ofstream file(options.trace_csv);
-    Status written = file ? WriteTraceCsv(result->trace, file)
-                          : Status::NotFound("cannot create '" +
-                                             options.trace_csv + "'");
-    if (!written.ok()) {
-      std::cerr << "error: " << written.ToString() << "\n";
-      return 1;
+    if (!file) {
+      return Status::NotFound("cannot create '" + options.trace_csv + "'");
     }
+    DEEPCRAWL_RETURN_IF_ERROR(WriteTraceCsv(result.trace, file));
     std::cout << "  trace written to:   " << options.trace_csv << "\n";
   }
   if (!options.output_tsv.empty()) {
-    Status written = WriteHarvest(target, store, options.output_tsv);
-    if (!written.ok()) {
-      std::cerr << "error: " << written.ToString() << "\n";
-      return 1;
-    }
+    DEEPCRAWL_RETURN_IF_ERROR(
+        WriteHarvest(target, store, options.output_tsv));
     std::cout << "  harvest written to: " << options.output_tsv << "\n";
   }
-  return 0;
+  return Status::OK();
 }
 
 }  // namespace
@@ -282,6 +373,27 @@ int main(int argc, char** argv) {
                    "write the rounds/records trace to this CSV");
   parser.AddString("output-tsv", &options.output_tsv,
                    "write the harvested records to this TSV");
+  parser.AddString("fault-profile", &options.fault_profile,
+                   "fault-injection preset: none|flaky|lossy|hostile");
+  parser.AddDouble("fault-unavailable", &options.fault_unavailable,
+                   "per-round probability of transient unavailability "
+                   "(overrides the preset; negative = keep preset)");
+  parser.AddDouble("fault-timeout", &options.fault_timeout,
+                   "per-round probability of a deadline timeout");
+  parser.AddDouble("fault-rate-limit", &options.fault_rate_limit,
+                   "per-round probability of a rate-limit rejection");
+  parser.AddDouble("fault-truncate", &options.fault_truncate,
+                   "per-round probability of a silently truncated page");
+  parser.AddDouble("fault-duplicate", &options.fault_duplicate,
+                   "per-round probability of a duplicate-record echo");
+  parser.AddInt64("fault-retry-after", &options.fault_retry_after,
+                  "retry-after hint (rounds) on rate-limit rejections");
+  parser.AddInt64("fault-seed", &options.fault_seed,
+                  "RNG seed for fault injection and retry jitter");
+  parser.AddInt64("retry-attempts", &options.retry_attempts,
+                  "max fetch attempts per value drain under faults");
+  parser.AddInt64("retry-requeues", &options.retry_requeues,
+                  "times a failed value is re-queued before abandonment");
   parser.AddBool("help", &options.help, "print this help");
 
   Status parsed = parser.Parse(argc, argv);
@@ -296,5 +408,10 @@ int main(int argc, char** argv) {
               << parser.HelpText();
     return 0;
   }
-  return Run(options);
+  Status status = Run(options);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
 }
