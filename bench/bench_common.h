@@ -16,6 +16,7 @@
 
 #include "src/crawler/crawler.h"
 #include "src/crawler/local_store.h"
+#include "src/crawler/parallel_crawler.h"
 #include "src/crawler/query_selector.h"
 #include "src/relation/table.h"
 #include "src/server/query_interface.h"
@@ -45,6 +46,25 @@ inline CrawlResult RunCrawl(QueryInterface& server, QuerySelector& selector,
   server.ResetMeters();
   Crawler crawler(server, selector, store, options,
                   /*abort_policy=*/nullptr, retry_policy);
+  crawler.AddSeed(seed_value);
+  StatusOr<CrawlResult> result = crawler.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+// Parallel counterpart of RunCrawl: crawls through the batched wave
+// engine. `server` must already be thread-safe when parallel.threads >
+// 1 (wrap it in a LockedQueryInterface). The caller's trace/coverage
+// expectations carry over: batch == 1 reproduces RunCrawl exactly.
+inline CrawlResult RunParallelCrawl(QueryInterface& server,
+                                    QuerySelector& selector, LocalStore& store,
+                                    const CrawlOptions& options,
+                                    const ParallelOptions& parallel,
+                                    ValueId seed_value,
+                                    const RetryPolicy* retry_policy = nullptr) {
+  server.ResetMeters();
+  ParallelCrawler crawler(server, selector, store, options, parallel,
+                          /*abort_policy=*/nullptr, retry_policy);
   crawler.AddSeed(seed_value);
   StatusOr<CrawlResult> result = crawler.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();

@@ -21,6 +21,10 @@ void CrawlTrace::Add(uint64_t rounds, uint64_t records) {
   points_.push_back(TracePoint{rounds, records});
 }
 
+void CrawlTrace::AddWave(std::span<const TracePoint> points) {
+  for (const TracePoint& point : points) Add(point.rounds, point.records);
+}
+
 std::optional<uint64_t> CrawlTrace::RoundsToRecords(
     uint64_t target_records) const {
   if (target_records == 0) return 0;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace deepcrawl {
@@ -50,6 +51,14 @@ class CrawlTrace {
  public:
   // Appends a point; rounds and records must be non-decreasing.
   void Add(uint64_t rounds, uint64_t records);
+
+  // Appends a whole crawl wave of points in one call, with the same
+  // collapsing/monotonicity semantics as point-by-point Add. The
+  // batched engine buffers each wave's per-page points and flushes them
+  // through this single append, so trace emission never assumes one
+  // writer per page (see parallel_crawler.cc and the regression test in
+  // tests/crawler_trace_wave_test.cc).
+  void AddWave(std::span<const TracePoint> points);
 
   const std::vector<TracePoint>& points() const { return points_; }
   bool empty() const { return points_.empty(); }

@@ -1,0 +1,262 @@
+#include "src/crawler/parallel_crawler.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+ParallelCrawler::ParallelCrawler(QueryInterface& server,
+                                 QuerySelector& selector, LocalStore& store,
+                                 CrawlOptions options,
+                                 ParallelOptions parallel,
+                                 AbortPolicy* abort_policy,
+                                 const RetryPolicy* retry_policy)
+    : server_(server),
+      selector_(selector),
+      store_(store),
+      options_(options),
+      parallel_(parallel),
+      abort_policy_(abort_policy),
+      retry_policy_(retry_policy) {
+  DEEPCRAWL_CHECK(parallel_.threads >= 1) << "need >= 1 fetch thread";
+  DEEPCRAWL_CHECK(parallel_.batch >= 1) << "need >= 1 drain slot";
+  pool_ = std::make_unique<ThreadPool>(parallel_.threads);
+  slots_.resize(parallel_.batch);
+}
+
+void ParallelCrawler::DiscoverValue(ValueId v) {
+  if (v >= seen_.size()) seen_.resize(static_cast<size_t>(v) + 1, 0);
+  if (seen_[v]) return;
+  seen_[v] = 1;
+  if (!server_.IsQueriableValue(v)) return;
+  selector_.OnValueDiscovered(v);
+}
+
+void ParallelCrawler::AddSeed(ValueId v) { DiscoverValue(v); }
+
+ValueId ParallelCrawler::NextValue() {
+  ValueId value = selector_.SelectNext();
+  if (value != kInvalidValueId) return value;
+  if (!retry_queue_.empty()) {
+    value = retry_queue_.front();
+    retry_queue_.pop_front();
+  }
+  return value;
+}
+
+void ParallelCrawler::CheckSaturation() {
+  if (!saturation_notified_ && options_.saturation_records > 0 &&
+      store_.num_records() >= options_.saturation_records) {
+    saturation_notified_ = true;
+    selector_.OnSaturation();
+  }
+}
+
+void ParallelCrawler::FinishDrain(std::optional<Slot>& slot_box) {
+  Slot& slot = *slot_box;
+  slot.outcome.fetch_failures = slot.failures;
+  selector_.OnQueryCompleted(slot.outcome);
+  slot_box.reset();
+  CheckSaturation();
+}
+
+Status ParallelCrawler::CommitFetch(std::optional<Slot>& slot_box,
+                                    StatusOr<ResultPage> fetched) {
+  Slot& slot = *slot_box;
+  ++rounds_used_;
+  if (!fetched.ok()) {
+    const Status& failure = fetched.status();
+    if (retry_policy_ == nullptr || !RetryPolicy::IsRetryable(failure)) {
+      return failure;
+    }
+    ++slot.failures;
+    ++trace_.resilience().transient_failures;
+    if (!retry_policy_->ShouldRetry(failure, slot.failures)) {
+      // Retry budget exhausted: degrade gracefully, exactly like the
+      // serial crawler — re-queue the value at the frontier tail a
+      // bounded number of times, then abandon it.
+      slot.outcome.fetch_failures = slot.failures;
+      slot.outcome.degraded = true;
+      ++trace_.resilience().degraded_queries;
+      uint32_t& requeues = requeue_count_[slot.value];
+      if (requeues < retry_policy_->config().max_requeues) {
+        ++requeues;
+        ++trace_.resilience().requeues;
+        retry_queue_.push_back(slot.value);
+        slot_box.reset();
+      } else {
+        ++trace_.resilience().abandoned_values;
+        selector_.OnQueryCompleted(slot.outcome);
+        slot_box.reset();
+      }
+      CheckSaturation();
+      return Status::OK();
+    }
+    uint64_t wait =
+        retry_policy_->BackoffTicks(failure, slot.failures, slot.value);
+    clock_.Advance(wait);
+    trace_.resilience().backoff_ticks += wait;
+    ++trace_.resilience().retries;
+    // The slot stays parked on the same page; the next wave re-fetches
+    // it (and if the budget just expired, the top of Run() parks the
+    // whole crawl, matching the serial mid-drain park).
+    return Status::OK();
+  }
+
+  const ResultPage& page = *fetched;
+  for (const ReturnedRecord& record : page.records) {
+    ++slot.outcome.records_returned;
+    if (store_.ContainsRecord(record.id)) {
+      store_.ObserveDuplicate(record.id);
+      continue;
+    }
+    // Decompose first so the selector hears about new values before the
+    // record-harvest notification (see QuerySelector contract).
+    for (ValueId v : record.values) DiscoverValue(v);
+    uint32_t store_slot = static_cast<uint32_t>(store_.num_records());
+    bool added = store_.AddRecord(record.id, record.values);
+    DEEPCRAWL_DCHECK(added) << "record dedup raced";
+    (void)added;
+    ++slot.outcome.new_records;
+    selector_.OnRecordHarvested(store_slot);
+  }
+  ++slot.outcome.pages_fetched;
+  wave_points_.push_back(TracePoint{rounds_used_, store_.num_records()});
+
+  if (page.total_matches.has_value() && slot.next_page == 0) {
+    slot.outcome.total_matches = page.total_matches;
+  }
+
+  if (!page.has_more) {
+    FinishDrain(slot_box);
+    return Status::OK();
+  }
+  if (options_.target_records > 0 &&
+      store_.num_records() >= options_.target_records) {
+    // Target reached mid-drain: complete the query (serial semantics);
+    // the top of Run() reports kTargetReached.
+    FinishDrain(slot_box);
+    return Status::OK();
+  }
+  slot.next_page += 1;
+  if (options_.max_rounds > 0 && rounds_used_ >= options_.max_rounds) {
+    // Budget expired mid-drain: the slot stays parked (the serial
+    // crawler's PendingDrain); the abort policy is deliberately not
+    // consulted, matching the serial check order.
+    return Status::OK();
+  }
+  if (abort_policy_ != nullptr) {
+    QueryProgress progress;
+    progress.page_size = server_.options().page_size;
+    progress.total_matches = slot.outcome.total_matches;
+    uint32_t total = page.total_matches.value_or(0);
+    uint32_t limit = server_.options().result_limit;
+    progress.retrievable = limit > 0 ? std::min(total, limit) : total;
+    progress.pages_fetched = slot.outcome.pages_fetched;
+    progress.records_returned = slot.outcome.records_returned;
+    progress.new_records = slot.outcome.new_records;
+    progress.has_more = true;
+    if (!abort_policy_->ShouldContinue(progress)) {
+      slot.outcome.aborted = true;
+      FinishDrain(slot_box);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<CrawlResult> ParallelCrawler::Run() {
+  auto make_result = [&](StopReason reason) {
+    CrawlResult result;
+    result.stop_reason = reason;
+    result.rounds = rounds_used_;
+    result.queries = queries_issued_;
+    result.records = store_.num_records();
+    result.trace = trace_;
+    result.resilience = trace_.resilience();
+    return result;
+  };
+
+  for (;;) {
+    if (wave_pos_ >= wave_.size()) {
+      // Between waves: evaluate stop conditions (priority matches the
+      // serial crawler exactly — target, budget, frontier) and build
+      // the next wave. While a wave is in progress these checks are
+      // deliberately skipped: the wave is an atomic unit of the crawl
+      // order, so an interrupted one must finish before anything else.
+      wave_.clear();
+      wave_pos_ = 0;
+      if (options_.target_records > 0 &&
+          store_.num_records() >= options_.target_records) {
+        return make_result(StopReason::kTargetReached);
+      }
+      if (options_.max_rounds > 0 && rounds_used_ >= options_.max_rounds) {
+        return make_result(StopReason::kRoundBudget);
+      }
+
+      // Refill: empty slots take the next frontier values in slot
+      // order, so slot rank reflects selector rank for this wave.
+      for (auto& slot_box : slots_) {
+        if (slot_box.has_value()) continue;
+        ValueId value = NextValue();
+        if (value == kInvalidValueId) break;
+        Slot slot;
+        slot.value = value;
+        slot.outcome.value = value;
+        slot_box = std::move(slot);
+        ++queries_issued_;
+      }
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].has_value()) wave_.push_back(i);
+      }
+      if (wave_.empty()) return make_result(StopReason::kFrontierExhausted);
+    }
+
+    // The budget limits how much of the wave runs now; the unfetched
+    // suffix stays queued in wave_ for the next Run() call.
+    size_t slice = wave_.size() - wave_pos_;
+    if (options_.max_rounds > 0) {
+      uint64_t remaining = options_.max_rounds > rounds_used_
+                               ? options_.max_rounds - rounds_used_
+                               : 0;
+      if (remaining == 0) return make_result(StopReason::kRoundBudget);
+      slice = static_cast<size_t>(
+          std::min<uint64_t>(slice, remaining));
+    }
+
+    // Fetch phase: one page per wave slot, concurrently. Each task
+    // writes its own rank-indexed cell, so completion order is
+    // invisible to the commit phase.
+    std::vector<std::optional<StatusOr<ResultPage>>> results(slice);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(slice);
+    for (size_t i = 0; i < slice; ++i) {
+      const Slot& slot = *slots_[wave_[wave_pos_ + i]];
+      ValueId value = slot.value;
+      uint32_t page = slot.next_page;
+      tasks.push_back([this, &results, i, value, page] {
+        results[i] = options_.use_keyword_interface
+                         ? server_.FetchPageKeywordOf(value, page)
+                         : server_.FetchPage(value, page);
+      });
+    }
+    pool_->RunAndWait(tasks);
+
+    // Commit phase: strictly by slot rank, never by completion order.
+    wave_points_.clear();
+    Status committed = Status::OK();
+    for (size_t i = 0; i < slice; ++i) {
+      committed =
+          CommitFetch(slots_[wave_[wave_pos_]], std::move(*results[i]));
+      ++wave_pos_;
+      if (!committed.ok()) break;
+    }
+    trace_.AddWave(wave_points_);
+    if (!committed.ok()) return committed;
+  }
+}
+
+}  // namespace deepcrawl

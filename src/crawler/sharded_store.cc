@@ -1,0 +1,123 @@
+#include "src/crawler/sharded_store.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+namespace {
+
+// SplitMix64 finalizer: spreads sequential record ids across shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedLocalStore::ShardedLocalStore(uint32_t num_shards) {
+  DEEPCRAWL_CHECK(num_shards >= 1) << "need >= 1 shard";
+  uint32_t shards = RoundUpPow2(num_shards);
+  shard_mask_ = shards - 1;
+  record_shards_ = std::vector<RecordShard>(shards);
+  value_shards_ = std::vector<ValueShard>(shards);
+}
+
+ShardedLocalStore::RecordShard& ShardedLocalStore::ShardOf(RecordId id) {
+  return record_shards_[Mix64(id) & shard_mask_];
+}
+
+const ShardedLocalStore::RecordShard& ShardedLocalStore::ShardOf(
+    RecordId id) const {
+  return record_shards_[Mix64(id) & shard_mask_];
+}
+
+bool ShardedLocalStore::AddRecord(RecordId id,
+                                  std::span<const ValueId> values) {
+  bool added = false;
+  {
+    RecordShard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.observations;
+    auto [it, inserted] =
+        shard.records.try_emplace(id, values.begin(), values.end());
+    (void)it;
+    added = inserted;
+  }
+  if (!added) return false;
+  // Value statistics live behind their own stripes; locks are taken one
+  // at a time (never nested), so writers cannot deadlock and only
+  // contend when they touch the same value stripe.
+  uint64_t links = values.empty() ? 0 : values.size() - 1;
+  for (ValueId v : values) {
+    ValueShard& shard = value_shards_[Mix64(v) & shard_mask_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ValueStats& stats = shard.stats[v];
+    ++stats.frequency;
+    stats.link_count += links;
+  }
+  return true;
+}
+
+bool ShardedLocalStore::ContainsRecord(RecordId id) const {
+  const RecordShard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.records.count(id) != 0;
+}
+
+size_t ShardedLocalStore::num_records() const {
+  size_t total = 0;
+  for (const RecordShard& shard : record_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.records.size();
+  }
+  return total;
+}
+
+uint64_t ShardedLocalStore::num_observations() const {
+  uint64_t total = 0;
+  for (const RecordShard& shard : record_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.observations;
+  }
+  return total;
+}
+
+uint32_t ShardedLocalStore::LocalFrequency(ValueId v) const {
+  const ValueShard& shard = value_shards_[Mix64(v) & shard_mask_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.stats.find(v);
+  return it == shard.stats.end() ? 0 : it->second.frequency;
+}
+
+uint64_t ShardedLocalStore::LocalLinkCount(ValueId v) const {
+  const ValueShard& shard = value_shards_[Mix64(v) & shard_mask_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.stats.find(v);
+  return it == shard.stats.end() ? 0 : it->second.link_count;
+}
+
+std::vector<std::pair<RecordId, std::vector<ValueId>>>
+ShardedLocalStore::Snapshot() const {
+  std::vector<std::pair<RecordId, std::vector<ValueId>>> out;
+  for (const RecordShard& shard : record_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, values] : shard.records) {
+      out.emplace_back(id, values);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,98 @@
+// ShardedLocalStore: a striped-lock harvest store for concurrent ingest.
+//
+// The deterministic wave engine (parallel_crawler.h) commits into the
+// plain LocalStore sequentially by contract — that is what makes its
+// traces reproducible. But not every consumer wants that contract: a
+// fleet of independent crawlers pointed at shards of a source, or a
+// live extractor pipeline, wants to dump records into ONE deduplicating
+// store from many threads at full speed and only needs the aggregate to
+// be exact, not the interleaving.
+//
+// This store serves that path. Records are sharded by id hash, value
+// statistics by value id, each shard behind its own mutex, so writers
+// on different shards never contend. Guarantees under arbitrary
+// concurrent AddRecord calls:
+//
+//   * exactly-once insertion — for a given record id, exactly one
+//     caller is told "new", every other observation is tallied as a
+//     duplicate (no lost and no double-counted records; stress-tested
+//     in tests/crawler_parallel_stress_test.cc, raced under TSan);
+//   * exact aggregate statistics once writers quiesce — record count,
+//     observation count, per-value frequency and link count all equal
+//     the single-threaded result;
+//   * Snapshot() is deterministic (sorted by record id), independent of
+//     the interleaving that built the store.
+
+#ifndef DEEPCRAWL_CRAWLER_SHARDED_STORE_H_
+#define DEEPCRAWL_CRAWLER_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+
+class ShardedLocalStore {
+ public:
+  // `num_shards` is rounded up to a power of two (lock striping uses a
+  // mask); 16 is plenty below ~32 writer threads.
+  explicit ShardedLocalStore(uint32_t num_shards = 16);
+
+  ShardedLocalStore(const ShardedLocalStore&) = delete;
+  ShardedLocalStore& operator=(const ShardedLocalStore&) = delete;
+
+  // Thread-safe. Returns true when the record was new; a false return
+  // means some caller (possibly this one, earlier) already inserted it
+  // and this observation was tallied as a duplicate.
+  bool AddRecord(RecordId id, std::span<const ValueId> values);
+
+  bool ContainsRecord(RecordId id) const;
+
+  // Aggregates over all shards. Exact when no writer is mid-flight.
+  size_t num_records() const;
+  uint64_t num_observations() const;  // duplicates included
+
+  // num(q, DBlocal) and the with-multiplicity link count of `v` (the
+  // LocalStore proxy-degree mode; exact distinct-neighbor degrees are
+  // not maintained here — they would serialize every insert).
+  uint32_t LocalFrequency(ValueId v) const;
+  uint64_t LocalLinkCount(ValueId v) const;
+
+  // Deterministic view: (record id, values) sorted by record id.
+  std::vector<std::pair<RecordId, std::vector<ValueId>>> Snapshot() const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(record_shards_.size());
+  }
+
+ private:
+  struct RecordShard {
+    mutable std::mutex mu;
+    std::unordered_map<RecordId, std::vector<ValueId>> records;
+    uint64_t observations = 0;
+  };
+  struct ValueStats {
+    uint32_t frequency = 0;
+    uint64_t link_count = 0;
+  };
+  struct ValueShard {
+    mutable std::mutex mu;
+    std::unordered_map<ValueId, ValueStats> stats;
+  };
+
+  RecordShard& ShardOf(RecordId id);
+  const RecordShard& ShardOf(RecordId id) const;
+
+  uint64_t shard_mask_;
+  std::vector<RecordShard> record_shards_;
+  std::vector<ValueShard> value_shards_;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_CRAWLER_SHARDED_STORE_H_

@@ -3,16 +3,34 @@
 #include <algorithm>
 #include <ostream>
 #include <set>
+#include <string>
 
 namespace deepcrawl {
 
-Status WriteTraceCsv(const CrawlTrace& trace, std::ostream& output) {
-  output << "rounds,records\n";
-  for (const TracePoint& point : trace.points()) {
-    output << point.rounds << ',' << point.records << '\n';
-  }
+namespace {
+
+// Flushes a fully-formatted CSV with ONE streambuf write. Benches that
+// export several traces may share one ostream across crawl harnesses;
+// a single atomic append per trace keeps rows from interleaving, where
+// the old row-by-row `<<` emission silently assumed a single writer
+// (regression-tested in tests/crawler_trace_wave_test.cc).
+Status EmitBuffered(const std::string& buffer, std::ostream& output) {
+  output.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   if (!output) return Status::Internal("write failed");
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTraceCsv(const CrawlTrace& trace, std::ostream& output) {
+  std::string buffer = "rounds,records\n";
+  for (const TracePoint& point : trace.points()) {
+    buffer += std::to_string(point.rounds);
+    buffer += ',';
+    buffer += std::to_string(point.records);
+    buffer += '\n';
+  }
+  return EmitBuffered(buffer, output);
 }
 
 Status WriteComparisonCsv(const std::vector<NamedTrace>& traces,
@@ -20,14 +38,15 @@ Status WriteComparisonCsv(const std::vector<NamedTrace>& traces,
   if (traces.empty()) {
     return Status::InvalidArgument("no traces to export");
   }
-  output << "rounds";
+  std::string buffer = "rounds";
   for (const NamedTrace& named : traces) {
     if (named.trace == nullptr) {
       return Status::InvalidArgument("null trace '" + named.name + "'");
     }
-    output << ',' << named.name;
+    buffer += ',';
+    buffer += named.name;
   }
-  output << '\n';
+  buffer += '\n';
 
   std::set<uint64_t> rounds;
   for (const NamedTrace& named : traces) {
@@ -36,14 +55,14 @@ Status WriteComparisonCsv(const std::vector<NamedTrace>& traces,
     }
   }
   for (uint64_t r : rounds) {
-    output << r;
+    buffer += std::to_string(r);
     for (const NamedTrace& named : traces) {
-      output << ',' << named.trace->RecordsAtRounds(r);
+      buffer += ',';
+      buffer += std::to_string(named.trace->RecordsAtRounds(r));
     }
-    output << '\n';
+    buffer += '\n';
   }
-  if (!output) return Status::Internal("write failed");
-  return Status::OK();
+  return EmitBuffered(buffer, output);
 }
 
 }  // namespace deepcrawl

@@ -8,9 +8,50 @@
 
 namespace deepcrawl {
 
+namespace {
+
+// SplitMix64 finalizer (same construction as the retry-jitter hash):
+// stateless, so keyed fault decisions depend only on their inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over text queries: stable across runs and platforms (std::hash
+// makes no such promise), so keyed fault streams stay reproducible.
+uint64_t HashText(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Query-identity keys. The leading tag separates the five interface
+// methods so e.g. FetchPage(v) and FetchPageKeywordOf(v) draw
+// independent fault streams.
+uint64_t KeyOfValue(uint64_t tag, ValueId value) {
+  return Mix64((tag << 56) ^ value);
+}
+
+uint64_t KeyOfText(uint64_t tag, uint64_t attr, std::string_view text) {
+  return Mix64((tag << 56) ^ (attr << 40) ^ HashText(text));
+}
+
+uint64_t KeyOfValues(uint64_t tag, std::span<const ValueId> values) {
+  uint64_t h = tag << 56;
+  for (ValueId v : values) h = Mix64(h ^ v);
+  return h;
+}
+
+}  // namespace
+
 FaultyServer::FaultyServer(QueryInterface& inner, FaultProfile profile,
                            uint64_t seed)
-    : inner_(inner), profile_(profile), rng_(seed) {
+    : inner_(inner), profile_(profile), seed_(seed), rng_(seed) {
   double sum = profile_.unavailable_rate + profile_.timeout_rate +
                profile_.rate_limit_rate + profile_.truncate_rate +
                profile_.duplicate_rate;
@@ -28,12 +69,24 @@ void FaultyServer::set_schedule(FaultSchedule schedule) {
   schedule_pos_ = 0;
 }
 
-FaultAction FaultyServer::NextAction() {
+FaultAction FaultyServer::NextAction(uint64_t query_key,
+                                     uint32_t page_number) {
   if (schedule_pos_ < schedule_.size()) return schedule_[schedule_pos_++];
   if (profile_.IsAllZero()) return FaultAction::kNone;
-  // One uniform draw per fetch keeps the decision sequence a pure
-  // function of (seed, call index), independent of which fault fires.
-  double u = rng_.NextDouble();
+  double u;
+  if (keyed_) {
+    // Keyed draw: a pure function of (seed, query, page, attempt) —
+    // identical for the same logical fetch no matter the arrival order.
+    uint64_t page_key =
+        Mix64(query_key ^ (static_cast<uint64_t>(page_number) << 32));
+    uint32_t attempt = ++keyed_attempts_[page_key];
+    uint64_t h = Mix64(seed_ ^ Mix64(page_key ^ attempt));
+    u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  } else {
+    // One uniform draw per fetch keeps the decision sequence a pure
+    // function of (seed, call index), independent of which fault fires.
+    u = rng_.NextDouble();
+  }
   double threshold = profile_.unavailable_rate;
   if (u < threshold) return FaultAction::kUnavailable;
   threshold += profile_.timeout_rate;
@@ -92,9 +145,10 @@ void FaultyServer::MutatePage(FaultAction action, ResultPage& page) {
 }
 
 template <typename Fetch>
-StatusOr<ResultPage> FaultyServer::Dispatch(uint32_t page_number,
+StatusOr<ResultPage> FaultyServer::Dispatch(uint64_t query_key,
+                                            uint32_t page_number,
                                             Fetch&& fetch) {
-  FaultAction action = NextAction();
+  FaultAction action = NextAction(query_key, page_number);
   switch (action) {
     case FaultAction::kUnavailable:
     case FaultAction::kTimeout:
@@ -112,35 +166,35 @@ StatusOr<ResultPage> FaultyServer::Dispatch(uint32_t page_number,
 
 StatusOr<ResultPage> FaultyServer::FetchPage(ValueId value,
                                              uint32_t page_number) {
-  return Dispatch(page_number,
+  return Dispatch(KeyOfValue(1, value), page_number,
                   [&] { return inner_.FetchPage(value, page_number); });
 }
 
 StatusOr<ResultPage> FaultyServer::FetchPageByText(AttributeId attr,
                                                    std::string_view text,
                                                    uint32_t page_number) {
-  return Dispatch(page_number, [&] {
+  return Dispatch(KeyOfText(2, attr, text), page_number, [&] {
     return inner_.FetchPageByText(attr, text, page_number);
   });
 }
 
 StatusOr<ResultPage> FaultyServer::FetchPageByKeyword(std::string_view text,
                                                       uint32_t page_number) {
-  return Dispatch(page_number, [&] {
+  return Dispatch(KeyOfText(3, 0, text), page_number, [&] {
     return inner_.FetchPageByKeyword(text, page_number);
   });
 }
 
 StatusOr<ResultPage> FaultyServer::FetchPageConjunctive(
     std::span<const ValueId> values, uint32_t page_number) {
-  return Dispatch(page_number, [&] {
+  return Dispatch(KeyOfValues(4, values), page_number, [&] {
     return inner_.FetchPageConjunctive(values, page_number);
   });
 }
 
 StatusOr<ResultPage> FaultyServer::FetchPageKeywordOf(ValueId value,
                                                       uint32_t page_number) {
-  return Dispatch(page_number, [&] {
+  return Dispatch(KeyOfValue(5, value), page_number, [&] {
     return inner_.FetchPageKeywordOf(value, page_number);
   });
 }

@@ -23,6 +23,17 @@
 // applies to the i-th fetch, and the schedule falls back to fault-free
 // once exhausted.
 //
+// Keyed fault mode (set_keyed_faults): by default the fault decision
+// sequence is a function of (seed, global fetch index), which makes it
+// depend on the order fetches ARRIVE — fine for a serial crawler,
+// useless for a parallel one, where arrival order varies with thread
+// scheduling. In keyed mode each decision is instead a pure function of
+// (seed, query identity, page, per-page attempt number): the same
+// logical fetch always meets the same fault no matter when it arrives
+// or what ran in between. A serial and a parallel crawl that issue the
+// same logical fetches therefore see identical faults, which is what
+// the serial-vs-parallel differential tests rely on (DESIGN.md §8).
+//
 // A FaultyServer with an all-zero profile and no schedule is behaviorally
 // identical to its backend on every interface method (asserted by a
 // property test).
@@ -33,6 +44,7 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/server/query_interface.h"
@@ -107,6 +119,12 @@ class FaultyServer : public QueryInterface {
   // Scripted mode: overrides the RNG until the schedule is exhausted.
   void set_schedule(FaultSchedule schedule);
 
+  // Keyed mode: fault decisions become a pure function of (seed, query
+  // identity, page, attempt) instead of the global fetch order, making
+  // the fault stream independent of arrival order (see file comment).
+  void set_keyed_faults(bool keyed) { keyed_ = keyed; }
+  bool keyed_faults() const { return keyed_; }
+
   // QueryInterface implementation. Fetches are forwarded to the backend
   // unless a failure fault fires first; page-mutating faults apply to
   // the backend's successful response.
@@ -140,9 +158,10 @@ class FaultyServer : public QueryInterface {
   const FaultCounters& fault_counters() const { return counters_; }
 
  private:
-  // Draws the fault decision for the next fetch (schedule first, RNG
-  // otherwise).
-  FaultAction NextAction();
+  // Draws the fault decision for the next fetch: schedule first, then
+  // the keyed hash (keyed mode) or the sequential RNG. `query_key`
+  // identifies the logical query (value id or text hash).
+  FaultAction NextAction(uint64_t query_key, uint32_t page_number);
   // Returns the injected failure status for `action`, charging the round
   // to the proxy's own meters.
   Status InjectFailure(FaultAction action, uint32_t page_number);
@@ -150,13 +169,19 @@ class FaultyServer : public QueryInterface {
   void MutatePage(FaultAction action, ResultPage& page);
 
   template <typename Fetch>
-  StatusOr<ResultPage> Dispatch(uint32_t page_number, Fetch&& fetch);
+  StatusOr<ResultPage> Dispatch(uint64_t query_key, uint32_t page_number,
+                                Fetch&& fetch);
 
   QueryInterface& inner_;
   FaultProfile profile_;
+  uint64_t seed_;
   Pcg32 rng_;
   FaultSchedule schedule_;
   size_t schedule_pos_ = 0;
+  // Keyed mode: per-(query, page) fetch counts, so retries of the same
+  // page draw fresh (but still order-independent) fault decisions.
+  bool keyed_ = false;
+  std::unordered_map<uint64_t, uint32_t> keyed_attempts_;
   uint64_t injected_failure_rounds_ = 0;
   uint64_t injected_failure_queries_ = 0;
   FaultCounters counters_;

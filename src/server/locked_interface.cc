@@ -1,0 +1,62 @@
+#include "src/server/locked_interface.h"
+
+#include <chrono>
+#include <thread>
+
+namespace deepcrawl {
+
+LockedQueryInterface::LockedQueryInterface(QueryInterface& inner,
+                                           uint64_t latency_us)
+    : inner_(inner), latency_us_(latency_us) {}
+
+template <typename Fetch>
+StatusOr<ResultPage> LockedQueryInterface::Locked(Fetch&& fetch) {
+  if (latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return fetch();
+}
+
+StatusOr<ResultPage> LockedQueryInterface::FetchPage(ValueId value,
+                                                     uint32_t page_number) {
+  return Locked([&] { return inner_.FetchPage(value, page_number); });
+}
+
+StatusOr<ResultPage> LockedQueryInterface::FetchPageByText(
+    AttributeId attr, std::string_view text, uint32_t page_number) {
+  return Locked([&] { return inner_.FetchPageByText(attr, text, page_number); });
+}
+
+StatusOr<ResultPage> LockedQueryInterface::FetchPageByKeyword(
+    std::string_view text, uint32_t page_number) {
+  return Locked([&] { return inner_.FetchPageByKeyword(text, page_number); });
+}
+
+StatusOr<ResultPage> LockedQueryInterface::FetchPageConjunctive(
+    std::span<const ValueId> values, uint32_t page_number) {
+  return Locked(
+      [&] { return inner_.FetchPageConjunctive(values, page_number); });
+}
+
+StatusOr<ResultPage> LockedQueryInterface::FetchPageKeywordOf(
+    ValueId value, uint32_t page_number) {
+  return Locked([&] { return inner_.FetchPageKeywordOf(value, page_number); });
+}
+
+uint64_t LockedQueryInterface::communication_rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.communication_rounds();
+}
+
+uint64_t LockedQueryInterface::queries_issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.queries_issued();
+}
+
+void LockedQueryInterface::ResetMeters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.ResetMeters();
+}
+
+}  // namespace deepcrawl

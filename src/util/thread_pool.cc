@@ -1,0 +1,72 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  DEEPCRAWL_CHECK(num_threads >= 1) << "thread pool needs >= 1 worker";
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DEEPCRAWL_CHECK(!stopping_) << "Submit on a stopping pool";
+    queue_.push_back(std::move(task));
+  }
+  wake_workers_.notify_one();
+}
+
+void ThreadPool::RunAndWait(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  // Per-wave completion latch; local so overlapping RunAndWait calls
+  // from different threads would not interfere.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    Submit([latch, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_workers_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace deepcrawl

@@ -1,0 +1,348 @@
+// Differential test suite for the parallel batched crawl engine:
+// serial-vs-parallel equivalence for every selection policy and fault
+// profile, and thread-count invariance at every batch size.
+//
+// The determinism contract under test (DESIGN.md §8):
+//   * ParallelCrawler with batch == 1 is BIT-IDENTICAL to the serial
+//     Crawler — same trace points, resilience counters, stop reason,
+//     meters, and harvest order — at any thread count;
+//   * at any batch size, the output is a pure function of the seed and
+//     the batch: thread count never changes anything but wall-clock.
+// Fault runs use the FaultyServer's keyed mode so the fault stream is a
+// function of logical fetch identity rather than arrival order.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/crawler/abort_policy.h"
+#include "src/crawler/crawler.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/mmmi_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/parallel_crawler.h"
+#include "src/crawler/retry_policy.h"
+#include "src/datagen/movie_domain.h"
+#include "src/server/faulty_server.h"
+#include "src/server/locked_interface.h"
+#include "src/server/web_db_server.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+constexpr uint64_t kFaultSeed = 29;
+constexpr uint64_t kSelectorSeed = 5;
+
+const char* const kPolicies[] = {"bfs", "dfs", "random", "greedy", "mmmi"};
+const char* const kProfiles[] = {"none", "flaky", "lossy", "hostile"};
+
+FaultProfile ProfileByName(const std::string& name) {
+  FaultProfile profile;
+  if (name == "flaky") {
+    profile.unavailable_rate = 0.05;
+    profile.timeout_rate = 0.03;
+    profile.rate_limit_rate = 0.02;
+  } else if (name == "lossy") {
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.05;
+  } else if (name == "hostile") {
+    profile.unavailable_rate = 0.10;
+    profile.timeout_rate = 0.05;
+    profile.rate_limit_rate = 0.05;
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.02;
+  }
+  return profile;
+}
+
+std::unique_ptr<QuerySelector> MakeSelector(const std::string& policy,
+                                            const LocalStore& store) {
+  if (policy == "bfs") return std::make_unique<BfsSelector>();
+  if (policy == "dfs") return std::make_unique<DfsSelector>();
+  if (policy == "random") {
+    return std::make_unique<RandomSelector>(kSelectorSeed);
+  }
+  if (policy == "greedy") return std::make_unique<GreedyLinkSelector>(store);
+  if (policy == "mmmi") return std::make_unique<MmmiSelector>(store);
+  ADD_FAILURE() << "unknown policy " << policy;
+  return nullptr;
+}
+
+ValueId FirstQueriableSeed(const Table& table) {
+  for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+    if (table.value_frequency(v) > 0) return v;
+  }
+  ADD_FAILURE() << "table has no queriable value";
+  return kInvalidValueId;
+}
+
+const Table& DifferentialTarget() {
+  static const Table* table = [] {
+    MovieDomainPairConfig config;
+    config.universe_size = 1500;
+    config.target_size = 400;
+    config.seed = 7;
+    StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+    DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+    return new Table(std::move(pair->target));
+  }();
+  return *table;
+}
+
+CrawlOptions BaseOptions(const Table& target) {
+  CrawlOptions options;
+  // Exercise the MMMI switch-over; harmless for the other selectors.
+  options.saturation_records =
+      static_cast<uint64_t>(0.6 * static_cast<double>(target.num_records()));
+  return options;
+}
+
+// Everything two equivalent crawls must agree on.
+struct RunOutput {
+  CrawlResult result;
+  std::vector<RecordId> harvest_order;  // store slots in commit order
+  uint64_t clock_ticks = 0;
+};
+
+RunOutput Capture(const CrawlResult& result, const LocalStore& store,
+                  uint64_t clock_ticks) {
+  RunOutput out;
+  out.result = result;
+  out.harvest_order.reserve(store.num_records());
+  for (uint32_t slot = 0; slot < store.num_records(); ++slot) {
+    out.harvest_order.push_back(store.OriginalRecordId(slot));
+  }
+  out.clock_ticks = clock_ticks;
+  return out;
+}
+
+RunOutput RunSerial(const std::string& policy, const std::string& profile_name,
+                    CrawlOptions options) {
+  const Table& target = DifferentialTarget();
+  WebDbServer backend(target, ServerOptions());
+  FaultProfile profile = ProfileByName(profile_name);
+  std::optional<FaultyServer> faulty;
+  QueryInterface* server = &backend;
+  if (!profile.IsAllZero()) {
+    faulty.emplace(backend, profile, kFaultSeed);
+    faulty->set_keyed_faults(true);
+    server = &*faulty;
+  }
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  Crawler crawler(*server, *selector, store, options,
+                  /*abort_policy=*/nullptr, &retry);
+  crawler.AddSeed(FirstQueriableSeed(target));
+  StatusOr<CrawlResult> result = crawler.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return Capture(*result, store, crawler.clock().now());
+}
+
+RunOutput RunParallel(const std::string& policy,
+                      const std::string& profile_name, CrawlOptions options,
+                      uint32_t threads, uint32_t batch) {
+  const Table& target = DifferentialTarget();
+  WebDbServer backend(target, ServerOptions());
+  FaultProfile profile = ProfileByName(profile_name);
+  std::optional<FaultyServer> faulty;
+  QueryInterface* direct = &backend;
+  if (!profile.IsAllZero()) {
+    faulty.emplace(backend, profile, kFaultSeed);
+    faulty->set_keyed_faults(true);
+    direct = &*faulty;
+  }
+  LockedQueryInterface server(*direct);
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  ParallelOptions parallel{threads, batch};
+  ParallelCrawler crawler(server, *selector, store, options, parallel,
+                          /*abort_policy=*/nullptr, &retry);
+  crawler.AddSeed(FirstQueriableSeed(target));
+  StatusOr<CrawlResult> result = crawler.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return Capture(*result, store, crawler.clock().now());
+}
+
+void ExpectIdentical(const RunOutput& a, const RunOutput& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.result.stop_reason, b.result.stop_reason);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.queries, b.result.queries);
+  EXPECT_EQ(a.result.records, b.result.records);
+  EXPECT_EQ(a.result.trace.points(), b.result.trace.points());
+  EXPECT_EQ(a.result.resilience, b.result.resilience);
+  EXPECT_EQ(a.harvest_order, b.harvest_order);
+  EXPECT_EQ(a.clock_ticks, b.clock_ticks);
+}
+
+// batch == 1: the parallel engine must reproduce the serial crawler
+// bit-for-bit, for every selector, fault profile, and thread count.
+TEST(ParallelCrawlerDifferentialTest, SerialEquivalenceAllPolicies) {
+  for (const char* policy : kPolicies) {
+    for (const char* profile : kProfiles) {
+      CrawlOptions options = BaseOptions(DifferentialTarget());
+      RunOutput serial = RunSerial(policy, profile, options);
+      for (uint32_t threads : {1u, 4u, 8u}) {
+        RunOutput parallel =
+            RunParallel(policy, profile, options, threads, /*batch=*/1);
+        ExpectIdentical(serial, parallel,
+                        std::string(policy) + "/" + profile + "/threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+// batch == 4: thread count is an execution detail — outputs at 1, 4,
+// and 8 threads must be identical to each other.
+TEST(ParallelCrawlerDifferentialTest, ThreadCountInvarianceBatch4) {
+  for (const char* policy : kPolicies) {
+    for (const char* profile : kProfiles) {
+      CrawlOptions options = BaseOptions(DifferentialTarget());
+      RunOutput reference =
+          RunParallel(policy, profile, options, /*threads=*/1, /*batch=*/4);
+      for (uint32_t threads : {4u, 8u}) {
+        RunOutput other =
+            RunParallel(policy, profile, options, threads, /*batch=*/4);
+        ExpectIdentical(reference, other,
+                        std::string(policy) + "/" + profile + "/threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+// batch > 1 changes the crawl ORDER even for BFS (a wave interleaves
+// its slots' discoveries page by page, where serial appends one full
+// drain at a time), but never the outcome of an exhaustive crawl: the
+// final coverage, round count, and query count all match serial.
+TEST(ParallelCrawlerDifferentialTest, BfsBatchedReachesSerialCoverage) {
+  CrawlOptions options = BaseOptions(DifferentialTarget());
+  RunOutput serial = RunSerial("bfs", "none", options);
+  RunOutput batched = RunParallel("bfs", "none", options, /*threads=*/4,
+                                  /*batch=*/4);
+  EXPECT_EQ(batched.result.stop_reason, StopReason::kFrontierExhausted);
+  EXPECT_EQ(batched.result.records, serial.result.records);
+  // BFS drains every discovered value completely, so an exhaustive
+  // crawl issues the same queries and fetches the same pages in both
+  // engines — only their order differs.
+  EXPECT_EQ(batched.result.rounds, serial.result.rounds);
+  EXPECT_EQ(batched.result.queries, serial.result.queries);
+  std::set<RecordId> serial_ids(serial.harvest_order.begin(),
+                                serial.harvest_order.end());
+  std::set<RecordId> batched_ids(batched.harvest_order.begin(),
+                                 batched.harvest_order.end());
+  EXPECT_EQ(batched_ids, serial_ids);
+}
+
+// Keyword-interface crawls flow through FetchPageKeywordOf; the
+// equivalence must hold there too.
+TEST(ParallelCrawlerDifferentialTest, KeywordModeEquivalence) {
+  CrawlOptions options = BaseOptions(DifferentialTarget());
+  options.use_keyword_interface = true;
+  RunOutput serial = RunSerial("greedy", "flaky", options);
+  RunOutput parallel =
+      RunParallel("greedy", "flaky", options, /*threads=*/4, /*batch=*/1);
+  ExpectIdentical(serial, parallel, "keyword/greedy/flaky");
+}
+
+// Round-budget semantics: a target and a budget must stop both engines
+// at the same point with the same stop reason.
+TEST(ParallelCrawlerDifferentialTest, BudgetAndTargetStops) {
+  for (uint64_t max_rounds : {25u, 120u}) {
+    CrawlOptions options = BaseOptions(DifferentialTarget());
+    options.max_rounds = max_rounds;
+    options.target_records = 150;
+    RunOutput serial = RunSerial("greedy", "hostile", options);
+    RunOutput parallel =
+        RunParallel("greedy", "hostile", options, /*threads=*/4, /*batch=*/1);
+    ExpectIdentical(serial, parallel,
+                    "budget=" + std::to_string(max_rounds));
+  }
+}
+
+// Sliced execution: running the parallel engine in many small budget
+// increments must land exactly where one unbounded Run() lands —
+// parked slots resume with no page re-fetched and no record
+// double-counted, at any batch size.
+TEST(ParallelCrawlerDifferentialTest, SlicedRunsResumeExactly) {
+  const Table& target = DifferentialTarget();
+  CrawlOptions options = BaseOptions(target);
+
+  RunOutput one_shot =
+      RunParallel("greedy", "flaky", options, /*threads=*/4, /*batch=*/3);
+
+  WebDbServer backend(target, ServerOptions());
+  FaultProfile profile = ProfileByName("flaky");
+  FaultyServer faulty(backend, profile, kFaultSeed);
+  faulty.set_keyed_faults(true);
+  LockedQueryInterface server(faulty);
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector = MakeSelector("greedy", store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  ParallelCrawler crawler(server, *selector, store, options,
+                          ParallelOptions{4, 3}, nullptr, &retry);
+  crawler.AddSeed(FirstQueriableSeed(target));
+  StatusOr<CrawlResult> sliced = Status::Internal("never ran");
+  for (uint64_t budget = 17;; budget += 17) {
+    crawler.set_max_rounds(budget);
+    sliced = crawler.Run();
+    ASSERT_TRUE(sliced.ok()) << sliced.status().ToString();
+    if (sliced->stop_reason != StopReason::kRoundBudget) break;
+  }
+  RunOutput sliced_out = Capture(*sliced, store, crawler.clock().now());
+  // The one-shot run never sees a budget, so compare everything except
+  // the stop bookkeeping path: trace, meters, harvest, resilience.
+  EXPECT_EQ(one_shot.result.rounds, sliced_out.result.rounds);
+  EXPECT_EQ(one_shot.result.queries, sliced_out.result.queries);
+  EXPECT_EQ(one_shot.result.records, sliced_out.result.records);
+  EXPECT_EQ(one_shot.result.trace.points(), sliced_out.result.trace.points());
+  EXPECT_EQ(one_shot.result.resilience, sliced_out.result.resilience);
+  EXPECT_EQ(one_shot.harvest_order, sliced_out.harvest_order);
+  EXPECT_EQ(one_shot.clock_ticks, sliced_out.clock_ticks);
+}
+
+// Abort policies are consulted at the same points in both engines.
+TEST(ParallelCrawlerDifferentialTest, AbortPolicyEquivalence) {
+  const Table& target = DifferentialTarget();
+  CrawlOptions options = BaseOptions(target);
+
+  auto run = [&](bool parallel) {
+    WebDbServer backend(target, ServerOptions());
+    LockedQueryInterface locked(backend);
+    LocalStore store;
+    std::unique_ptr<QuerySelector> selector = MakeSelector("greedy", store);
+    CountBasedAbort abort_policy(/*min_harvest_rate=*/2.0);
+    StatusOr<CrawlResult> result = Status::Internal("never ran");
+    uint64_t ticks = 0;
+    if (parallel) {
+      ParallelCrawler crawler(locked, *selector, store, options,
+                              ParallelOptions{4, 1}, &abort_policy, nullptr);
+      crawler.AddSeed(FirstQueriableSeed(target));
+      result = crawler.Run();
+      ticks = crawler.clock().now();
+    } else {
+      Crawler crawler(backend, *selector, store, options, &abort_policy,
+                      nullptr);
+      crawler.AddSeed(FirstQueriableSeed(target));
+      result = crawler.Run();
+      ticks = crawler.clock().now();
+    }
+    DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+    return Capture(*result, store, ticks);
+  };
+
+  ExpectIdentical(run(false), run(true), "count-abort");
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,130 @@
+// Regression tests for single-writer trace emission (the bench_common /
+// trace_io fix): CrawlTrace::AddWave must be indistinguishable from
+// point-by-point Add, and the CSV writers must emit their whole output
+// through ONE stream write instead of a write per row — a row-per-write
+// emitter interleaves rows when two benches share a stream.
+
+#include "src/crawler/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "src/crawler/metrics.h"
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+TEST(TraceWaveTest, AddWaveMatchesSequentialAdds) {
+  // Random monotone waves, including empty waves and same-round points
+  // (which Add collapses); both paths must agree exactly.
+  Pcg32 rng(42);
+  CrawlTrace wave_trace;
+  CrawlTrace point_trace;
+  uint64_t rounds = 0;
+  uint64_t records = 0;
+  for (int w = 0; w < 50; ++w) {
+    std::vector<TracePoint> wave;
+    uint32_t wave_size = rng.NextBounded(6);  // 0..5 points
+    for (uint32_t i = 0; i < wave_size; ++i) {
+      rounds += rng.NextBounded(3);   // may stay on the same round
+      records += rng.NextBounded(4);  // may stay on the same count
+      wave.push_back(TracePoint{rounds, records});
+    }
+    wave_trace.AddWave(wave);
+    for (const TracePoint& p : wave) point_trace.Add(p.rounds, p.records);
+    ASSERT_EQ(wave_trace.points(), point_trace.points()) << "wave " << w;
+  }
+  EXPECT_FALSE(wave_trace.empty());
+  EXPECT_EQ(wave_trace.RecordsAtRounds(rounds), records);
+}
+
+TEST(TraceWaveTest, AddWaveOfOneEqualsAdd) {
+  CrawlTrace a;
+  CrawlTrace b;
+  std::vector<TracePoint> wave = {TracePoint{3, 7}};
+  a.AddWave(wave);
+  b.Add(3, 7);
+  EXPECT_EQ(a.points(), b.points());
+}
+
+// A streambuf that counts how many distinct write operations reached it.
+class CountingBuf : public std::streambuf {
+ public:
+  const std::string& contents() const { return contents_; }
+  int write_ops() const { return write_ops_; }
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    ++write_ops_;
+    contents_.append(s, static_cast<size_t>(n));
+    return n;
+  }
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) {
+      ++write_ops_;
+      contents_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::string contents_;
+  int write_ops_ = 0;
+};
+
+CrawlTrace SampleTrace() {
+  CrawlTrace trace;
+  trace.Add(1, 2);
+  trace.Add(2, 5);
+  trace.Add(4, 5);
+  trace.Add(7, 11);
+  return trace;
+}
+
+TEST(TraceWaveTest, WriteTraceCsvIsASingleStreamWrite) {
+  CrawlTrace trace = SampleTrace();
+  CountingBuf buf;
+  std::ostream unbuffered(&buf);
+  ASSERT_TRUE(WriteTraceCsv(trace, unbuffered).ok());
+  EXPECT_EQ(buf.write_ops(), 1) << "trace CSV must be emitted in one write";
+
+  // And the single write carries exactly what the streaming path used
+  // to produce.
+  std::ostringstream reference;
+  ASSERT_TRUE(WriteTraceCsv(trace, reference).ok());
+  EXPECT_EQ(buf.contents(), reference.str());
+  EXPECT_NE(buf.contents().find("rounds,records"), std::string::npos);
+  EXPECT_NE(buf.contents().find("7,11"), std::string::npos);
+}
+
+TEST(TraceWaveTest, WriteComparisonCsvIsASingleStreamWrite) {
+  CrawlTrace a = SampleTrace();
+  CrawlTrace b;
+  b.Add(2, 1);
+  b.Add(7, 9);
+  std::vector<NamedTrace> traces = {{"alpha", &a}, {"beta", &b}};
+
+  CountingBuf buf;
+  std::ostream unbuffered(&buf);
+  ASSERT_TRUE(WriteComparisonCsv(traces, unbuffered).ok());
+  EXPECT_EQ(buf.write_ops(), 1)
+      << "comparison CSV must be emitted in one write";
+  EXPECT_NE(buf.contents().find("rounds,alpha,beta"), std::string::npos);
+}
+
+TEST(TraceWaveTest, EmptyWaveIsANoOp) {
+  CrawlTrace trace;
+  trace.Add(1, 1);
+  trace.AddWave({});
+  ASSERT_EQ(trace.points().size(), 1u);
+  EXPECT_EQ(trace.points()[0], (TracePoint{1, 1}));
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,0 +1,225 @@
+// Tests for LockedQueryInterface (the thread-safe adapter the parallel
+// crawler fetches through) and for the FaultyServer's keyed fault mode
+// (arrival-order independence of the fault stream).
+
+#include "src/server/locked_interface.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/server/faulty_server.h"
+#include "src/server/web_db_server.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+
+std::vector<RecordId> RecordIds(const ResultPage& page) {
+  std::vector<RecordId> ids;
+  for (const ReturnedRecord& r : page.records) ids.push_back(r.id);
+  return ids;
+}
+
+TEST(LockedInterfaceTest, ForwardsFetchesIdentically) {
+  Table table = MakeFigure1Table();
+  ServerOptions options;
+  options.page_size = 2;
+  WebDbServer direct(table, options);
+  WebDbServer wrapped_backend(table, options);
+  LockedQueryInterface locked(wrapped_backend);
+
+  ValueId a2 = GetValueId(table, "A", "a2");
+  for (uint32_t page = 0; page < 2; ++page) {
+    StatusOr<ResultPage> want = direct.FetchPage(a2, page);
+    StatusOr<ResultPage> got = locked.FetchPage(a2, page);
+    ASSERT_TRUE(want.ok() && got.ok());
+    EXPECT_EQ(RecordIds(*want), RecordIds(*got));
+    EXPECT_EQ(want->total_matches, got->total_matches);
+    EXPECT_EQ(want->has_more, got->has_more);
+  }
+
+  StatusOr<ResultPage> by_text = locked.FetchPageByText(
+      *table.schema().FindAttribute("B"), "b2", 0);
+  ASSERT_TRUE(by_text.ok());
+  EXPECT_EQ(by_text->records.size(), 2u);
+
+  StatusOr<ResultPage> by_keyword = locked.FetchPageByKeyword("c2", 0);
+  ASSERT_TRUE(by_keyword.ok());
+  EXPECT_EQ(by_keyword->total_matches.value_or(0), 3u);
+
+  std::vector<ValueId> conj = {a2, GetValueId(table, "C", "c2")};
+  StatusOr<ResultPage> conjunctive = locked.FetchPageConjunctive(conj, 0);
+  ASSERT_TRUE(conjunctive.ok());
+  EXPECT_EQ(conjunctive->records.size(), 2u);
+
+  StatusOr<ResultPage> keyword_of = locked.FetchPageKeywordOf(a2, 0);
+  ASSERT_TRUE(keyword_of.ok());
+  EXPECT_EQ(RecordIds(*keyword_of),
+            RecordIds(*direct.FetchPageKeywordOf(a2, 0)));
+
+  // Errors pass through too.
+  StatusOr<ResultPage> past_end = locked.FetchPage(a2, 99);
+  EXPECT_EQ(past_end.status().code(), StatusCode::kOutOfRange);
+
+  EXPECT_EQ(locked.options().page_size, options.page_size);
+  EXPECT_TRUE(locked.IsQueriableValue(a2));
+}
+
+TEST(LockedInterfaceTest, MetersStayExactUnderConcurrency) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions());
+  LockedQueryInterface locked(backend);
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId c2 = GetValueId(table, "C", "c2");
+
+  constexpr int kThreads = 8;
+  constexpr int kFetchesPerThread = 50;
+  std::atomic<uint64_t> ok_pages{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFetchesPerThread; ++i) {
+        ValueId v = ((t + i) % 2 == 0) ? a2 : c2;
+        StatusOr<ResultPage> page = locked.FetchPage(v, 0);
+        if (page.ok()) ok_pages.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok_pages.load(), uint64_t{kThreads} * kFetchesPerThread);
+  // Every fetch was a page-0 submission; the meters must have lost
+  // nothing to races.
+  EXPECT_EQ(locked.communication_rounds(),
+            uint64_t{kThreads} * kFetchesPerThread);
+  EXPECT_EQ(locked.queries_issued(), uint64_t{kThreads} * kFetchesPerThread);
+
+  locked.ResetMeters();
+  EXPECT_EQ(locked.communication_rounds(), 0u);
+}
+
+TEST(LockedInterfaceTest, SimulatedLatencyDoesNotSerializeFetches) {
+  // The latency sleep happens OUTSIDE the lock: 8 concurrent fetches at
+  // 20ms simulated RTT must take far less than 8 * 20ms wall-clock.
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions());
+  LockedQueryInterface locked(backend, /*latency_us=*/20000);
+  ValueId a2 = GetValueId(table, "A", "a2");
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] { ASSERT_TRUE(locked.FetchPage(a2, 0).ok()); });
+  }
+  for (std::thread& t : threads) t.join();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Serialized would be >= 160ms; allow generous slack for slow CI.
+  EXPECT_LT(elapsed.count(), 120);
+  EXPECT_EQ(locked.communication_rounds(), 8u);
+}
+
+// --- keyed fault mode -------------------------------------------------
+
+using FetchKey = std::tuple<ValueId, uint32_t, uint32_t>;  // value, page, try
+
+// Issues the given logical fetches against a fresh keyed FaultyServer
+// and returns the status code each one observed.
+std::map<FetchKey, StatusCode> OutcomesInOrder(
+    const Table& table, const std::vector<FetchKey>& fetches) {
+  WebDbServer backend(table, ServerOptions());
+  FaultProfile profile;
+  profile.unavailable_rate = 0.25;
+  profile.timeout_rate = 0.15;
+  profile.rate_limit_rate = 0.10;
+  FaultyServer faulty(backend, profile, /*seed=*/99);
+  faulty.set_keyed_faults(true);
+  std::map<FetchKey, StatusCode> outcomes;
+  for (const FetchKey& key : fetches) {
+    StatusOr<ResultPage> page =
+        faulty.FetchPage(std::get<0>(key), std::get<1>(key));
+    outcomes[key] = page.status().code();
+  }
+  return outcomes;
+}
+
+TEST(LockedInterfaceTest, KeyedFaultsAreArrivalOrderIndependent) {
+  Table table = MakeFigure1Table();
+  std::vector<FetchKey> fetches;
+  for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+    // Two attempts per (value, page 0): retries draw fresh decisions,
+    // but keyed ones — attempt N of a fetch sees the same fault no
+    // matter what other queries ran in between.
+    fetches.emplace_back(v, 0, 1);
+    fetches.emplace_back(v, 0, 2);
+  }
+
+  std::map<FetchKey, StatusCode> forward = OutcomesInOrder(table, fetches);
+  std::vector<FetchKey> reversed = fetches;
+  // Reverse pairs of attempts as blocks so attempt 1 of a fetch still
+  // precedes attempt 2 (a retry can never precede the failure).
+  std::vector<FetchKey> shuffled;
+  for (size_t i = fetches.size(); i >= 2; i -= 2) {
+    shuffled.push_back(fetches[i - 2]);
+    shuffled.push_back(fetches[i - 1]);
+  }
+  std::map<FetchKey, StatusCode> backward = OutcomesInOrder(table, shuffled);
+
+  EXPECT_EQ(forward, backward);
+
+  // Sanity: the profile actually fired on some fetches and spared
+  // others, so the equality above is not vacuous.
+  size_t failures = 0;
+  for (const auto& [key, code] : forward) {
+    if (code != StatusCode::kOk && code != StatusCode::kOutOfRange) ++failures;
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, forward.size());
+}
+
+TEST(LockedInterfaceTest, KeyedModeDistinguishesInterfaceKinds) {
+  // The same value queried through the typed field and the keyword box
+  // is a different logical fetch and may meet different faults; both
+  // decisions must still be reproducible.
+  Table table = MakeFigure1Table();
+  auto run = [&table] {
+    WebDbServer backend(table, ServerOptions());
+    FaultyServer faulty(backend, FaultProfile::Transient(0.5), /*seed=*/3);
+    faulty.set_keyed_faults(true);
+    std::vector<StatusCode> codes;
+    for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+      codes.push_back(faulty.FetchPage(v, 0).status().code());
+      codes.push_back(faulty.FetchPageKeywordOf(v, 0).status().code());
+    }
+    return codes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LockedInterfaceTest, ScheduleStillOverridesKeyedMode) {
+  // Scripted schedules keep positional precedence even in keyed mode —
+  // existing scripted tests must not change meaning.
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions());
+  FaultyServer faulty(backend, FaultProfile(), /*seed=*/1);
+  faulty.set_keyed_faults(true);
+  faulty.set_schedule({FaultAction::kUnavailable, FaultAction::kNone});
+  ValueId a2 = GetValueId(table, "A", "a2");
+  EXPECT_EQ(faulty.FetchPage(a2, 0).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(faulty.FetchPage(a2, 0).ok());
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: the plain build and an ASan/UBSan build.
+# Tier-1 verification, three times over: the plain build, an ASan/UBSan
+# build, and a ThreadSanitizer build for the concurrency suite.
 #
-# Usage: tools/check.sh [--no-asan]
+# Usage: tools/check.sh [--no-asan] [--no-tsan]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
-# the sanitizer pass rebuilds everything into build-asan/ with
-# -DASAN=ON (-fsanitize=address,undefined) and runs the same suite, so
-# memory and UB bugs surface before they flake in production runs.
+# the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
+# (-fsanitize=address,undefined) and runs the same suite, so memory and
+# UB bugs surface before they flake in production runs. The TSan pass
+# rebuilds into build-tsan/ with -DTSAN=ON (-fsanitize=thread; the two
+# sanitizers cannot be combined) and runs the concurrency tests — the
+# thread pool, the locked query interface, the parallel crawl engine's
+# differential/stress suites, and the sharded store — under the race
+# detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Test suites exercising threads; kept in tests/CMakeLists.txt's
+# deepcrawl_concurrency_tests binary (plus the property tests that ride
+# along with it).
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -17,15 +28,34 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/2: plain build (build/) ==="
+echo "=== pass 1/3: plain build (build/) ==="
 run_suite build
 
-if [[ "${1:-}" == "--no-asan" ]]; then
-  echo "=== pass 2/2 skipped (--no-asan) ==="
-  exit 0
+skip_asan=0
+skip_tsan=0
+for arg in "$@"; do
+  case "${arg}" in
+    --no-asan) skip_asan=1 ;;
+    --no-tsan) skip_tsan=1 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${skip_asan}" == 1 ]]; then
+  echo "=== pass 2/3 skipped (--no-asan) ==="
+else
+  echo "=== pass 2/3: sanitizer build (build-asan/, -DASAN=ON) ==="
+  run_suite build-asan -DASAN=ON
 fi
 
-echo "=== pass 2/2: sanitizer build (build-asan/, -DASAN=ON) ==="
-run_suite build-asan -DASAN=ON
+if [[ "${skip_tsan}" == 1 ]]; then
+  echo "=== pass 3/3 skipped (--no-tsan) ==="
+else
+  echo "=== pass 3/3: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  cmake -B build-tsan -S . -DTSAN=ON
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R "${TSAN_FILTER}"
+fi
 
-echo "all checks passed (plain + asan/ubsan)"
+echo "all requested checks passed"

@@ -35,6 +35,7 @@
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
 #include "src/crawler/oracle_selector.h"
+#include "src/crawler/parallel_crawler.h"
 #include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
 #include "src/datagen/canned_workloads.h"
@@ -44,6 +45,7 @@
 #include "src/estimate/chao.h"
 #include "src/relation/tsv.h"
 #include "src/server/faulty_server.h"
+#include "src/server/locked_interface.h"
 #include "src/server/web_db_server.h"
 #include "src/util/flags.h"
 #include "src/util/random.h"
@@ -84,6 +86,14 @@ struct Options {
   int64_t fault_seed = 1;
   int64_t retry_attempts = 4;
   int64_t retry_requeues = 2;
+
+  // Parallel batched engine (src/crawler/parallel_crawler.h). Engaged
+  // whenever threads > 1 or batch > 1; threads=1 batch=1 keeps the
+  // serial crawler, byte-for-byte compatible with earlier releases.
+  int64_t threads = 1;
+  int64_t batch = 1;
+  int64_t latency_us = 0;
+  bool fault_keyed = false;
 
   bool help = false;
 };
@@ -218,9 +228,32 @@ Status Run(const Options& options) {
               << " truncate=" << profile.truncate_rate
               << " duplicate=" << profile.duplicate_rate << "\n";
   }
-  QueryInterface& server = faults_enabled
-                               ? static_cast<QueryInterface&>(*faulty)
-                               : backend;
+  if (options.threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  if (options.batch < 1) {
+    return Status::InvalidArgument("--batch must be >= 1");
+  }
+  bool parallel = options.threads > 1 || options.batch > 1;
+  if (faults_enabled && (options.fault_keyed || parallel)) {
+    // Parallel crawls force keyed faults: the sequential fault RNG
+    // depends on fetch arrival order, which thread scheduling would
+    // make irreproducible.
+    faulty->set_keyed_faults(true);
+    std::cout << "faults: keyed mode (decisions independent of fetch "
+                 "arrival order)\n";
+  }
+
+  QueryInterface& direct_server = faults_enabled
+                                      ? static_cast<QueryInterface&>(*faulty)
+                                      : backend;
+  std::optional<LockedQueryInterface> locked;
+  if (parallel) {
+    locked.emplace(direct_server,
+                   static_cast<uint64_t>(options.latency_us));
+  }
+  QueryInterface& server =
+      parallel ? static_cast<QueryInterface&>(*locked) : direct_server;
 
   if (options.retry_attempts < 1) {
     return Status::InvalidArgument("--retry-attempts must be >= 1");
@@ -275,9 +308,30 @@ Status Run(const Options& options) {
         options.saturation * static_cast<double>(target.num_records()));
   }
 
-  Crawler crawler(server, *selector, store, crawl_options,
-                  /*abort_policy=*/nullptr,
-                  faults_enabled ? &retry_policy : nullptr);
+  std::optional<Crawler> serial_crawler;
+  std::optional<ParallelCrawler> parallel_crawler;
+  if (parallel) {
+    ParallelOptions parallel_options;
+    parallel_options.threads = static_cast<uint32_t>(options.threads);
+    parallel_options.batch = static_cast<uint32_t>(options.batch);
+    parallel_crawler.emplace(server, *selector, store, crawl_options,
+                             parallel_options, /*abort_policy=*/nullptr,
+                             faults_enabled ? &retry_policy : nullptr);
+    std::cout << "parallel engine: " << options.threads << " threads, batch "
+              << options.batch << ", simulated latency "
+              << options.latency_us << "us/fetch\n";
+  } else {
+    serial_crawler.emplace(server, *selector, store, crawl_options,
+                           /*abort_policy=*/nullptr,
+                           faults_enabled ? &retry_policy : nullptr);
+  }
+  auto add_seed = [&](ValueId v) {
+    if (parallel) {
+      parallel_crawler->AddSeed(v);
+    } else {
+      serial_crawler->AddSeed(v);
+    }
+  };
   Pcg32 rng(static_cast<uint64_t>(options.seed));
   for (int64_t i = 0; i < options.num_seeds; ++i) {
     ValueId seed_value = rng.NextBounded(
@@ -286,10 +340,12 @@ Status Run(const Options& options) {
       seed_value = static_cast<ValueId>(
           (seed_value + 1) % target.num_distinct_values());
     }
-    crawler.AddSeed(seed_value);
+    add_seed(seed_value);
   }
 
-  DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, crawler.Run());
+  DEEPCRAWL_ASSIGN_OR_RETURN(
+      CrawlResult result,
+      parallel ? parallel_crawler->Run() : serial_crawler->Run());
 
   double coverage = target.num_records() == 0
                         ? 0.0
@@ -394,6 +450,19 @@ int main(int argc, char** argv) {
                   "max fetch attempts per value drain under faults");
   parser.AddInt64("retry-requeues", &options.retry_requeues,
                   "times a failed value is re-queued before abandonment");
+  parser.AddInt64("threads", &options.threads,
+                  "fetch worker threads (>1 engages the parallel batched "
+                  "engine; wall-clock only, never changes results)");
+  parser.AddInt64("batch", &options.batch,
+                  "concurrent drain slots per wave (>1 engages the "
+                  "parallel engine; batch=1 reproduces the serial crawl "
+                  "order exactly)");
+  parser.AddInt64("latency-us", &options.latency_us,
+                  "simulated per-fetch network latency in microseconds "
+                  "(parallel engine only; overlapped across threads)");
+  parser.AddBool("fault-keyed", &options.fault_keyed,
+                 "key fault decisions by (query, page, attempt) instead "
+                 "of fetch arrival order (forced on for parallel crawls)");
   parser.AddBool("help", &options.help, "print this help");
 
   Status parsed = parser.Parse(argc, argv);
