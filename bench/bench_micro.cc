@@ -2,9 +2,16 @@
 // core operations every experiment leans on — index probes, AVG
 // construction, local-store ingestion, selector steps, coverage-set
 // unions. No paper counterpart; used to keep the substrate honest.
+//
+// Two modes:
+//   * default: the google-benchmark suite below (interactive tuning);
+//   * --json=<path>: a fixed hand-timed regression suite that emits
+//     BENCH_micro.json for tools/bench_compare.py — the check.sh perf
+//     pass fails on >20% regression against the committed baseline.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/crawler/crawler.h"
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/local_store.h"
@@ -118,7 +125,72 @@ void BM_CoverageSetUnion(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageSetUnion);
 
+// --- --json regression suite (hand-timed, fixed configuration) -------
+
+uint64_t IngestOnce(const Table& table, bool exact) {
+  LocalStore::Options options;
+  options.exact_degrees = exact;
+  LocalStore store(options);
+  for (RecordId r = 0; r < table.num_records(); ++r) {
+    store.AddRecord(r, table.record(r));
+  }
+  return store.num_records();
+}
+
+uint64_t CrawlLoopOnce(WebDbServer& server, const Table& table) {
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  CrawlOptions options;
+  options.target_records = table.num_records() / 2;
+  server.ResetMeters();
+  Crawler crawler(server, selector, store, options);
+  crawler.AddSeed(1);
+  StatusOr<CrawlResult> result = crawler.Run();
+  DEEPCRAWL_CHECK(result.ok());
+  return result->records;
+}
+
+int RunJsonSuite(const std::string& json_path) {
+  const Table& table = SharedEbay();
+  bench::BenchJson json("micro");
+
+  // LocalStore ingest, exact distinct-neighbor degrees (the CSR
+  // adjacency + flat edge-hash path).
+  double exact_s = bench::BestWallSeconds([&] { IngestOnce(table, true); });
+  json.Add("ingest_exact_rps",
+           static_cast<double>(table.num_records()) / exact_s, "records/s",
+           /*higher_is_better=*/true);
+
+  // LocalStore ingest, link-count proxy degrees.
+  double proxy_s = bench::BestWallSeconds([&] { IngestOnce(table, false); });
+  json.Add("ingest_proxy_rps",
+           static_cast<double>(table.num_records()) / proxy_s, "records/s",
+           /*higher_is_better=*/true);
+
+  // End-to-end crawl loop: greedy-link to 50% coverage against the
+  // in-process simulator — selector heap, frontier, store and server
+  // all on the measured path. "ops" = records harvested.
+  WebDbServer server(table, ServerOptions{});
+  uint64_t crawl_records = CrawlLoopOnce(server, table);
+  double crawl_s =
+      bench::BestWallSeconds([&] { CrawlLoopOnce(server, table); });
+  json.Add("crawl_loop_rps", static_cast<double>(crawl_records) / crawl_s,
+           "records/s", /*higher_is_better=*/true);
+
+  json.WriteFile(json_path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace deepcrawl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = deepcrawl::bench::JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) {
+    return deepcrawl::RunJsonSuite(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

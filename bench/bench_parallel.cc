@@ -153,12 +153,69 @@ void ShardedIngestSweep() {
   table.Print(std::cout);
 }
 
+// Reduced fixed-configuration sweep for the check.sh perf pass: one
+// serial and one 8-thread batched crawl (speedup + determinism canary)
+// plus the 8-thread sharded ingest throughput, written as
+// BENCH_parallel.json.
+void RunJsonSuite(const Table& target, const std::string& json_path) {
+  BenchJson json("parallel");
+
+  (void)CrawlOnce(target, 2, 2);  // warm-up
+  BenchRun serial = CrawlOnce(target, 1, 8);
+  BenchRun threaded = CrawlOnce(target, 8, 8);
+  DEEPCRAWL_CHECK_EQ(serial.rounds, threaded.rounds)
+      << "thread count changed crawl semantics";
+  json.Add("crawl_speedup_8t_batch8", serial.wall_ms / threaded.wall_ms, "x",
+           /*higher_is_better=*/true);
+  json.Add("crawl_rounds_batch8", static_cast<double>(serial.rounds),
+           "rounds", /*higher_is_better=*/false);
+
+  constexpr uint32_t kRecords = 200000;
+  constexpr uint32_t kValuesPerRecord = 4;
+  constexpr uint32_t kValueSpace = 5000;
+  constexpr uint32_t kThreads = 8;
+  double best_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    ShardedLocalStore store(/*num_shards=*/32);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        std::vector<ValueId> values(kValuesPerRecord);
+        for (RecordId id = t; id < kRecords; id += kThreads) {
+          Pcg32 rng(id * 2654435761u + 1);
+          for (uint32_t i = 0; i < kValuesPerRecord; ++i) {
+            values[i] = rng.NextBounded(kValueSpace);
+          }
+          store.AddRecord(id, values);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    DEEPCRAWL_CHECK_EQ(store.num_records(), kRecords);
+    if (rep == 0 || wall_ms < best_ms) best_ms = wall_ms;
+  }
+  json.Add("sharded_ingest_8t_rps", kRecords / (best_ms / 1000.0),
+           "records/s", /*higher_is_better=*/true);
+
+  json.WriteFile(json_path);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace deepcrawl
 
-int main() {
+int main(int argc, char** argv) {
   deepcrawl::Table target = deepcrawl::bench::MakeTarget();
+  std::string json_path = deepcrawl::bench::JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) {
+    deepcrawl::bench::RunJsonSuite(target, json_path);
+    return 0;
+  }
   deepcrawl::bench::SpeedupSweep(target);
   deepcrawl::bench::ShardedIngestSweep();
   return 0;

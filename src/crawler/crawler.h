@@ -111,6 +111,13 @@ class Crawler {
   void set_max_rounds(uint64_t max_rounds) {
     options_.max_rounds = max_rounds;
   }
+  // Adjusts the record target between Run() calls (0 = unbounded),
+  // enabling staged crawls: run to one coverage level, inspect, raise
+  // the target, and continue (bench_mmmi_ablation times the marginal
+  // phase this way).
+  void set_target_records(uint64_t target_records) {
+    options_.target_records = target_records;
+  }
   uint64_t rounds_used() const { return rounds_used_; }
 
   const LocalStore& store() const { return store_; }

@@ -1,45 +1,60 @@
 #include "src/crawler/greedy_link_selector.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace deepcrawl {
 
 GreedyLinkSelector::GreedyLinkSelector(const LocalStore& store)
-    : store_(store) {}
+    : store_(store) {
+  heap_.reserve(1024);
+  frontier_.reserve(1024);
+}
+
+void GreedyLinkSelector::EnsureCapacity(ValueId v) {
+  if (v < frontier_pos_.size()) return;
+  size_t new_size = static_cast<size_t>(v) + 1;
+  frontier_pos_.resize(new_size, kNoPosition);
+  last_pushed_degree_.resize(new_size, kNeverPushed);
+}
+
+void GreedyLinkSelector::PushEntry(ValueId v, uint64_t degree) {
+  last_pushed_degree_[v] = degree;
+  heap_.push_back(HeapEntry{degree, v});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++heap_pushes_;
+}
 
 void GreedyLinkSelector::Push(ValueId v) {
   if (!IsPending(v)) return;
-  heap_.push(HeapEntry{store_.LocalDegree(v), v});
+  uint64_t degree = store_.LocalDegree(v);
+  // The heap already holds an entry at this exact key; a duplicate
+  // cannot change pop order (see header).
+  if (degree == last_pushed_degree_[v]) return;
+  PushEntry(v, degree);
 }
 
 void GreedyLinkSelector::OnValueDiscovered(ValueId v) {
-  if (v >= pending_.size()) pending_.resize(static_cast<size_t>(v) + 1, 0);
-  DEEPCRAWL_DCHECK(pending_[v] == 0) << "value discovered twice";
-  pending_[v] = 1;
-  ++frontier_size_;
-  heap_.push(HeapEntry{store_.LocalDegree(v), v});
+  EnsureCapacity(v);
+  DEEPCRAWL_DCHECK(frontier_pos_[v] == kNoPosition) << "value discovered twice";
+  frontier_pos_[v] = static_cast<uint32_t>(frontier_.size());
+  frontier_.push_back(v);
+  PushEntry(v, store_.LocalDegree(v));
 }
 
 void GreedyLinkSelector::OnRecordHarvested(uint32_t slot) {
-  // Every pending value in the record gained links; refresh its entry.
+  // Every pending value in the record may have gained links; refresh.
   for (ValueId v : store_.RecordValues(slot)) {
     Push(v);
   }
 }
 
-std::vector<ValueId> GreedyLinkSelector::PendingValues() const {
-  std::vector<ValueId> values;
-  values.reserve(frontier_size_);
-  for (ValueId v = 0; v < pending_.size(); ++v) {
-    if (pending_[v]) values.push_back(v);
-  }
-  return values;
-}
-
 ValueId GreedyLinkSelector::SelectNext() {
   while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
+    HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
     if (!IsPending(top.value)) continue;  // already selected earlier
     uint64_t degree = store_.LocalDegree(top.value);
     if (degree != top.degree) continue;  // stale; a fresher entry exists

@@ -6,16 +6,33 @@
 // and always queries the frontier value with the greatest link number —
 // hub values uncover large portions of the database quickly.
 //
-// Implementation: a lazy max-heap keyed by local degree. Degrees only
-// grow, so entries are re-pushed whenever a harvested record touches a
-// pending value, and stale (smaller-degree) entries are skipped on pop.
-// Amortized cost: O(log F) per degree change, F = frontier size.
+// Implementation: a lazy max-heap keyed by local degree, held in an
+// explicit vector (std::push_heap/pop_heap) so the backing storage is
+// reserved once and reused across the crawl. Degrees only grow, so
+// entries are re-pushed when a harvested record grows a pending value's
+// degree, and stale (smaller-degree) entries are skipped on pop. A
+// per-value last-pushed-degree table suppresses the duplicate pushes
+// the old implementation made for every record touching a pending value
+// even when its degree did not change (records re-containing an
+// existing neighbor pair): while v is pending the heap always holds an
+// entry at v's current degree — degree growth implies v appeared in the
+// record that grew it, which triggers a fresh push — and identical
+// (degree, value) keys are interchangeable under the heap's total
+// order, so dropping same-degree re-pushes cannot change pop order.
+// This bounds lifetime heap pushes by
+//   #discovered values + Σ_v LocalDegree(v) increments,
+// instead of #discovered + Σ records × record width.
+//
+// The frontier (Lto-query) is a compact swap-erase vector with a
+// per-value position index: O(1) insert/remove/membership, and
+// PendingValues() is a span over it instead of an O(value-space) bitmap
+// scan per MMMI batch.
 
 #ifndef DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
 #define DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
 
 #include <cstdint>
-#include <queue>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -35,21 +52,34 @@ class GreedyLinkSelector : public QuerySelector {
   ValueId SelectNext() override;
   std::string_view name() const override { return "greedy-link"; }
 
-  size_t frontier_size() const { return frontier_size_; }
+  size_t frontier_size() const { return frontier_.size(); }
+
+  // Diagnostics for the stress test's heap-growth assertion.
+  size_t heap_size() const { return heap_.size(); }
+  uint64_t heap_pushes() const { return heap_pushes_; }
 
  protected:
+  static constexpr uint32_t kNoPosition = UINT32_MAX;
+  static constexpr uint64_t kNeverPushed = UINT64_MAX;
+
   bool IsPending(ValueId v) const {
-    return v < pending_.size() && pending_[v] != 0;
+    return v < frontier_pos_.size() && frontier_pos_[v] != kNoPosition;
   }
   void MarkNotPending(ValueId v) {
-    pending_[v] = 0;
-    --frontier_size_;
+    uint32_t pos = frontier_pos_[v];
+    ValueId moved = frontier_.back();
+    frontier_[pos] = moved;
+    frontier_pos_[moved] = pos;
+    frontier_.pop_back();
+    frontier_pos_[v] = kNoPosition;
   }
-  // Re-inserts `v` with its current degree (no-op unless pending).
+  // Re-inserts `v` with its current degree (no-op unless pending or the
+  // degree matches the entry already in the heap).
   void Push(ValueId v);
 
-  // Snapshot of all values currently in Lto-query (O(value space)).
-  std::vector<ValueId> PendingValues() const;
+  // All values currently in Lto-query, in frontier insertion order
+  // (swap-erase permuted). Invalidated by the next selector event.
+  std::span<const ValueId> PendingValues() const { return frontier_; }
 
   const LocalStore& store() const { return store_; }
 
@@ -65,10 +95,15 @@ class GreedyLinkSelector : public QuerySelector {
     }
   };
 
+  void EnsureCapacity(ValueId v);
+  void PushEntry(ValueId v, uint64_t degree);
+
   const LocalStore& store_;
-  std::priority_queue<HeapEntry> heap_;
-  std::vector<char> pending_;
-  size_t frontier_size_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<ValueId> frontier_;
+  std::vector<uint32_t> frontier_pos_;       // by value; kNoPosition = absent
+  std::vector<uint64_t> last_pushed_degree_;  // by value; kNeverPushed
+  uint64_t heap_pushes_ = 0;
 };
 
 }  // namespace deepcrawl

@@ -12,9 +12,17 @@ void LocalStore::EnsureValueCapacity(ValueId v) {
   if (v < local_frequency_.size()) return;
   size_t new_size = static_cast<size_t>(v) + 1;
   local_frequency_.resize(new_size, 0);
-  local_postings_.resize(new_size);
   link_count_.resize(new_size, 0);
-  if (options_.exact_degrees) neighbor_sets_.resize(new_size);
+  if (options_.layout == Layout::kCsr) {
+    postings_csr_.EnsureRows(new_size);
+    if (options_.exact_degrees) adjacency_csr_.EnsureRows(new_size);
+  } else {
+    local_postings_ref_.resize(new_size);
+    if (options_.exact_degrees) {
+      neighbor_sets_ref_.resize(new_size);
+      neighbor_lists_ref_.resize(new_size);
+    }
+  }
 }
 
 bool LocalStore::AddRecord(RecordId id, std::span<const ValueId> values) {
@@ -28,15 +36,49 @@ bool LocalStore::AddRecord(RecordId id, std::span<const ValueId> values) {
   observation_count_.push_back(1);
   ++num_observations_;
 
+  const bool csr = options_.layout == Layout::kCsr;
   for (ValueId v : values) {
     EnsureValueCapacity(v);
     ++local_frequency_[v];
-    local_postings_[v].push_back(slot);
+    if (csr) {
+      postings_csr_.Append(v, slot);
+    } else {
+      local_postings_ref_[v].push_back(slot);
+    }
     link_count_[v] += values.size() - 1;
-    if (options_.exact_degrees) {
-      auto& nbrs = neighbor_sets_[v];
-      for (ValueId u : values) {
-        if (u != v) nbrs.insert(u);
+  }
+  if (options_.exact_degrees) {
+    if (csr) {
+      // One probe per unordered pair: a new (min, max) edge appends each
+      // endpoint to the other's adjacency row, in record order — so the
+      // rows come out in first-co-occurrence order deterministically.
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        for (size_t j = i + 1; j < values.size(); ++j) {
+          ValueId a = values[i];
+          ValueId b = values[j];
+          if (a == b) continue;
+          ValueId lo = a < b ? a : b;
+          ValueId hi = a < b ? b : a;
+          uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+          if (edge_set_.Insert(key)) {
+            adjacency_csr_.Append(a, b);
+            adjacency_csr_.Append(b, a);
+          }
+        }
+      }
+    } else {
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        for (size_t j = i + 1; j < values.size(); ++j) {
+          ValueId a = values[i];
+          ValueId b = values[j];
+          if (a == b) continue;
+          if (neighbor_sets_ref_[a].insert(b).second) {
+            neighbor_lists_ref_[a].push_back(b);
+          }
+          if (neighbor_sets_ref_[b].insert(a).second) {
+            neighbor_lists_ref_[b].push_back(a);
+          }
+        }
       }
     }
   }
@@ -67,13 +109,23 @@ uint32_t LocalStore::LocalFrequency(ValueId v) const {
 
 uint64_t LocalStore::LocalDegree(ValueId v) const {
   if (v >= local_frequency_.size()) return 0;
-  if (options_.exact_degrees) return neighbor_sets_[v].size();
+  if (options_.exact_degrees) {
+    if (options_.layout == Layout::kCsr) return adjacency_csr_.RowSize(v);
+    return neighbor_sets_ref_[v].size();
+  }
   return link_count_[v];
 }
 
+std::span<const ValueId> LocalStore::NeighborsSpan(ValueId v) const {
+  if (!options_.exact_degrees || v >= local_frequency_.size()) return {};
+  if (options_.layout == Layout::kCsr) return adjacency_csr_.Row(v);
+  return neighbor_lists_ref_[v];
+}
+
 std::span<const uint32_t> LocalStore::LocalPostings(ValueId v) const {
-  if (v >= local_postings_.size()) return {};
-  return local_postings_[v];
+  if (v >= local_frequency_.size()) return {};
+  if (options_.layout == Layout::kCsr) return postings_csr_.Row(v);
+  return local_postings_ref_[v];
 }
 
 std::span<const ValueId> LocalStore::RecordValues(uint32_t slot) const {

@@ -15,6 +15,16 @@
 //     selector of §3.2. Exact distinct-neighbor tracking can be switched
 //     off in favour of a cheap "link count" (degree with multiplicity)
 //     when memory matters; the ablation bench compares both.
+//
+// Hot-path layout (the kCsr default): postings and the G_local
+// adjacency live in ChunkedArena dynamic-CSR stores (one flat buffer
+// each, amortized relocation on doubling, epoch compaction), and edge
+// dedup goes through one flat open-addressing hash of packed
+// (min, max) value pairs — a single probe per record value pair instead
+// of two std::unordered_set inserts. The pre-optimization layout (one
+// unordered_set per value, one vector per posting list) is kept behind
+// Options::layout = kReference so the differential suite can prove the
+// two produce byte-identical crawls; see DESIGN.md §9.
 
 #ifndef DEEPCRAWL_CRAWLER_LOCAL_STORE_H_
 #define DEEPCRAWL_CRAWLER_LOCAL_STORE_H_
@@ -26,15 +36,27 @@
 #include <vector>
 
 #include "src/relation/types.h"
+#include "src/util/chunked_arena.h"
+#include "src/util/flat_hash.h"
 
 namespace deepcrawl {
 
 class LocalStore {
  public:
+  // Which physical layout backs the statistics table. Both produce
+  // identical observable behaviour (degrees, spans, frequencies, and
+  // their orders); kReference exists only as the differential-test
+  // yardstick and for A/B benchmarking.
+  enum class Layout {
+    kCsr,        // flat arenas + edge hash (the fast default)
+    kReference,  // one unordered_set / vector per value (pre-PR layout)
+  };
+
   struct Options {
     // Track exact distinct-neighbor degrees (true) or the cheaper
     // with-multiplicity link count (false).
     bool exact_degrees = true;
+    Layout layout = Layout::kCsr;
   };
 
   LocalStore();  // default options
@@ -70,7 +92,13 @@ class LocalStore {
   // tracking is on, otherwise the with-multiplicity link count.
   uint64_t LocalDegree(ValueId v) const;
 
+  // Distinct G_local neighbors of `v`, in first-co-occurrence order
+  // (deterministic and identical across layouts). Empty when exact
+  // degree tracking is off. Invalidated by the next AddRecord.
+  std::span<const ValueId> NeighborsSpan(ValueId v) const;
+
   // Local record slots (indices into this store) containing `v`.
+  // Invalidated by the next AddRecord.
   std::span<const uint32_t> LocalPostings(ValueId v) const;
 
   // Values of the local record in slot `slot`.
@@ -94,10 +122,20 @@ class LocalStore {
 
   // Per-value statistics, indexed by ValueId (grown on demand).
   std::vector<uint32_t> local_frequency_;
-  std::vector<std::vector<uint32_t>> local_postings_;
-  // Exact mode: distinct neighbor sets. Proxy mode: only link_count_.
-  std::vector<std::unordered_set<ValueId>> neighbor_sets_;
   std::vector<uint64_t> link_count_;
+
+  // kCsr layout: dynamic-CSR postings and adjacency, plus the flat edge
+  // hash that deduplicates G_local edges ((min << 32) | max keys).
+  ChunkedArena<uint32_t> postings_csr_;
+  ChunkedArena<ValueId> adjacency_csr_;
+  FlatSet64 edge_set_;
+
+  // kReference layout: the pre-optimization containers. The neighbor
+  // list mirrors adjacency_csr_'s first-co-occurrence order so
+  // NeighborsSpan is layout-independent.
+  std::vector<std::vector<uint32_t>> local_postings_ref_;
+  std::vector<std::unordered_set<ValueId>> neighbor_sets_ref_;
+  std::vector<std::vector<ValueId>> neighbor_lists_ref_;
 };
 
 }  // namespace deepcrawl

@@ -9,9 +9,57 @@
 
 namespace deepcrawl {
 
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
 MmmiSelector::MmmiSelector(const LocalStore& store, MmmiOptions options)
     : GreedyLinkSelector(store), options_(options) {
   DEEPCRAWL_CHECK_GT(options_.batch_size, 0u);
+}
+
+void MmmiSelector::Bump(ValueId v, ValueId u) {
+  partners_.EnsureRows(static_cast<size_t>(v) + 1);
+  std::span<std::pair<ValueId, uint32_t>> row = partners_.MutableRow(v);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), u,
+      [](const std::pair<ValueId, uint32_t>& entry, ValueId key) {
+        return entry.first < key;
+      });
+  if (it != row.end() && it->first == u) {
+    ++it->second;
+  } else {
+    // New partner: append, then rotate it back into sorted position so
+    // CachedDependency can aggregate the row without a per-call sort.
+    size_t pos = static_cast<size_t>(it - row.begin());
+    partners_.Append(v, {u, 1u});
+    row = partners_.MutableRow(v);  // Append may have relocated the row
+    std::rotate(row.begin() + static_cast<ptrdiff_t>(pos), row.end() - 1,
+                row.end());
+  }
+  ++co_bumps_;
+}
+
+void MmmiSelector::OnRecordHarvested(uint32_t slot) {
+  GreedyLinkSelector::OnRecordHarvested(slot);
+  if (options_.reference_scoring) return;
+  // Live path: credit this record to co(v, u) for every (pending v,
+  // issued u) occurrence pair. Occurrence (not distinct-value) pairing
+  // mirrors the reference scan's multiplicity semantics exactly.
+  std::span<const ValueId> values = store().RecordValues(slot);
+  issued_in_record_.clear();
+  for (ValueId u : values) {
+    if (IsIssued(u)) issued_in_record_.push_back(u);
+  }
+  if (issued_in_record_.empty()) return;
+  for (ValueId v : values) {
+    if (!IsPending(v)) continue;
+    for (ValueId u : issued_in_record_) {
+      if (u != v) Bump(v, u);
+    }
+  }
 }
 
 void MmmiSelector::OnQueryCompleted(const QueryOutcome& outcome) {
@@ -19,31 +67,29 @@ void MmmiSelector::OnQueryCompleted(const QueryOutcome& outcome) {
   if (v >= queried_bitmap_.size()) {
     queried_bitmap_.resize(static_cast<size_t>(v) + 1, 0);
   }
+  if (queried_bitmap_[v]) return;  // guard: backfill exactly once
   queried_bitmap_[v] = 1;
+  if (options_.reference_scoring) return;
+  // Backfill path: records containing v harvested *before* v completed
+  // predate the live path's bitmap check; credit them now.
+  for (uint32_t slot : store().LocalPostings(v)) {
+    for (ValueId u : store().RecordValues(slot)) {
+      if (u != v && IsPending(u)) Bump(u, v);
+    }
+  }
 }
 
-MmmiSelector::Dependency MmmiSelector::ComputeDependency(ValueId q) const {
+MmmiSelector::Dependency MmmiSelector::AggregateSorted(
+    ValueId q, std::span<const std::pair<ValueId, uint32_t>> cos) const {
   const LocalStore& db = store();
-  Dependency result{-std::numeric_limits<double>::infinity(), 0,
-                    -std::numeric_limits<double>::infinity()};
+  Dependency result{kNegInf, 0, kNegInf};
   double n = static_cast<double>(db.num_records());
   if (n == 0) return result;
   double freq_q = static_cast<double>(db.LocalFrequency(q));
   if (freq_q == 0) return result;
-
-  // Count co-occurrences with issued queries by scanning q's local
-  // postings once.
-  std::unordered_map<ValueId, uint32_t> co_counts;
-  for (uint32_t slot : db.LocalPostings(q)) {
-    for (ValueId u : db.RecordValues(slot)) {
-      if (u != q && u < queried_bitmap_.size() && queried_bitmap_[u]) {
-        ++co_counts[u];
-      }
-    }
-  }
   double weighted_sum = 0.0;
   double weight_total = 0.0;
-  for (const auto& [u, co] : co_counts) {
+  for (const auto& [u, co] : cos) {
     double freq_u = static_cast<double>(db.LocalFrequency(u));
     // ln( P(q,u) / (P(q) P(u)) ) = ln( co * n / (freq_q * freq_u) ).
     double pmi = std::log(static_cast<double>(co) * n / (freq_q * freq_u));
@@ -58,24 +104,37 @@ MmmiSelector::Dependency MmmiSelector::ComputeDependency(ValueId q) const {
   return result;
 }
 
+MmmiSelector::Dependency MmmiSelector::ComputeDependency(ValueId q) const {
+  const LocalStore& db = store();
+  // Count co-occurrences with issued queries by scanning q's local
+  // postings once, then aggregate in ascending-partner order (the
+  // canonical order shared with the incremental path, so both produce
+  // bit-identical floating-point sums).
+  std::unordered_map<ValueId, uint32_t> co_counts;
+  for (uint32_t slot : db.LocalPostings(q)) {
+    for (ValueId u : db.RecordValues(slot)) {
+      if (u != q && IsIssued(u)) ++co_counts[u];
+    }
+  }
+  std::vector<std::pair<ValueId, uint32_t>> cos(co_counts.begin(),
+                                                co_counts.end());
+  std::sort(cos.begin(), cos.end());
+  return AggregateSorted(q, cos);
+}
+
 double MmmiSelector::DependencyScore(ValueId q) const {
   return ComputeDependency(q).max_pmi;
 }
 
 void MmmiSelector::RecomputeBatch() {
-  std::vector<ValueId> candidates = PendingValues();
+  std::span<const ValueId> candidates = PendingValues();
   if (candidates.empty()) return;
 
-  struct Scored {
-    double dependency;
-    uint64_t degree;
-    double combined;  // degree * exp(-dependency), for kDegreeDiscount
-    ValueId value;
-  };
-  std::vector<Scored> scored;
-  scored.reserve(candidates.size());
+  scored_.clear();
+  scored_.reserve(candidates.size());
   for (ValueId v : candidates) {
-    Dependency dep = ComputeDependency(v);
+    Dependency dep = options_.reference_scoring ? ComputeDependency(v)
+                                                : CachedDependency(v);
     double s = dep.max_pmi;
     uint64_t degree = store().LocalDegree(v);
     double combined;
@@ -99,32 +158,41 @@ void MmmiSelector::RecomputeBatch() {
           static_cast<double>(store().LocalFrequency(v)) + 1.0;
       combined = magnitude * discount;
     }
-    scored.push_back(Scored{s, degree, combined, v});
+    scored_.push_back(Scored{s, degree, combined, v});
   }
+  // Only the top batch_size entries are consumed, and both comparators
+  // are total orders (they end in the value-id tie-break), so a partial
+  // sort selects exactly the prefix a full sort would — at O(N log B)
+  // per batch instead of O(N log N), which dominates the marginal phase
+  // where every batch re-ranks thousands of pending values.
+  size_t take = std::min<size_t>(options_.batch_size, scored_.size());
+  auto middle = scored_.begin() + static_cast<ptrdiff_t>(take);
   if (options_.ranking == MmmiRanking::kPureDependency) {
     // Ascending dependency (least-correlated first); among equals prefer
     // the better-connected value (the greedy-link signal), then smaller
-    // id for determinism.
-    std::sort(scored.begin(), scored.end(),
-              [](const Scored& a, const Scored& b) {
-                if (a.dependency != b.dependency) {
-                  return a.dependency < b.dependency;
-                }
-                if (a.degree != b.degree) return a.degree > b.degree;
-                return a.value < b.value;
-              });
+    // id for determinism. Comparators end in the id tie-break, so the
+    // ranking is independent of frontier enumeration order.
+    std::partial_sort(scored_.begin(), middle, scored_.end(),
+                      [](const Scored& a, const Scored& b) {
+                        if (a.dependency != b.dependency) {
+                          return a.dependency < b.dependency;
+                        }
+                        if (a.degree != b.degree) return a.degree > b.degree;
+                        return a.value < b.value;
+                      });
   } else {
     // Dependency-discounted popularity, best first.
-    std::sort(scored.begin(), scored.end(),
-              [](const Scored& a, const Scored& b) {
-                if (a.combined != b.combined) return a.combined > b.combined;
-                return a.value < b.value;
-              });
+    std::partial_sort(scored_.begin(), middle, scored_.end(),
+                      [](const Scored& a, const Scored& b) {
+                        if (a.combined != b.combined) {
+                          return a.combined > b.combined;
+                        }
+                        return a.value < b.value;
+                      });
   }
-  size_t take = std::min<size_t>(options_.batch_size, scored.size());
   batch_queue_.clear();
   for (size_t i = 0; i < take; ++i) {
-    batch_queue_.push_back(scored[i].value);
+    batch_queue_.push_back(scored_[i].value);
   }
 }
 

@@ -19,6 +19,23 @@
 // from a small DBlocal would be noise) and switches to MMMI ordering when
 // the harness signals saturation; dependency scores are recomputed in
 // batch mode to bound the computational cost.
+//
+// Hot path: co-occurrence counts co(q, q_j) are maintained
+// *incrementally* — each harvested record bumps co(v, u) for its
+// (pending v, issued u) occurrence pairs, and when a query u completes,
+// one backfill scan over postings(u) credits the records harvested
+// before u was issued. Every (record, v, u) contribution lands exactly
+// once: a record is harvested either after u completed (live path; u is
+// in the issued bitmap at harvest time) or before (backfill path), and
+// the bitmap guard makes the backfill fire once per value.
+// RecomputeBatch then ranks candidates from the cached counters instead
+// of rescanning postings × record values per batch — the pre-PR scan
+// stays available behind MmmiOptions::reference_scoring (CLI
+// --mmmi-reference) as the differential-test yardstick. Both paths
+// aggregate a candidate's (partner, count) pairs sorted ascending by
+// partner id through one shared routine, so floating-point sums are
+// bit-identical regardless of which path produced the counts. See
+// DESIGN.md §9.
 
 #ifndef DEEPCRAWL_CRAWLER_MMMI_SELECTOR_H_
 #define DEEPCRAWL_CRAWLER_MMMI_SELECTOR_H_
@@ -26,11 +43,13 @@
 #include <cstdint>
 #include <deque>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/local_store.h"
 #include "src/crawler/query_selector.h"
+#include "src/util/chunked_arena.h"
 
 namespace deepcrawl {
 
@@ -67,12 +86,18 @@ struct MmmiOptions {
   // batch-mode recomputation).
   uint32_t batch_size = 10;
   MmmiRanking ranking = MmmiRanking::kDegreeDiscount;
+  // Score batches with the pre-optimization full postings rescan instead
+  // of the incremental counters. Selection output is identical either
+  // way (the differential suite proves it); this exists as the yardstick
+  // and for A/B benchmarking.
+  bool reference_scoring = false;
 };
 
 class MmmiSelector : public GreedyLinkSelector {
  public:
   MmmiSelector(const LocalStore& store, MmmiOptions options = MmmiOptions{});
 
+  void OnRecordHarvested(uint32_t slot) override;
   void OnQueryCompleted(const QueryOutcome& outcome) override;
   void OnSaturation() override { saturated_ = true; }
   ValueId SelectNext() override;
@@ -83,9 +108,13 @@ class MmmiSelector : public GreedyLinkSelector {
   bool saturated() const { return saturated_; }
 
   // Dependency score s(q) of a candidate against the issued queries,
-  // computed on the current DBlocal. Exposed for tests. Returns
-  // -infinity when q co-occurs with no issued query.
+  // computed on the current DBlocal by the reference scan (so it works
+  // without the selector having observed the crawl events). Exposed for
+  // tests. Returns -infinity when q co-occurs with no issued query.
   double DependencyScore(ValueId q) const;
+
+  // Total incremental counter bumps (diagnostics / tests).
+  uint64_t co_bumps() const { return co_bumps_; }
 
  private:
   struct Dependency {
@@ -93,13 +122,46 @@ class MmmiSelector : public GreedyLinkSelector {
     uint32_t max_co;       // largest co-occurrence count with one query
     double weighted_pmi;   // co-weighted mean PMI; -inf when none
   };
+  // Folds (partner, co) pairs — MUST be sorted ascending by partner id —
+  // into a Dependency. Shared by both scoring paths so their FP results
+  // are bit-identical.
+  Dependency AggregateSorted(
+      ValueId q, std::span<const std::pair<ValueId, uint32_t>> cos) const;
+  // Reference path: one postings(q) × record-values scan.
   Dependency ComputeDependency(ValueId q) const;
+  // Incremental path: aggregate q's cached (partner, count) row.
+  Dependency CachedDependency(ValueId q) const {
+    return AggregateSorted(q, partners_.Row(q));
+  }
+
+  bool IsIssued(ValueId u) const {
+    return u < queried_bitmap_.size() && queried_bitmap_[u] != 0;
+  }
+  void Bump(ValueId v, ValueId u);
   void RecomputeBatch();
 
   MmmiOptions options_;
   bool saturated_ = false;
   std::vector<char> queried_bitmap_;
   std::deque<ValueId> batch_queue_;
+
+  // Incremental co-occurrence state: row v holds (issued partner u,
+  // co(v, u)) pairs kept sorted ascending by u — Bump does a binary
+  // search + in-place increment (or a sorted insert for a new partner),
+  // and CachedDependency aggregates the row directly with no copy, hash
+  // probe, or per-call sort.
+  ChunkedArena<std::pair<ValueId, uint32_t>> partners_;
+  uint64_t co_bumps_ = 0;
+
+  // Scratch reused across events/batches (cleared, never shrunk).
+  std::vector<ValueId> issued_in_record_;
+  struct Scored {
+    double dependency;
+    uint64_t degree;
+    double combined;  // degree * exp(-dependency), for kDegreeDiscount
+    ValueId value;
+  };
+  std::vector<Scored> scored_;
 };
 
 }  // namespace deepcrawl

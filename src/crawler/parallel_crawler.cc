@@ -229,28 +229,31 @@ StatusOr<CrawlResult> ParallelCrawler::Run() {
 
     // Fetch phase: one page per wave slot, concurrently. Each task
     // writes its own rank-indexed cell, so completion order is
-    // invisible to the commit phase.
-    std::vector<std::optional<StatusOr<ResultPage>>> results(slice);
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(slice);
+    // invisible to the commit phase. The result/task buffers are
+    // members reused across waves; no task mutates them structurally
+    // while the pool runs.
+    fetch_results_.clear();
+    fetch_results_.resize(slice);
+    fetch_tasks_.clear();
+    fetch_tasks_.reserve(slice);
     for (size_t i = 0; i < slice; ++i) {
       const Slot& slot = *slots_[wave_[wave_pos_ + i]];
       ValueId value = slot.value;
       uint32_t page = slot.next_page;
-      tasks.push_back([this, &results, i, value, page] {
-        results[i] = options_.use_keyword_interface
-                         ? server_.FetchPageKeywordOf(value, page)
-                         : server_.FetchPage(value, page);
+      fetch_tasks_.push_back([this, i, value, page] {
+        fetch_results_[i] = options_.use_keyword_interface
+                                ? server_.FetchPageKeywordOf(value, page)
+                                : server_.FetchPage(value, page);
       });
     }
-    pool_->RunAndWait(tasks);
+    pool_->RunAndWait(fetch_tasks_);
 
     // Commit phase: strictly by slot rank, never by completion order.
     wave_points_.clear();
     Status committed = Status::OK();
     for (size_t i = 0; i < slice; ++i) {
-      committed =
-          CommitFetch(slots_[wave_[wave_pos_]], std::move(*results[i]));
+      committed = CommitFetch(slots_[wave_[wave_pos_]],
+                              std::move(*fetch_results_[i]));
       ++wave_pos_;
       if (!committed.ok()) break;
     }

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -92,6 +93,13 @@ class ParallelCrawler {
 
   void set_max_rounds(uint64_t max_rounds) {
     options_.max_rounds = max_rounds;
+  }
+  // Adjusts the record target between Run() calls (0 = unbounded),
+  // enabling staged crawls (e.g. the marginal-phase timing in
+  // bench_mmmi_ablation: crawl to saturation, then raise the target and
+  // time only the MMMI phase).
+  void set_target_records(uint64_t target_records) {
+    options_.target_records = target_records;
   }
   uint64_t rounds_used() const { return rounds_used_; }
   const LocalStore& store() const { return store_; }
@@ -151,6 +159,10 @@ class ParallelCrawler {
   // Per-wave trace points, flushed through CrawlTrace::AddWave once per
   // wave slice (single buffered append instead of one write per page).
   std::vector<TracePoint> wave_points_;
+  // Wave-assembly scratch, reused across waves (cleared, never shrunk)
+  // so steady-state waves allocate nothing.
+  std::vector<std::optional<StatusOr<ResultPage>>> fetch_results_;
+  std::vector<std::function<void()>> fetch_tasks_;
 };
 
 }  // namespace deepcrawl

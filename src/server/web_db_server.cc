@@ -91,18 +91,22 @@ StatusOr<ResultPage> WebDbServer::FetchPageByKeyword(std::string_view text,
   if (page_number == 0) ++queries_issued_;
   // The site's own query processor decides which column matches (§2.2);
   // here that means unioning the postings of the keyword interpreted
-  // under every attribute.
-  std::vector<RecordId> merged;
+  // under every attribute. The union swaps between two member scratch
+  // buffers (pre-sized to the worst-case output) instead of allocating
+  // per attribute.
+  std::vector<RecordId>& merged = scratch_merged_;
+  std::vector<RecordId>& next = scratch_next_;
+  merged.clear();
   for (AttributeId attr = 0; attr < table_.schema().num_attributes();
        ++attr) {
     ValueId value = table_.catalog().Find(attr, text);
     if (value == kInvalidValueId) continue;
     std::span<const RecordId> postings = index_.Postings(value);
-    std::vector<RecordId> next;
+    next.clear();
     next.reserve(merged.size() + postings.size());
     std::set_union(merged.begin(), merged.end(), postings.begin(),
                    postings.end(), std::back_inserter(next));
-    merged = std::move(next);
+    std::swap(merged, next);
   }
   return BuildPage(merged, static_cast<uint32_t>(merged.size()), page_number);
 }
@@ -115,12 +119,16 @@ StatusOr<ResultPage> WebDbServer::FetchPageConjunctive(
   ++communication_rounds_;
   if (page_number == 0) ++queries_issued_;
   // Intersect postings smallest-first; bail out as soon as the running
-  // intersection empties.
-  std::vector<ValueId> ordered(values.begin(), values.end());
+  // intersection empties. Same swap-buffered member scratch as the
+  // keyword-union path.
+  std::vector<ValueId>& ordered = scratch_ordered_;
+  ordered.assign(values.begin(), values.end());
   std::sort(ordered.begin(), ordered.end(), [this](ValueId a, ValueId b) {
     return index_.MatchCount(a) < index_.MatchCount(b);
   });
-  std::vector<RecordId> matched;
+  std::vector<RecordId>& matched = scratch_merged_;
+  std::vector<RecordId>& next = scratch_next_;
+  matched.clear();
   bool first = true;
   for (ValueId v : ordered) {
     if (v >= table_.num_distinct_values()) {
@@ -131,12 +139,12 @@ StatusOr<ResultPage> WebDbServer::FetchPageConjunctive(
       matched.assign(postings.begin(), postings.end());
       first = false;
     } else {
-      std::vector<RecordId> next;
+      next.clear();
       next.reserve(std::min(matched.size(), postings.size()));
       std::set_intersection(matched.begin(), matched.end(),
                             postings.begin(), postings.end(),
                             std::back_inserter(next));
-      matched = std::move(next);
+      std::swap(matched, next);
     }
     if (matched.empty()) break;
   }

@@ -94,6 +94,14 @@ class WebDbServer : public QueryInterface {
   std::vector<char> attribute_queriable_;  // indexed by AttributeId
   uint64_t communication_rounds_ = 0;
   uint64_t queries_issued_ = 0;
+
+  // Scratch reused across queries by the keyword-union and conjunctive
+  // paths (swap-buffered, capacity kept), so steady-state queries do not
+  // reallocate. The server is externally synchronized when shared across
+  // threads (LockedQueryInterface), so per-instance scratch is safe.
+  std::vector<RecordId> scratch_merged_;
+  std::vector<RecordId> scratch_next_;
+  std::vector<ValueId> scratch_ordered_;
 };
 
 }  // namespace deepcrawl

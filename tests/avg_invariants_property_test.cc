@@ -9,10 +9,13 @@
 //     queried after some fetched record revealed it or it was a seed),
 //     and the local store is a faithful subset of the true table — local
 //     frequency and local degree never exceed their true-table / AVG
-//     counterparts.
+//     counterparts, and the store's CSR adjacency (NeighborsSpan) is a
+//     symmetric, duplicate-free subgraph of the truth AVG whose row
+//     sizes equal LocalDegree.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <span>
@@ -167,6 +170,22 @@ void CheckLocalSubsetOfTruth(const Table& table, const AttributeValueGraph& avg,
   }
   ASSERT_LE(store.num_records(), table.num_records());
   ASSERT_GE(store.num_observations(), store.num_records());
+  // The CSR adjacency mirrors LocalDegree exactly and is itself a
+  // symmetric, irreflexive, duplicate-free subgraph of the truth AVG.
+  for (ValueId v = 0; v < store.num_values_seen(); ++v) {
+    std::span<const ValueId> neighbors = store.NeighborsSpan(v);
+    ASSERT_EQ(neighbors.size(), store.LocalDegree(v)) << "value " << v;
+    std::set<ValueId> distinct;
+    for (ValueId u : neighbors) {
+      ASSERT_NE(u, v) << "self loop at " << v;
+      ASSERT_TRUE(distinct.insert(u).second) << "duplicate " << u;
+      ASSERT_TRUE(avg.HasEdge(v, u))
+          << "local edge " << v << "-" << u << " absent from truth AVG";
+      std::span<const ValueId> back = store.NeighborsSpan(u);
+      ASSERT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "asymmetric local edge " << v << "-" << u;
+    }
+  }
 }
 
 ValueId FirstQueriableSeed(const Table& table) {

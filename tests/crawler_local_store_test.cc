@@ -79,6 +79,76 @@ TEST(LocalStoreTest, NumValuesSeenGrowsWithMaxId) {
   EXPECT_EQ(store.LocalFrequency(50), 0u);
 }
 
+TEST(LocalStoreTest, NeighborsSpanListsDistinctNeighborsInDiscoveryOrder) {
+  LocalStore store;
+  store.AddRecord(0, V({1, 2, 3}));
+  store.AddRecord(1, V({1, 4, 2}));  // edge 1-2 already known, 1-4 and 4-2 new
+  auto n1 = store.NeighborsSpan(1);
+  ASSERT_EQ(n1.size(), 3u);
+  EXPECT_EQ(n1[0], 2u);  // first co-occurrence order, duplicates elided
+  EXPECT_EQ(n1[1], 3u);
+  EXPECT_EQ(n1[2], 4u);
+  auto n4 = store.NeighborsSpan(4);
+  ASSERT_EQ(n4.size(), 2u);
+  EXPECT_EQ(n4[0], 1u);
+  EXPECT_EQ(n4[1], 2u);
+  EXPECT_TRUE(store.NeighborsSpan(99).empty());
+}
+
+TEST(LocalStoreTest, NeighborsSpanEmptyInProxyDegreeMode) {
+  LocalStore::Options options;
+  options.exact_degrees = false;
+  LocalStore store(options);
+  store.AddRecord(0, V({1, 2, 3}));
+  EXPECT_TRUE(store.NeighborsSpan(1).empty());  // adjacency not materialized
+  EXPECT_EQ(store.LocalDegree(1), 2u);
+}
+
+TEST(LocalStoreTest, CsrAndReferenceLayoutsAreObservationallyIdentical) {
+  LocalStore::Options reference_options;
+  reference_options.layout = LocalStore::Layout::kReference;
+  LocalStore csr;  // default layout is kCsr
+  LocalStore reference(reference_options);
+  // Overlapping records with intra-record duplicates to stress dedup.
+  const std::vector<std::vector<ValueId>> records = {
+      {1, 2, 3}, {2, 3, 4}, {5, 5, 1}, {4, 1, 2, 2}, {6}, {3, 6, 5},
+  };
+  for (RecordId id = 0; id < records.size(); ++id) {
+    EXPECT_EQ(csr.AddRecord(id, records[id]),
+              reference.AddRecord(id, records[id]));
+  }
+  ASSERT_EQ(csr.num_values_seen(), reference.num_values_seen());
+  for (ValueId v = 0; v < csr.num_values_seen(); ++v) {
+    EXPECT_EQ(csr.LocalDegree(v), reference.LocalDegree(v)) << v;
+    EXPECT_EQ(csr.LocalFrequency(v), reference.LocalFrequency(v)) << v;
+    auto csr_neighbors = csr.NeighborsSpan(v);
+    auto ref_neighbors = reference.NeighborsSpan(v);
+    ASSERT_EQ(csr_neighbors.size(), ref_neighbors.size()) << v;
+    for (size_t i = 0; i < csr_neighbors.size(); ++i) {
+      EXPECT_EQ(csr_neighbors[i], ref_neighbors[i]) << v << "/" << i;
+    }
+    auto csr_postings = csr.LocalPostings(v);
+    auto ref_postings = reference.LocalPostings(v);
+    ASSERT_EQ(csr_postings.size(), ref_postings.size()) << v;
+    for (size_t i = 0; i < csr_postings.size(); ++i) {
+      EXPECT_EQ(csr_postings[i], ref_postings[i]) << v << "/" << i;
+    }
+  }
+}
+
+TEST(LocalStoreTest, NeighborsSpanSizeMatchesLocalDegree) {
+  LocalStore store;
+  // Chain with a hub: enough growth to relocate CSR rows repeatedly.
+  for (RecordId id = 0; id < 200; ++id) {
+    store.AddRecord(id, V({0, static_cast<ValueId>(id + 1),
+                           static_cast<ValueId>(id + 2)}));
+  }
+  for (ValueId v = 0; v < store.num_values_seen(); ++v) {
+    EXPECT_EQ(store.NeighborsSpan(v).size(), store.LocalDegree(v)) << v;
+  }
+  EXPECT_EQ(store.LocalDegree(0), 201u);  // hub saw every other value
+}
+
 TEST(LocalStoreDeathTest, EmptyRecordAborts) {
   LocalStore store;
   EXPECT_DEATH(store.AddRecord(0, {}), "no values");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/crawler/crawler.h"
+#include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/local_store.h"
 #include "src/crawler/naive_selectors.h"
 #include "src/crawler/parallel_crawler.h"
@@ -185,6 +186,44 @@ TEST(ParallelCrawlerStressTest, RepeatedRunsAreIdenticalAcrossSchedulings) {
       EXPECT_EQ(HarvestedIds(store), reference_ids);
     }
   }
+}
+
+TEST(ParallelCrawlerStressTest, GreedyHeapGrowthStaysBoundedUnderFaults) {
+  // The greedy selector's lazy max-heap dedups same-degree re-pushes, so
+  // its lifetime push count is bounded by one push per discovery plus
+  // one per degree increment — NOT by one per (record, value) harvest
+  // event, which is what an undeduped heap would cost. A bound violation
+  // means the dedup regressed into heap blow-up.
+  const Table& target = StressTarget();
+  WebDbServer backend(target, ServerOptions());
+  FaultyServer faulty(backend, FaultProfile::Transient(0.08), /*seed=*/5);
+  faulty.set_keyed_faults(true);
+  LockedQueryInterface server(faulty);
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  ParallelCrawler crawler(server, selector, store, CrawlOptions{},
+                          ParallelOptions{/*threads=*/16, /*batch=*/8},
+                          nullptr, &retry);
+  crawler.AddSeed(FirstQueriableSeed(target));
+  StatusOr<CrawlResult> result = crawler.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(store.num_records(), 0u);
+
+  uint64_t degree_sum = 0;
+  for (ValueId v = 0; v < store.num_values_seen(); ++v) {
+    degree_sum += store.LocalDegree(v);
+  }
+  // Each push happens at a strictly larger degree than the previous push
+  // of the same value, so per value: pushes <= 1 (discovery) + final
+  // local degree. Summed over the dense id space this gives the bound.
+  EXPECT_LE(selector.heap_pushes(), store.num_values_seen() + degree_sum)
+      << "heap dedup regressed: pushes exceed discovery + degree budget";
+  EXPECT_GT(selector.heap_pushes(), 0u);
+  // The crawl ran to completion, so the frontier is exhausted and the
+  // heap was fully drained popping stale entries.
+  EXPECT_EQ(selector.frontier_size(), 0u);
+  EXPECT_EQ(selector.heap_size(), 0u);
 }
 
 // --- ShardedLocalStore under concurrent ingest ------------------------

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json metric files against committed baselines.
+
+Each file is produced by a bench binary's --json=<path> mode (see
+bench/bench_common.h BenchJson) and holds named metrics with a
+direction flag:
+
+    { "bench": "micro",
+      "metrics": [ {"name": "ingest_exact_rps", "value": 2.4e6,
+                    "unit": "records/s", "higher_is_better": true}, ... ] }
+
+Usage (pairs repeat; the i-th --current is compared to the i-th
+--baseline):
+
+    tools/bench_compare.py --max-regress 0.20 \
+        --baseline BENCH_micro.json    --current build-perf/BENCH_micro.json \
+        --baseline BENCH_parallel.json --current build-perf/BENCH_parallel.json
+
+A metric regresses when it moves in its bad direction by more than
+--max-regress (relative). Metrics missing from the current run fail the
+comparison; metrics new in the current run are reported but pass (the
+baseline just needs refreshing). Exit status: 0 = all within bounds,
+1 = regression or structural mismatch.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[m["name"]] = m
+    return doc.get("bench", path), metrics
+
+
+def compare_pair(baseline_path, current_path, max_regress):
+    """Returns (ok, lines) for one baseline/current file pair."""
+    bench_name, base = load_metrics(baseline_path)
+    _, cur = load_metrics(current_path)
+    ok = True
+    lines = [f"[{bench_name}] {current_path} vs {baseline_path}"]
+    for name, bm in base.items():
+        if name not in cur:
+            ok = False
+            lines.append(f"  FAIL {name}: missing from current run")
+            continue
+        bv, cv = float(bm["value"]), float(cur[name]["value"])
+        higher = bool(bm.get("higher_is_better", True))
+        if bv == 0.0:
+            delta = 0.0 if cv == 0.0 else float("inf")
+        elif higher:
+            delta = (bv - cv) / bv  # positive = got worse
+        else:
+            delta = (cv - bv) / bv
+        unit = bm.get("unit", "")
+        change = (cv - bv) / bv * 100.0 if bv else 0.0
+        verdict = "FAIL" if delta > max_regress else "ok"
+        if delta > max_regress:
+            ok = False
+        lines.append(
+            f"  {verdict:4s} {name}: {bv:.6g} -> {cv:.6g} {unit} "
+            f"({change:+.1f}%, {'higher' if higher else 'lower'} is better)"
+        )
+    for name in cur:
+        if name not in base:
+            lines.append(f"  note {name}: new metric (not in baseline)")
+    return ok, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="baseline BENCH_*.json (repeatable)")
+    parser.add_argument("--current", action="append", required=True,
+                        help="current BENCH_*.json (repeatable, pairs with "
+                             "--baseline by position)")
+    parser.add_argument("--max-regress", type=float, default=0.20,
+                        help="max allowed relative regression (default 0.20)")
+    args = parser.parse_args()
+    if len(args.baseline) != len(args.current):
+        parser.error("--baseline and --current counts must match")
+
+    all_ok = True
+    for baseline_path, current_path in zip(args.baseline, args.current):
+        ok, lines = compare_pair(baseline_path, current_path,
+                                 args.max_regress)
+        print("\n".join(lines))
+        all_ok = all_ok and ok
+    if not all_ok:
+        print(f"\nbench_compare: REGRESSION beyond {args.max_regress:.0%}")
+        return 1
+    print(f"\nbench_compare: all metrics within {args.max_regress:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

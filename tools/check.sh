@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification, three times over: the plain build, an ASan/UBSan
-# build, and a ThreadSanitizer build for the concurrency suite.
+# Tier-1 verification, four times over: the plain build, an ASan/UBSan
+# build, a ThreadSanitizer build for the concurrency suite, and a
+# Release-mode perf pass that guards the committed BENCH_*.json
+# baselines.
 #
-# Usage: tools/check.sh [--no-asan] [--no-tsan]
+# Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -12,14 +14,17 @@
 # sanitizers cannot be combined) and runs the concurrency tests — the
 # thread pool, the locked query interface, the parallel crawl engine's
 # differential/stress suites, and the sharded store — under the race
-# detector.
+# detector. The perf pass rebuilds into build-perf/ with
+# -DCMAKE_BUILD_TYPE=Release, runs the JSON bench suites, and fails on
+# >20% regression against the committed baselines via
+# tools/bench_compare.py (see README "Benchmarking").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -28,34 +33,56 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/3: plain build (build/) ==="
+echo "=== pass 1/4: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
 skip_tsan=0
+skip_perf=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
     --no-tsan) skip_tsan=1 ;;
+    --no-perf) skip_perf=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/3 skipped (--no-asan) ==="
+  echo "=== pass 2/4 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/3: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/4: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/3 skipped (--no-tsan) ==="
+  echo "=== pass 3/4 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/3: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/4: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
     -R "${TSAN_FILTER}"
+fi
+
+if [[ "${skip_perf}" == 1 ]]; then
+  echo "=== pass 4/4 skipped (--no-perf) ==="
+else
+  echo "=== pass 4/4: perf regression (build-perf/, Release) ==="
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf -j \
+    --target bench_micro bench_parallel bench_mmmi_ablation
+  ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
+  ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
+  ./build-perf/bench/bench_mmmi_ablation \
+    --json=build-perf/BENCH_mmmi_ablation.json
+  python3 tools/bench_compare.py --max-regress 0.20 \
+    --baseline BENCH_micro.json \
+    --current build-perf/BENCH_micro.json \
+    --baseline BENCH_parallel.json \
+    --current build-perf/BENCH_parallel.json \
+    --baseline BENCH_mmmi_ablation.json \
+    --current build-perf/BENCH_mmmi_ablation.json
 fi
 
 echo "all requested checks passed"

@@ -61,6 +61,7 @@ struct Options {
   int64_t gen_seed = 1;
 
   std::string policy = "greedy";
+  bool mmmi_reference = false;
   std::string domain_input;
   int64_t page_size = 10;
   int64_t result_limit = 0;
@@ -278,7 +279,9 @@ Status Run(const Options& options) {
   } else if (options.policy == "greedy") {
     selector = std::make_unique<GreedyLinkSelector>(store);
   } else if (options.policy == "mmmi") {
-    selector = std::make_unique<MmmiSelector>(store);
+    MmmiOptions mmmi_options;
+    mmmi_options.reference_scoring = options.mmmi_reference;
+    selector = std::make_unique<MmmiSelector>(store, mmmi_options);
   } else if (options.policy == "oracle") {
     selector = std::make_unique<OracleSelector>(
         store, backend.index(), server_options.page_size,
@@ -403,6 +406,10 @@ int main(int argc, char** argv) {
                   "generator seed for --workload");
   parser.AddString("policy", &options.policy,
                    "bfs|dfs|random|greedy|mmmi|oracle|domain");
+  parser.AddBool("mmmi-reference", &options.mmmi_reference,
+                 "score MMMI batches with the pre-optimization postings "
+                 "rescan instead of the incremental counters (identical "
+                 "output, slower; for differential checks / A-B timing)");
   parser.AddString("domain-input", &options.domain_input,
                    "TSV with a same-domain sample database (builds the "
                    "domain statistics table)");

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Flamegraph-ready profile of a crawl: builds deepcrawl_crawl in Release
+# with frame pointers kept (-DDEEPCRAWL_PROFILE=ON), runs it under
+# `perf record -g`, and prints the hottest stacks. Start every hot-path
+# investigation here — the PR that introduced this (CSR local graph +
+# incremental MMMI) was scoped off exactly such a profile.
+#
+# Usage:
+#   tools/profile_crawl.sh [crawl args...]
+#
+# Default crawl args exercise the MMMI marginal phase (the historical
+# hot spot): eBay at scale 0.1, crawl to 99% with the switch at 85%.
+# Output: build-profile/perf.data (open with `perf report`) plus an
+# inline `perf report --stdio` summary. Pipe perf.data through
+# stackcollapse-perf.pl/flamegraph.pl for an SVG if you have FlameGraph
+# checked out.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v perf >/dev/null 2>&1; then
+  echo "perf not found; install linux-tools for your kernel" >&2
+  exit 2
+fi
+
+BUILD_DIR=build-profile
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Release -DDEEPCRAWL_PROFILE=ON
+cmake --build "${BUILD_DIR}" -j --target deepcrawl_crawl
+
+ARGS=("$@")
+if [[ ${#ARGS[@]} -eq 0 ]]; then
+  ARGS=(--workload=ebay --scale=0.1 --policy=mmmi
+        --target-coverage=0.99 --saturation=0.85)
+fi
+
+perf record -g --output="${BUILD_DIR}/perf.data" -- \
+  "${BUILD_DIR}/tools/deepcrawl_crawl" "${ARGS[@]}"
+
+echo
+echo "=== hottest stacks (perf report --stdio, top 40 lines) ==="
+perf report --stdio --input="${BUILD_DIR}/perf.data" 2>/dev/null | head -40
+echo
+echo "full data: perf report --input=${BUILD_DIR}/perf.data"
