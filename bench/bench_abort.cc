@@ -86,9 +86,10 @@ int main() {
           config.greedy ? static_cast<QuerySelector&>(greedy_selector)
                         : static_cast<QuerySelector&>(bfs_selector);
       server.ResetMeters();
-      Crawler crawler(server, selector, store, options, policy);
-      crawler.AddSeed(bench::SeedValue(db, static_cast<uint32_t>(s)));
-      StatusOr<CrawlResult> result = crawler.Run();
+      CrawlEngine engine(server, selector, store, options, EngineOptions{},
+                         policy);
+      engine.AddSeed(bench::SeedValue(db, static_cast<uint32_t>(s)));
+      StatusOr<CrawlResult> result = engine.Run();
       DEEPCRAWL_CHECK(result.ok());
       rounds += static_cast<double>(result->rounds);
       queries += static_cast<double>(result->queries);

@@ -25,7 +25,7 @@
 #include <string_view>
 #include <vector>
 
-#include "src/crawler/crawler.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/local_store.h"
 #include "src/crawler/parallel_crawler.h"
 #include "src/crawler/query_selector.h"
@@ -55,10 +55,10 @@ inline CrawlResult RunCrawl(QueryInterface& server, QuerySelector& selector,
                             ValueId seed_value,
                             const RetryPolicy* retry_policy = nullptr) {
   server.ResetMeters();
-  Crawler crawler(server, selector, store, options,
-                  /*abort_policy=*/nullptr, retry_policy);
-  crawler.AddSeed(seed_value);
-  StatusOr<CrawlResult> result = crawler.Run();
+  CrawlEngine engine(server, selector, store, options, EngineOptions{},
+                     /*abort_policy=*/nullptr, retry_policy);
+  engine.AddSeed(seed_value);
+  StatusOr<CrawlResult> result = engine.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
   return std::move(*result);
 }
@@ -74,10 +74,13 @@ inline CrawlResult RunParallelCrawl(QueryInterface& server,
                                     ValueId seed_value,
                                     const RetryPolicy* retry_policy = nullptr) {
   server.ResetMeters();
-  ParallelCrawler crawler(server, selector, store, options, parallel,
-                          /*abort_policy=*/nullptr, retry_policy);
-  crawler.AddSeed(seed_value);
-  StatusOr<CrawlResult> result = crawler.Run();
+  EngineOptions engine_options;
+  engine_options.threads = parallel.threads;
+  engine_options.batch = parallel.batch;
+  CrawlEngine engine(server, selector, store, options, engine_options,
+                     /*abort_policy=*/nullptr, retry_policy);
+  engine.AddSeed(seed_value);
+  StatusOr<CrawlResult> result = engine.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
   return std::move(*result);
 }

@@ -12,7 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
-#include "src/crawler/crawler.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/local_store.h"
 #include "src/datagen/canned_workloads.h"
@@ -97,9 +97,9 @@ void BM_GreedyCrawlTo50Percent(benchmark::State& state) {
     CrawlOptions options;
     options.target_records = table.num_records() / 2;
     server.ResetMeters();
-    Crawler crawler(server, selector, store, options);
-    crawler.AddSeed(1);
-    StatusOr<CrawlResult> result = crawler.Run();
+    CrawlEngine engine(server, selector, store, options);
+    engine.AddSeed(1);
+    StatusOr<CrawlResult> result = engine.Run();
     DEEPCRAWL_CHECK(result.ok());
     benchmark::DoNotOptimize(result->rounds);
   }
@@ -143,9 +143,9 @@ uint64_t CrawlLoopOnce(WebDbServer& server, const Table& table) {
   CrawlOptions options;
   options.target_records = table.num_records() / 2;
   server.ResetMeters();
-  Crawler crawler(server, selector, store, options);
-  crawler.AddSeed(1);
-  StatusOr<CrawlResult> result = crawler.Run();
+  CrawlEngine engine(server, selector, store, options);
+  engine.AddSeed(1);
+  StatusOr<CrawlResult> result = engine.Run();
   DEEPCRAWL_CHECK(result.ok());
   return result->records;
 }

@@ -61,22 +61,22 @@ double MarginalPhaseSeconds(const deepcrawl::Table& db,
   options.saturation_records =
       static_cast<uint64_t>(0.85 * static_cast<double>(n));
   options.target_records = options.saturation_records;
-  Crawler crawler(server, selector, store, options);
-  crawler.AddSeed(seed_value);
-  StatusOr<CrawlResult> warm = crawler.Run();
+  CrawlEngine engine(server, selector, store, options);
+  engine.AddSeed(seed_value);
+  StatusOr<CrawlResult> warm = engine.Run();
   DEEPCRAWL_CHECK(warm.ok()) << warm.status().ToString();
 
-  uint64_t rounds_before = crawler.rounds_used();
-  crawler.set_target_records(
+  uint64_t rounds_before = engine.rounds_used();
+  engine.set_target_records(
       static_cast<uint64_t>(0.99 * static_cast<double>(n)));
   auto start = std::chrono::steady_clock::now();
-  StatusOr<CrawlResult> marginal = crawler.Run();
+  StatusOr<CrawlResult> marginal = engine.Run();
   double seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(
           std::chrono::steady_clock::now() - start)
           .count();
   DEEPCRAWL_CHECK(marginal.ok()) << marginal.status().ToString();
-  *rounds_out += crawler.rounds_used() - rounds_before;
+  *rounds_out += engine.rounds_used() - rounds_before;
   return seconds;
 }
 

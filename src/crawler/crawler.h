@@ -1,84 +1,25 @@
-// Crawler: the "query-harvest-decompose" loop (§1, §2.5).
+// Crawler: the serial "query-harvest-decompose" loop (§1, §2.5).
 //
-// Starting from seed attribute values, the crawler repeatedly
-//   1. asks its QuerySelector for the next value to query,
-//   2. probes the source page by page (each page = one communication
-//      round, the paper's cost unit), optionally aborting the drain
-//      early via an AbortPolicy (§3.4),
-//   3. extracts returned records into the LocalStore, decomposes them
-//      into attribute values, and feeds newly-seen values back to the
-//      selector as future query candidates,
-// until the frontier empties, a round budget is exhausted, or a target
-// number of records has been harvested.
+// Historically this class carried its own drain loop; it is now a thin
+// compatibility shim over the unified CrawlEngine (crawl_engine.h) in
+// its serial configuration — one drain slot, inline fetch executor, no
+// thread ever spawned. The engine's batch == 1 path IS the serial crawl
+// order (proven bit-identical by the differential suite), so this shim
+// adds no semantics: it only preserves the original construction
+// signature for the examples, tests, and estimators written against it.
 //
-// The crawler depends only on the QueryInterface — never the backend
-// Table: everything it knows arrived through result pages, exactly like
-// a crawler talking to a real Web source. The same loop therefore runs
-// against the perfect simulator (WebDbServer) or the fault-injecting
-// proxy (FaultyServer).
-//
-// Resilience: with a RetryPolicy attached, transient fetch failures
-// (kUnavailable / kDeadlineExceeded / kResourceExhausted) are retried
-// with capped exponential backoff over a simulated clock; every retry
-// costs a communication round. When a value's per-drain retry budget is
-// exhausted the crawl degrades gracefully instead of dying: the value is
-// re-queued at the frontier tail (bounded times), then abandoned, and
-// the trace's ResilienceCounters record all of it. Without a policy a
-// failed fetch fails the crawl (the pre-resilience behaviour).
+// See crawl_engine.h for the loop's documentation (wave structure,
+// retry/backoff resilience, pending-drain parking across Run() calls)
+// and src/crawler/checkpoint.h for checkpoint/resume.
 
 #ifndef DEEPCRAWL_CRAWLER_CRAWLER_H_
 #define DEEPCRAWL_CRAWLER_CRAWLER_H_
 
 #include <cstdint>
-#include <deque>
-#include <optional>
-#include <unordered_map>
-#include <vector>
 
-#include "src/crawler/abort_policy.h"
-#include "src/crawler/local_store.h"
-#include "src/crawler/metrics.h"
-#include "src/crawler/query_selector.h"
-#include "src/crawler/retry_policy.h"
-#include "src/server/query_interface.h"
-#include "src/util/status.h"
+#include "src/crawler/crawl_engine.h"
 
 namespace deepcrawl {
-
-struct CrawlOptions {
-  // Stop after this many communication rounds (0 = unbounded).
-  uint64_t max_rounds = 0;
-  // Stop once this many distinct records were harvested (0 = crawl until
-  // the frontier is exhausted). Figure 3's "reach 90% coverage" runs set
-  // this to 0.9 * |DB|.
-  uint64_t target_records = 0;
-  // Notify the selector of saturation once this many records were
-  // harvested (0 = never). Drives the §3.3 GL -> MMMI switch-over.
-  uint64_t saturation_records = 0;
-  // Issue queries through the site's keyword box instead of typed
-  // attribute fields (§2.2 "fading schema"): the selected value's text
-  // is matched by the server against every attribute, so e.g. a person
-  // name harvests both acting and directing credits in one query.
-  bool use_keyword_interface = false;
-};
-
-enum class StopReason {
-  kFrontierExhausted,
-  kRoundBudget,
-  kTargetReached,
-};
-
-const char* StopReasonToString(StopReason reason);
-
-struct CrawlResult {
-  StopReason stop_reason = StopReason::kFrontierExhausted;
-  uint64_t rounds = 0;
-  uint64_t queries = 0;
-  uint64_t records = 0;
-  CrawlTrace trace;
-  // Copy of trace.resilience(), for reporting convenience.
-  ResilienceCounters resilience;
-};
 
 class Crawler {
  public:
@@ -87,79 +28,41 @@ class Crawler {
   // the first fetch error).
   Crawler(QueryInterface& server, QuerySelector& selector, LocalStore& store,
           CrawlOptions options, AbortPolicy* abort_policy = nullptr,
-          const RetryPolicy* retry_policy = nullptr);
+          const RetryPolicy* retry_policy = nullptr)
+      : engine_(server, selector, store, options, EngineOptions{},
+                abort_policy, retry_policy) {}
 
   Crawler(const Crawler&) = delete;
   Crawler& operator=(const Crawler&) = delete;
 
   // Plants a seed attribute value into the frontier. Must be called
   // before Run; duplicate seeds are ignored.
-  void AddSeed(ValueId v);
+  void AddSeed(ValueId v) { engine_.AddSeed(v); }
 
   // Runs the crawl loop until a stop condition fires. May be called
-  // again afterwards to continue (e.g. with a larger budget). If the
-  // round budget expires while a query is still being drained, the
-  // drain's position is retained and the next Run() resumes it at the
-  // page after the last one fetched — the drained prefix is never
-  // re-issued and its records are never double-counted. An abort-policy
-  // abort, by contrast, abandons the remaining pages for good.
-  StatusOr<CrawlResult> Run();
+  // again afterwards to continue (e.g. with a larger budget); a drain
+  // interrupted by the round budget resumes exactly, with no page
+  // re-fetched and no record double-counted.
+  StatusOr<CrawlResult> Run() { return engine_.Run(); }
 
-  // Adjusts the round budget between Run() calls (0 = unbounded),
-  // enabling incremental crawling loops with external stopping criteria
-  // (e.g. the Chao coverage estimate; see examples/adaptive_stop.cpp).
   void set_max_rounds(uint64_t max_rounds) {
-    options_.max_rounds = max_rounds;
+    engine_.set_max_rounds(max_rounds);
   }
-  // Adjusts the record target between Run() calls (0 = unbounded),
-  // enabling staged crawls: run to one coverage level, inspect, raise
-  // the target, and continue (bench_mmmi_ablation times the marginal
-  // phase this way).
   void set_target_records(uint64_t target_records) {
-    options_.target_records = target_records;
+    engine_.set_target_records(target_records);
   }
-  uint64_t rounds_used() const { return rounds_used_; }
-
-  const LocalStore& store() const { return store_; }
+  uint64_t rounds_used() const { return engine_.rounds_used(); }
+  const LocalStore& store() const { return engine_.store(); }
 
   // Simulated time spent, including retry backoff waits.
-  const SimulatedClock& clock() const { return clock_; }
+  const SimulatedClock& clock() const { return engine_.clock(); }
+
+  // The underlying unified engine, e.g. for checkpointing.
+  CrawlEngine& engine() { return engine_; }
+  const CrawlEngine& engine() const { return engine_; }
 
  private:
-  // A drain interrupted by the round budget, to resume on the next Run().
-  struct PendingDrain {
-    ValueId value = kInvalidValueId;
-    uint32_t next_page = 0;
-    uint32_t failures = 0;  // failed fetches of this drain so far
-    QueryOutcome outcome;
-  };
-
-  // Marks `v` seen and tells the selector it entered Lto-query.
-  void DiscoverValue(ValueId v);
-
-  // Pops the next value to drain: selector frontier first, then the
-  // retry queue (re-queued values sit at the frontier tail).
-  ValueId NextValue();
-
-  QueryInterface& server_;
-  QuerySelector& selector_;
-  LocalStore& store_;
-  CrawlOptions options_;
-  AbortPolicy* abort_policy_;
-  const RetryPolicy* retry_policy_;
-
-  std::vector<char> seen_;  // value already in Lto-query or Lqueried
-  bool saturation_notified_ = false;
-  uint64_t rounds_used_ = 0;
-  uint64_t queries_issued_ = 0;
-  CrawlTrace trace_;
-  SimulatedClock clock_;
-
-  // Graceful-degradation state: values whose drain gave up, waiting at
-  // the frontier tail, and how often each was already re-queued.
-  std::deque<ValueId> retry_queue_;
-  std::unordered_map<ValueId, uint32_t> requeue_count_;
-  std::optional<PendingDrain> pending_;
+  CrawlEngine engine_;
 };
 
 }  // namespace deepcrawl

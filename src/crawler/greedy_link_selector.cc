@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/checkpoint_io.h"
 #include "src/util/logging.h"
 
 namespace deepcrawl {
@@ -48,6 +49,71 @@ void GreedyLinkSelector::OnRecordHarvested(uint32_t slot) {
   for (ValueId v : store_.RecordValues(slot)) {
     Push(v);
   }
+}
+
+Status GreedyLinkSelector::SaveState(CheckpointWriter& writer) const {
+  writer.WriteU64(heap_.size());
+  for (const HeapEntry& entry : heap_) {
+    writer.WriteU64(entry.degree);
+    writer.WriteU32(entry.value);
+  }
+  writer.WriteU64(frontier_.size());
+  for (ValueId v : frontier_) writer.WriteU32(v);
+  uint64_t pushed = 0;
+  for (uint64_t degree : last_pushed_degree_) {
+    if (degree != kNeverPushed) ++pushed;
+  }
+  writer.WriteU64(pushed);
+  for (size_t v = 0; v < last_pushed_degree_.size(); ++v) {
+    if (last_pushed_degree_[v] == kNeverPushed) continue;
+    writer.WriteU32(static_cast<ValueId>(v));
+    writer.WriteU64(last_pushed_degree_[v]);
+  }
+  writer.WriteU64(heap_pushes_);
+  return Status::OK();
+}
+
+Status GreedyLinkSelector::LoadState(CheckpointReader& reader,
+                                     ValueId value_bound) {
+  heap_.clear();
+  frontier_.clear();
+  frontier_pos_.assign(value_bound, kNoPosition);
+  last_pushed_degree_.assign(value_bound, kNeverPushed);
+  uint64_t heap_size = reader.ReadCount(12);
+  heap_.reserve(static_cast<size_t>(heap_size));
+  for (uint64_t i = 0; i < heap_size && reader.ok(); ++i) {
+    uint64_t degree = reader.ReadU64();
+    ValueId v = reader.ReadU32();
+    if (v >= value_bound) {
+      reader.MarkCorrupt("heap value id out of range");
+      break;
+    }
+    // Entries were saved in heap order, so the vector is a valid
+    // max-heap as-is — pop order is preserved exactly.
+    heap_.push_back(HeapEntry{degree, v});
+  }
+  uint64_t frontier_size = reader.ReadCount(4);
+  for (uint64_t i = 0; i < frontier_size && reader.ok(); ++i) {
+    ValueId v = reader.ReadU32();
+    if (v >= value_bound || frontier_pos_[v] != kNoPosition) {
+      reader.MarkCorrupt("frontier value id invalid");
+      break;
+    }
+    frontier_pos_[v] = static_cast<uint32_t>(frontier_.size());
+    frontier_.push_back(v);
+  }
+  uint64_t pushed = reader.ReadCount(12);
+  for (uint64_t i = 0; i < pushed && reader.ok(); ++i) {
+    ValueId v = reader.ReadU32();
+    uint64_t degree = reader.ReadU64();
+    if (v >= value_bound) {
+      reader.MarkCorrupt("pushed-degree value id out of range");
+      break;
+    }
+    last_pushed_degree_[v] = degree;
+  }
+  heap_pushes_ = reader.ReadU64();
+  return reader.status();
 }
 
 ValueId GreedyLinkSelector::SelectNext() {

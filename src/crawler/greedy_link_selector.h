@@ -52,6 +52,13 @@ class GreedyLinkSelector : public QuerySelector {
   ValueId SelectNext() override;
   std::string_view name() const override { return "greedy-link"; }
 
+  // Checkpointing: the heap vector is serialized verbatim (it is already
+  // heap-ordered, so restoring it preserves pop order exactly), the
+  // frontier in its current swap-erase permutation, and the
+  // last-pushed-degree table sparsely.
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
+
   size_t frontier_size() const { return frontier_.size(); }
 
   // Diagnostics for the stress test's heap-growth assertion.

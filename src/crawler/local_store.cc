@@ -93,6 +93,17 @@ void LocalStore::ObserveDuplicate(RecordId id) {
   ++num_observations_;
 }
 
+void LocalStore::RestoreObservations(RecordId id, uint32_t count) {
+  DEEPCRAWL_CHECK_GE(count, 1u);
+  auto it = slot_of_.find(id);
+  DEEPCRAWL_CHECK(it != slot_of_.end())
+      << "restoring observations of a record never added";
+  uint32_t& stored = observation_count_[it->second];
+  num_observations_ += count;
+  num_observations_ -= stored;
+  stored = count;
+}
+
 size_t LocalStore::RecordsObservedTimes(uint32_t k) const {
   DEEPCRAWL_CHECK_GE(k, 1u);
   size_t count = 0;

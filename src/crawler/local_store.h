@@ -76,6 +76,13 @@ class LocalStore {
   // record was never added.
   void ObserveDuplicate(RecordId id);
 
+  // Checkpoint-restore path: sets the record's observation counter to
+  // `count` (>= 1) in one step, equivalent to AddRecord followed by
+  // count - 1 ObserveDuplicate calls but O(1) — decode cost must not
+  // scale with a counter read from (possibly corrupt) input. Aborts
+  // when the record was never added or `count` is zero.
+  void RestoreObservations(RecordId id, uint32_t count);
+
   // Total result records observed, duplicates included.
   uint64_t num_observations() const { return num_observations_; }
 
@@ -106,6 +113,14 @@ class LocalStore {
 
   // Original (server-side) record id of slot `slot`.
   RecordId OriginalRecordId(uint32_t slot) const;
+
+  // Times the record in slot `slot` was observed (>= 1), for the
+  // checkpoint layer's logical-replay serialization.
+  uint32_t ObservationCount(uint32_t slot) const {
+    return observation_count_[slot];
+  }
+
+  const Options& options() const { return options_; }
 
  private:
   void EnsureValueCapacity(ValueId v);

@@ -107,6 +107,13 @@ class MmmiSelector : public GreedyLinkSelector {
 
   bool saturated() const { return saturated_; }
 
+  // Checkpointing: base (greedy) state plus the saturation flag, issued
+  // bitmap, batch queue, and the incremental co-occurrence rows (each
+  // row restored in its sorted-ascending order). The MmmiOptions
+  // fingerprint is verified on load.
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
+
   // Dependency score s(q) of a candidate against the issued queries,
   // computed on the current DBlocal by the reference scan (so it works
   // without the selector having observed the crawl events). Exposed for

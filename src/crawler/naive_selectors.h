@@ -26,6 +26,8 @@ class BfsSelector : public QuerySelector {
   void OnValueDiscovered(ValueId v) override { queue_.push_back(v); }
   ValueId SelectNext() override;
   std::string_view name() const override { return "bfs"; }
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
 
  private:
   std::deque<ValueId> queue_;
@@ -39,6 +41,8 @@ class DfsSelector : public QuerySelector {
   void OnValueDiscovered(ValueId v) override { stack_.push_back(v); }
   ValueId SelectNext() override;
   std::string_view name() const override { return "dfs"; }
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
 
  private:
   std::vector<ValueId> stack_;
@@ -52,6 +56,8 @@ class RandomSelector : public QuerySelector {
   void OnValueDiscovered(ValueId v) override { pool_.push_back(v); }
   ValueId SelectNext() override;
   std::string_view name() const override { return "random"; }
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
 
  private:
   Pcg32 rng_;

@@ -1,61 +1,23 @@
-// ParallelCrawler: the batched, multi-threaded crawl engine.
+// ParallelCrawler: the batched, multi-threaded crawl configuration.
 //
-// The serial Crawler (crawler.h) issues one page fetch at a time; real
-// deep-web crawlers amortize network latency by keeping several queries
-// in flight at once (the round-limited access model of Sheng et al.,
-// PAPERS.md). This engine crawls in WAVES over a fixed set of `batch`
-// drain slots:
+// Historically this class carried its own wave loop next to the serial
+// Crawler's drain loop; both are now thin compatibility shims over the
+// unified CrawlEngine (crawl_engine.h), which owns the single wave
+// planner/committer and runs fetches through a pluggable FetchExecutor
+// (ThreadPool-backed here for threads > 1). The determinism contract —
+// batch == 1 ≡ serial bit-identically, output a pure function of
+// (seed, batch), thread count wall-clock only — is documented on the
+// engine and proven by tests/crawler_parallel_differential_test.cc.
 //
-//   1. refill — empty slots take the next frontier values, in slot
-//      order (so slot rank == selector rank);
-//   2. fetch  — every active slot issues exactly one page fetch; the
-//      fetches run concurrently on a ThreadPool, against a thread-safe
-//      QueryInterface (see src/server/locked_interface.h);
-//   3. commit — results are applied strictly in slot order, never in
-//      completion order: records are deduplicated and stored, values
-//      discovered, selector callbacks fired, retries/backoff decided,
-//      and the wave's trace points appended in one buffered call.
-//
-// Determinism contract (tested exhaustively by
-// tests/crawler_parallel_differential_test.cc; see DESIGN.md §8):
-//
-//   * batch == 1 reproduces the serial Crawler BIT-IDENTICALLY: same
-//     seed ⇒ same queries in the same order, same trace points, same
-//     ResilienceCounters, same stop reason — at any thread count.
-//   * for ANY batch, the output is a pure function of (seed, batch):
-//     the thread count changes wall-clock time and nothing else.
-//   * batch > 1 is a semantic parameter: each wave picks its top-B
-//     frontier candidates from the knowledge of the previous wave
-//     (queries within a wave cannot see each other's results — exactly
-//     the round-limited model), so its query order legitimately differs
-//     from batch == 1 for history-sensitive selectors.
-//
-// The engine composes with the PR-1 resilience layer: transient fetch
-// failures are retried per slot (the failed page is simply re-fetched
-// in the next wave after the backoff is charged), and exhausted values
-// are re-queued/abandoned with the same bookkeeping as the serial
-// crawler.
+// See src/crawler/checkpoint.h for checkpoint/resume.
 
 #ifndef DEEPCRAWL_CRAWLER_PARALLEL_CRAWLER_H_
 #define DEEPCRAWL_CRAWLER_PARALLEL_CRAWLER_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <optional>
-#include <unordered_map>
-#include <vector>
 
-#include "src/crawler/abort_policy.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/crawler.h"
-#include "src/crawler/local_store.h"
-#include "src/crawler/metrics.h"
-#include "src/crawler/query_selector.h"
-#include "src/crawler/retry_policy.h"
-#include "src/server/query_interface.h"
-#include "src/util/status.h"
-#include "src/util/thread_pool.h"
 
 namespace deepcrawl {
 
@@ -77,92 +39,46 @@ class ParallelCrawler {
                   LocalStore& store, CrawlOptions options,
                   ParallelOptions parallel,
                   AbortPolicy* abort_policy = nullptr,
-                  const RetryPolicy* retry_policy = nullptr);
+                  const RetryPolicy* retry_policy = nullptr)
+      : parallel_(parallel),
+        engine_(server, selector, store, options, MakeEngineOptions(parallel),
+                abort_policy, retry_policy) {}
 
   ParallelCrawler(const ParallelCrawler&) = delete;
   ParallelCrawler& operator=(const ParallelCrawler&) = delete;
 
   // Plants a seed value; duplicate seeds are ignored (same as serial).
-  void AddSeed(ValueId v);
+  void AddSeed(ValueId v) { engine_.AddSeed(v); }
 
-  // Runs waves until a stop condition fires. Like the serial crawler,
-  // Run() may be called again to continue: slots interrupted by the
-  // round budget stay parked and resume exactly, with no page
-  // re-fetched and no record double-counted.
-  StatusOr<CrawlResult> Run();
+  // Runs waves until a stop condition fires; may be called again to
+  // continue (parked slots resume exactly).
+  StatusOr<CrawlResult> Run() { return engine_.Run(); }
 
   void set_max_rounds(uint64_t max_rounds) {
-    options_.max_rounds = max_rounds;
+    engine_.set_max_rounds(max_rounds);
   }
-  // Adjusts the record target between Run() calls (0 = unbounded),
-  // enabling staged crawls (e.g. the marginal-phase timing in
-  // bench_mmmi_ablation: crawl to saturation, then raise the target and
-  // time only the MMMI phase).
   void set_target_records(uint64_t target_records) {
-    options_.target_records = target_records;
+    engine_.set_target_records(target_records);
   }
-  uint64_t rounds_used() const { return rounds_used_; }
-  const LocalStore& store() const { return store_; }
-  const SimulatedClock& clock() const { return clock_; }
+  uint64_t rounds_used() const { return engine_.rounds_used(); }
+  const LocalStore& store() const { return engine_.store(); }
+  const SimulatedClock& clock() const { return engine_.clock(); }
   const ParallelOptions& parallel_options() const { return parallel_; }
 
+  // The underlying unified engine, e.g. for checkpointing.
+  CrawlEngine& engine() { return engine_; }
+  const CrawlEngine& engine() const { return engine_; }
+
  private:
-  // One in-flight drain: which value, which page comes next, and the
-  // outcome accumulated so far. Parked across Run() calls on budget
-  // expiry (the batched generalization of the serial PendingDrain).
-  struct Slot {
-    ValueId value = kInvalidValueId;
-    uint32_t next_page = 0;
-    uint32_t failures = 0;
-    QueryOutcome outcome;
-  };
+  static EngineOptions MakeEngineOptions(const ParallelOptions& parallel) {
+    EngineOptions engine_options;
+    engine_options.threads = parallel.threads;
+    engine_options.batch = parallel.batch;
+    return engine_options;
+  }
 
-  void DiscoverValue(ValueId v);
-  ValueId NextValue();
-  // Applies one fetched page to the crawl state (serial semantics; see
-  // the drain loop in crawler.cc). Clears `slot_box` when the drain
-  // ended; leaves it parked for the next wave otherwise. Returns a
-  // non-OK status only when the crawl must fail.
-  Status CommitFetch(std::optional<Slot>& slot_box,
-                     StatusOr<ResultPage> fetched);
-  // Drain-finished bookkeeping shared by the completion paths.
-  void FinishDrain(std::optional<Slot>& slot_box);
-  void CheckSaturation();
-
-  QueryInterface& server_;
-  QuerySelector& selector_;
-  LocalStore& store_;
-  CrawlOptions options_;
   ParallelOptions parallel_;
-  AbortPolicy* abort_policy_;
-  const RetryPolicy* retry_policy_;
-  std::unique_ptr<ThreadPool> pool_;
-
-  std::vector<char> seen_;
-  bool saturation_notified_ = false;
-  uint64_t rounds_used_ = 0;
-  uint64_t queries_issued_ = 0;
-  CrawlTrace trace_;
-  SimulatedClock clock_;
-  std::deque<ValueId> retry_queue_;
-  std::unordered_map<ValueId, uint32_t> requeue_count_;
-
-  std::vector<std::optional<Slot>> slots_;
-  // The wave currently being executed (slot indices, lowest rank
-  // first) and how many of its fetches have been committed. A wave is
-  // an atomic unit of the crawl order: when the round budget expires
-  // mid-wave, the unfetched suffix survives across Run() calls and is
-  // fetched FIRST on resume, before any refill — this is what makes a
-  // budget-sliced run bit-identical to a one-shot run at any batch.
-  std::vector<size_t> wave_;
-  size_t wave_pos_ = 0;
-  // Per-wave trace points, flushed through CrawlTrace::AddWave once per
-  // wave slice (single buffered append instead of one write per page).
-  std::vector<TracePoint> wave_points_;
-  // Wave-assembly scratch, reused across waves (cleared, never shrunk)
-  // so steady-state waves allocate nothing.
-  std::vector<std::optional<StatusOr<ResultPage>>> fetch_results_;
-  std::vector<std::function<void()>> fetch_tasks_;
+  CrawlEngine engine_;
 };
 
 }  // namespace deepcrawl

@@ -25,11 +25,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "src/relation/types.h"
+#include "src/util/status.h"
 
 namespace deepcrawl {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 // Summary of one completed query, fed back to the selector.
 struct QueryOutcome {
@@ -76,6 +81,27 @@ class QuerySelector {
 
   // Policy name for reports, e.g. "greedy-link".
   virtual std::string_view name() const = 0;
+
+  // --- checkpointing (see src/crawler/checkpoint.h) -------------------
+  // Serializes/restores the selector's full decision state, such that a
+  // restored selector continues the crawl bit-identically. LoadState is
+  // called on a freshly constructed selector whose construction
+  // parameters match the checkpointing run; `value_bound` is an
+  // exclusive upper bound on every value id the crawl has seen, for
+  // validating decoded ids. The default rejects cleanly, so policies
+  // with external state (oracle/domain scripts) are non-checkpointable
+  // rather than silently wrong.
+  virtual Status SaveState(CheckpointWriter& writer) const {
+    (void)writer;
+    return Status::FailedPrecondition(
+        std::string(name()) + " selector does not support checkpointing");
+  }
+  virtual Status LoadState(CheckpointReader& reader, ValueId value_bound) {
+    (void)reader;
+    (void)value_bound;
+    return Status::FailedPrecondition(
+        std::string(name()) + " selector does not support checkpointing");
+  }
 };
 
 }  // namespace deepcrawl

@@ -57,6 +57,8 @@ class SimulatedClock {
  public:
   uint64_t now() const { return now_; }
   void Advance(uint64_t ticks) { now_ += ticks; }
+  // Restores a checkpointed time (see src/crawler/checkpoint.h).
+  void set_now(uint64_t now) { now_ = now; }
 
  private:
   uint64_t now_ = 0;

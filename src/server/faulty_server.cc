@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "src/util/checkpoint_io.h"
 #include "src/util/logging.h"
 
 namespace deepcrawl {
@@ -203,6 +205,90 @@ void FaultyServer::ResetMeters() {
   inner_.ResetMeters();
   injected_failure_rounds_ = 0;
   injected_failure_queries_ = 0;
+}
+
+void FaultyServer::SaveState(CheckpointWriter& writer) const {
+  // Fingerprint first (verified on load), then the mutable state.
+  writer.WriteU64(seed_);
+  writer.WriteDouble(profile_.unavailable_rate);
+  writer.WriteDouble(profile_.timeout_rate);
+  writer.WriteDouble(profile_.rate_limit_rate);
+  writer.WriteDouble(profile_.truncate_rate);
+  writer.WriteDouble(profile_.duplicate_rate);
+  writer.WriteU32(profile_.retry_after_rounds);
+  writer.WriteU8(keyed_ ? 1 : 0);
+  writer.WriteU64(schedule_.size());
+  writer.WriteU64(schedule_pos_);
+  writer.WriteU64(rng_.state());
+  writer.WriteU64(rng_.inc());
+  // Sorted by page key, so the encoding is independent of hash-map order.
+  std::vector<std::pair<uint64_t, uint32_t>> attempts(keyed_attempts_.begin(),
+                                                      keyed_attempts_.end());
+  std::sort(attempts.begin(), attempts.end());
+  writer.WriteU64(attempts.size());
+  for (const auto& [page_key, count] : attempts) {
+    writer.WriteU64(page_key);
+    writer.WriteU32(count);
+  }
+  writer.WriteU64(injected_failure_rounds_);
+  writer.WriteU64(injected_failure_queries_);
+  writer.WriteU64(counters_.unavailable);
+  writer.WriteU64(counters_.timeouts);
+  writer.WriteU64(counters_.rate_limited);
+  writer.WriteU64(counters_.truncated_pages);
+  writer.WriteU64(counters_.duplicated_records);
+}
+
+Status FaultyServer::LoadState(CheckpointReader& reader) {
+  uint64_t seed = reader.ReadU64();
+  FaultProfile profile;
+  profile.unavailable_rate = reader.ReadDouble();
+  profile.timeout_rate = reader.ReadDouble();
+  profile.rate_limit_rate = reader.ReadDouble();
+  profile.truncate_rate = reader.ReadDouble();
+  profile.duplicate_rate = reader.ReadDouble();
+  profile.retry_after_rounds = reader.ReadU32();
+  bool keyed = reader.ReadU8() != 0;
+  uint64_t schedule_size = reader.ReadU64();
+  DEEPCRAWL_RETURN_IF_ERROR(reader.status());
+  if (seed != seed_ || keyed != keyed_ ||
+      schedule_size != schedule_.size() ||
+      profile.unavailable_rate != profile_.unavailable_rate ||
+      profile.timeout_rate != profile_.timeout_rate ||
+      profile.rate_limit_rate != profile_.rate_limit_rate ||
+      profile.truncate_rate != profile_.truncate_rate ||
+      profile.duplicate_rate != profile_.duplicate_rate ||
+      profile.retry_after_rounds != profile_.retry_after_rounds) {
+    return Status::InvalidArgument(
+        "checkpoint fault-setup mismatch: seed, profile, keyed mode, or "
+        "schedule differs from the checkpointing run");
+  }
+  uint64_t schedule_pos = reader.ReadU64();
+  uint64_t rng_state = reader.ReadU64();
+  uint64_t rng_inc = reader.ReadU64();
+  if (reader.ok() && schedule_pos > schedule_.size()) {
+    reader.MarkCorrupt("fault-schedule position past the schedule's end");
+  }
+  DEEPCRAWL_RETURN_IF_ERROR(reader.status());
+  schedule_pos_ = static_cast<size_t>(schedule_pos);
+  rng_.RestoreRaw(rng_state, rng_inc);
+  keyed_attempts_.clear();
+  uint64_t attempts = reader.ReadCount(12);
+  for (uint64_t i = 0; i < attempts && reader.ok(); ++i) {
+    uint64_t page_key = reader.ReadU64();
+    uint32_t count = reader.ReadU32();
+    if (!keyed_attempts_.emplace(page_key, count).second) {
+      reader.MarkCorrupt("duplicate page key in keyed-attempt table");
+    }
+  }
+  injected_failure_rounds_ = reader.ReadU64();
+  injected_failure_queries_ = reader.ReadU64();
+  counters_.unavailable = reader.ReadU64();
+  counters_.timeouts = reader.ReadU64();
+  counters_.rate_limited = reader.ReadU64();
+  counters_.truncated_pages = reader.ReadU64();
+  counters_.duplicated_records = reader.ReadU64();
+  return reader.status();
 }
 
 }  // namespace deepcrawl

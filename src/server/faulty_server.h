@@ -53,6 +53,9 @@
 
 namespace deepcrawl {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 // Per-round fault probabilities. At most one fault fires per fetch; the
 // rates must sum to at most 1.
 struct FaultProfile {
@@ -156,6 +159,15 @@ class FaultyServer : public QueryInterface {
 
   const FaultProfile& profile() const { return profile_; }
   const FaultCounters& fault_counters() const { return counters_; }
+
+  // --- checkpointing (see src/crawler/checkpoint.h) -------------------
+  // A resumed crawl must meet the SAME fault stream it would have seen
+  // uninterrupted, so the proxy's RNG, schedule position, and keyed
+  // per-page attempt table are checkpointed alongside the engine; the
+  // (seed, profile, keyed-mode, schedule-length) fingerprint is verified
+  // on load.
+  void SaveState(CheckpointWriter& writer) const;
+  Status LoadState(CheckpointReader& reader);
 
  private:
   // Draws the fault decision for the next fetch: schedule first, then

@@ -1,0 +1,195 @@
+#include "src/util/checkpoint_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace deepcrawl {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'P', 'K'};
+constexpr size_t kHeaderSize = 4 + 4 + 8;  // magic + version + payload size
+constexpr size_t kFooterSize = 8;          // checksum
+
+}  // namespace
+
+void CheckpointWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void CheckpointWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void CheckpointWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void CheckpointWriter::WriteString(std::string_view text) {
+  WriteU32(static_cast<uint32_t>(text.size()));
+  buffer_.append(text.data(), text.size());
+}
+
+bool CheckpointReader::Require(size_t bytes) {
+  if (!ok()) return false;
+  if (remaining() < bytes) {
+    MarkCorrupt("unexpected end of checkpoint data");
+    return false;
+  }
+  return true;
+}
+
+uint8_t CheckpointReader::ReadU8() {
+  if (!Require(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t CheckpointReader::ReadU32() {
+  if (!Require(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t CheckpointReader::ReadU64() {
+  if (!Require(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::ReadDouble() {
+  uint64_t bits = ReadU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string CheckpointReader::ReadString() {
+  uint32_t size = ReadU32();
+  if (!Require(size)) return std::string();
+  std::string text(data_.substr(pos_, size));
+  pos_ += size;
+  return text;
+}
+
+uint64_t CheckpointReader::ReadCount(size_t elem_size) {
+  uint64_t count = ReadU64();
+  if (!ok()) return 0;
+  if (elem_size == 0 || count > remaining() / elem_size) {
+    MarkCorrupt("element count exceeds remaining checkpoint data");
+    return 0;
+  }
+  return count;
+}
+
+void CheckpointReader::MarkCorrupt(std::string reason) {
+  if (error_.empty()) error_ = std::move(reason);
+}
+
+Status CheckpointReader::status() const {
+  if (ok()) return Status::OK();
+  return Status::InvalidArgument("corrupt checkpoint: " + error_);
+}
+
+uint64_t CheckpointChecksum(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string FrameCheckpoint(std::string_view payload, uint32_t version) {
+  CheckpointWriter w;
+  std::string framed;
+  framed.reserve(kHeaderSize + payload.size() + kFooterSize);
+  framed.append(kMagic, sizeof(kMagic));
+  w.WriteU32(version);
+  w.WriteU64(payload.size());
+  framed.append(w.buffer());
+  framed.append(payload.data(), payload.size());
+  CheckpointWriter footer;
+  footer.WriteU64(CheckpointChecksum(payload));
+  framed.append(footer.buffer());
+  return framed;
+}
+
+StatusOr<std::string_view> UnframeCheckpoint(std::string_view image,
+                                             uint32_t expected_version) {
+  if (image.size() < kHeaderSize + kFooterSize) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: file too short to hold a checkpoint header");
+  }
+  if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: bad magic (not a crawl checkpoint file)");
+  }
+  CheckpointReader header(image.substr(4, kHeaderSize - 4));
+  uint32_t version = header.ReadU32();
+  uint64_t payload_size = header.ReadU64();
+  if (version != expected_version) {
+    return Status::InvalidArgument(
+        "checkpoint format version mismatch: file has version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(expected_version));
+  }
+  if (payload_size != image.size() - kHeaderSize - kFooterSize) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: payload size field does not match file size "
+        "(truncated or padded file)");
+  }
+  std::string_view payload = image.substr(kHeaderSize, payload_size);
+  CheckpointReader footer(image.substr(kHeaderSize + payload_size));
+  uint64_t stored = footer.ReadU64();
+  if (stored != CheckpointChecksum(payload)) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint: payload checksum mismatch");
+  }
+  return payload;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::NotFound("cannot create '" + tmp + "'");
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!file) {
+      return Status::Internal("write failed for '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  if (file.bad()) return Status::Internal("read failed for '" + path + "'");
+  return bytes;
+}
+
+}  // namespace deepcrawl

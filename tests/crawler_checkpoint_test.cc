@@ -1,0 +1,331 @@
+// Corruption and contract tests for the crawl checkpoint layer
+// (src/crawler/checkpoint.h): a checkpoint file round-trips exactly,
+// and EVERY mangled input — any flipped byte, any truncation, a wrong
+// version, a mismatched stack — is rejected with a clean Status, never
+// a crash, CHECK-abort, or silent partial load. This suite runs inside
+// deepcrawl_concurrency_tests so the sweep also executes under ASan and
+// TSan via tools/check.sh.
+//
+// Bit-identity of checkpoint + resume (across selectors, fault
+// profiles, and executors) is proven by the sweep in
+// tests/crawler_parallel_differential_test.cc; this file owns the
+// adversarial-input side.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crawler/checkpoint.h"
+#include "src/crawler/crawl_engine.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/mmmi_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/crawler/retry_policy.h"
+#include "src/datagen/movie_domain.h"
+#include "src/server/faulty_server.h"
+#include "src/server/web_db_server.h"
+#include "src/util/checkpoint_io.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+constexpr uint64_t kFaultSeed = 17;
+
+// A small target keeps checkpoint images to a few KB, so the
+// every-byte-flip sweep below stays fast.
+const Table& CheckpointTarget() {
+  static const Table* table = [] {
+    MovieDomainPairConfig config;
+    config.universe_size = 500;
+    config.target_size = 120;
+    config.seed = 11;
+    StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+    DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+    return new Table(std::move(pair->target));
+  }();
+  return *table;
+}
+
+ValueId FirstQueriableSeed(const Table& table) {
+  for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+    if (table.value_frequency(v) > 0) return v;
+  }
+  ADD_FAILURE() << "table has no queriable value";
+  return kInvalidValueId;
+}
+
+// One shared backend for the whole suite: WebDbServer construction
+// builds the full inverted index, far too slow to repeat per byte flip
+// in the corruption sweeps. The server is stateless apart from its
+// meters (which nothing here compares), so sharing never perturbs a
+// crawl's output; every stack below still gets its own fault proxy,
+// store, selector, and engine.
+WebDbServer& SharedBackend() {
+  static WebDbServer* server =
+      new WebDbServer(CheckpointTarget(), ServerOptions());
+  return *server;
+}
+
+// One complete crawl stack whose pieces live long enough to restore a
+// checkpoint into and run to completion.
+struct Stack {
+  explicit Stack(const std::string& policy, bool with_faults = false,
+                 uint32_t batch = 1)
+      : backend(SharedBackend()) {
+    QueryInterface* server_ptr = &backend;
+    if (with_faults) {
+      FaultProfile profile;
+      profile.unavailable_rate = 0.05;
+      profile.timeout_rate = 0.03;
+      faulty.emplace(backend, profile, kFaultSeed);
+      faulty->set_keyed_faults(true);
+      server_ptr = &*faulty;
+    }
+    if (policy == "greedy") {
+      selector = std::make_unique<GreedyLinkSelector>(store);
+    } else if (policy == "bfs") {
+      selector = std::make_unique<BfsSelector>();
+    } else if (policy == "mmmi") {
+      selector = std::make_unique<MmmiSelector>(store);
+    } else if (policy == "oracle") {
+      selector = std::make_unique<OracleSelector>(store, backend.index(),
+                                                  ServerOptions().page_size,
+                                                  ServerOptions().result_limit);
+    } else {
+      ADD_FAILURE() << "unknown policy " << policy;
+    }
+    retry.emplace(RetryPolicyConfig());
+    EngineOptions engine_options;
+    engine_options.batch = batch;
+    engine.emplace(*server_ptr, *selector, store, CrawlOptions{},
+                   engine_options, nullptr,
+                   with_faults ? &*retry : nullptr);
+  }
+
+  FaultyServer* faulty_ptr() { return faulty ? &*faulty : nullptr; }
+
+  WebDbServer& backend;
+  std::optional<FaultyServer> faulty;
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector;
+  std::optional<RetryPolicy> retry;
+  std::optional<CrawlEngine> engine;
+};
+
+// Crawls `rounds` rounds and returns a checkpoint image of the
+// mid-crawl state (non-trivial store, frontier, heap, clock, trace).
+std::string MidCrawlImage(const std::string& policy, bool with_faults) {
+  Stack stack(policy, with_faults);
+  stack.engine->AddSeed(FirstQueriableSeed(CheckpointTarget()));
+  stack.engine->set_max_rounds(40);
+  StatusOr<CrawlResult> partial = stack.engine->Run();
+  DEEPCRAWL_CHECK(partial.ok()) << partial.status().ToString();
+  StatusOr<std::string> image =
+      EncodeCrawlCheckpoint(*stack.engine, stack.faulty_ptr());
+  DEEPCRAWL_CHECK(image.ok()) << image.status().ToString();
+  return *image;
+}
+
+// Decodes `image` into a fresh stack; returns the decode status. Never
+// crashes regardless of input (the property under test).
+Status TryDecode(const std::string& image, const std::string& policy,
+                 bool with_faults) {
+  Stack stack(policy, with_faults);
+  return DecodeCrawlCheckpoint(image, *stack.engine, stack.faulty_ptr());
+}
+
+TEST(CrawlCheckpointTest, RoundTripContinuesToSameResult) {
+  // Reference: one uninterrupted crawl to frontier exhaustion.
+  Stack reference("greedy", /*with_faults=*/true);
+  reference.engine->AddSeed(FirstQueriableSeed(CheckpointTarget()));
+  StatusOr<CrawlResult> full = reference.engine->Run();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  // Interrupted: crawl 40 rounds, checkpoint, restore, continue.
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/true);
+  Stack resumed("greedy", /*with_faults=*/true);
+  ASSERT_TRUE(DecodeCrawlCheckpoint(image, *resumed.engine,
+                                    resumed.faulty_ptr())
+                  .ok());
+  resumed.engine->set_max_rounds(0);
+  StatusOr<CrawlResult> cont = resumed.engine->Run();
+  ASSERT_TRUE(cont.ok()) << cont.status().ToString();
+
+  EXPECT_EQ(full->stop_reason, cont->stop_reason);
+  EXPECT_EQ(full->rounds, cont->rounds);
+  EXPECT_EQ(full->queries, cont->queries);
+  EXPECT_EQ(full->records, cont->records);
+  EXPECT_EQ(full->trace.points(), cont->trace.points());
+  EXPECT_EQ(full->resilience, cont->resilience);
+  ASSERT_EQ(reference.store.num_records(), resumed.store.num_records());
+  for (uint32_t slot = 0; slot < reference.store.num_records(); ++slot) {
+    ASSERT_EQ(reference.store.OriginalRecordId(slot),
+              resumed.store.OriginalRecordId(slot));
+  }
+}
+
+TEST(CrawlCheckpointTest, SaveLoadFileRoundTrip) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  std::string path = testing::TempDir() + "/deepcrawl_ckpt_roundtrip.bin";
+
+  Stack source("greedy");
+  source.engine->AddSeed(FirstQueriableSeed(CheckpointTarget()));
+  source.engine->set_max_rounds(40);
+  ASSERT_TRUE(source.engine->Run().ok());
+  ASSERT_TRUE(
+      SaveCrawlCheckpoint(*source.engine, nullptr, path).ok());
+
+  Stack resumed("greedy");
+  EXPECT_TRUE(
+      LoadCrawlCheckpoint(path, *resumed.engine, nullptr).ok());
+  EXPECT_EQ(resumed.engine->rounds_used(), source.engine->rounds_used());
+  EXPECT_EQ(resumed.store.num_records(), source.store.num_records());
+  std::remove(path.c_str());
+}
+
+TEST(CrawlCheckpointTest, MissingFileIsCleanError) {
+  Stack stack("greedy");
+  Status status = LoadCrawlCheckpoint(
+      testing::TempDir() + "/deepcrawl_ckpt_does_not_exist.bin",
+      *stack.engine, nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+// Every single-byte flip anywhere in the image — header, payload, or
+// checksum — must be rejected: header flips break the magic/version/
+// size checks, payload flips break the checksum, checksum flips break
+// the comparison. None may crash or load.
+TEST(CrawlCheckpointTest, EveryByteFlipIsRejected) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/true);
+  ASSERT_GT(image.size(), 24u);
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string mangled = image;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0xFF);
+    Status status = TryDecode(mangled, "greedy", /*with_faults=*/true);
+    ASSERT_FALSE(status.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+// Every truncation must be rejected (the frame records the payload
+// size), as must appended trailing garbage.
+TEST(CrawlCheckpointTest, TruncationsAndTrailersAreRejected) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  for (size_t len = 0; len < image.size(); ++len) {
+    Status status =
+        TryDecode(image.substr(0, len), "greedy", /*with_faults=*/false);
+    ASSERT_FALSE(status.ok()) << "truncation to " << len << " was accepted";
+  }
+  Status extended =
+      TryDecode(image + "junk", "greedy", /*with_faults=*/false);
+  EXPECT_FALSE(extended.ok());
+}
+
+// An attacker (or disk corruption) that also fixes up the checksum can
+// still only produce a clean error or a valid load — never a crash,
+// oversized allocation, or CHECK-abort. Reframes every single-byte flip
+// of the payload with a correct checksum and decodes it; ASan/TSan keep
+// this honest.
+TEST(CrawlCheckpointTest, ForgedChecksumPayloadFlipsNeverCrash) {
+  std::string image = MidCrawlImage("mmmi", /*with_faults=*/true);
+  StatusOr<std::string_view> payload =
+      UnframeCheckpoint(image, kCrawlCheckpointVersion);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  // Each probe reframes (checksums) the whole payload, so a full
+  // every-byte sweep is quadratic; cap the probe count instead. The
+  // stride is coprime-ish with the section layout, so probes land in
+  // every section.
+  size_t step = payload->size() / 4096 + 1;
+  size_t probed = 0;
+  size_t rejected = 0;
+  for (size_t i = 0; i < payload->size(); i += step) {
+    std::string mutated(*payload);
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    std::string reframed =
+        FrameCheckpoint(mutated, kCrawlCheckpointVersion);
+    ++probed;
+    if (!TryDecode(reframed, "mmmi", /*with_faults=*/true).ok()) ++rejected;
+  }
+  // Most flips hit a marker, count, or range check. (A few may land in
+  // redundant counters and decode "successfully"; that is acceptable —
+  // the contract is no crash, not perfect forgery detection.)
+  EXPECT_GT(rejected, probed / 2);
+
+  // Truncated-but-reframed payloads always lose the END marker.
+  for (size_t len = 0; len < payload->size(); len += step * 7) {
+    std::string reframed = FrameCheckpoint(payload->substr(0, len),
+                                           kCrawlCheckpointVersion);
+    ASSERT_FALSE(TryDecode(reframed, "mmmi", /*with_faults=*/true).ok())
+        << "reframed truncation to " << len << " was accepted";
+  }
+}
+
+TEST(CrawlCheckpointTest, VersionMismatchNamesBothVersions) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  // Patch the u32 version field at offset 4 (little-endian).
+  uint32_t bogus = kCrawlCheckpointVersion + 1;
+  for (int b = 0; b < 4; ++b) {
+    image[4 + b] = static_cast<char>((bogus >> (8 * b)) & 0xFF);
+  }
+  Status status = TryDecode(image, "greedy", /*with_faults=*/false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CrawlCheckpointTest, SelectorPolicyMismatchIsCleanError) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  Status status = TryDecode(image, "bfs", /*with_faults=*/false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("greedy"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CrawlCheckpointTest, BatchMismatchIsCleanError) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  Stack stack("greedy", /*with_faults=*/false, /*batch=*/4);
+  Status status = DecodeCrawlCheckpoint(image, *stack.engine, nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("batch"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(CrawlCheckpointTest, FaultProxyPresenceMustMatch) {
+  std::string with = MidCrawlImage("greedy", /*with_faults=*/true);
+  std::string without = MidCrawlImage("greedy", /*with_faults=*/false);
+  EXPECT_FALSE(TryDecode(with, "greedy", /*with_faults=*/false).ok());
+  EXPECT_FALSE(TryDecode(without, "greedy", /*with_faults=*/true).ok());
+}
+
+TEST(CrawlCheckpointTest, RestoreRequiresFreshEngine) {
+  std::string image = MidCrawlImage("greedy", /*with_faults=*/false);
+  Stack stack("greedy");
+  stack.engine->AddSeed(FirstQueriableSeed(CheckpointTarget()));
+  stack.engine->set_max_rounds(5);
+  ASSERT_TRUE(stack.engine->Run().ok());
+  Status status = DecodeCrawlCheckpoint(image, *stack.engine, nullptr);
+  ASSERT_FALSE(status.ok());
+}
+
+// Selectors outside the checkpointable set (oracle, domain) must reject
+// encoding with a clean error, not a crash or a silent partial file.
+TEST(CrawlCheckpointTest, OracleSelectorRejectsCheckpointing) {
+  Stack stack("oracle");
+  stack.engine->AddSeed(FirstQueriableSeed(CheckpointTarget()));
+  stack.engine->set_max_rounds(10);
+  ASSERT_TRUE(stack.engine->Run().ok());
+  StatusOr<std::string> image =
+      EncodeCrawlCheckpoint(*stack.engine, nullptr);
+  ASSERT_FALSE(image.ok());
+  EXPECT_NE(image.status().message().find("checkpoint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepcrawl

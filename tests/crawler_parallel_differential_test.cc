@@ -16,10 +16,13 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/crawler/abort_policy.h"
+#include "src/crawler/checkpoint.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/crawler.h"
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/local_store.h"
@@ -27,6 +30,7 @@
 #include "src/crawler/naive_selectors.h"
 #include "src/crawler/parallel_crawler.h"
 #include "src/crawler/retry_policy.h"
+#include "src/crawler/trace_io.h"
 #include "src/datagen/movie_domain.h"
 #include "src/server/faulty_server.h"
 #include "src/server/locked_interface.h"
@@ -309,6 +313,209 @@ TEST(ParallelCrawlerDifferentialTest, SlicedRunsResumeExactly) {
   EXPECT_EQ(one_shot.result.resilience, sliced_out.result.resilience);
   EXPECT_EQ(one_shot.harvest_order, sliced_out.harvest_order);
   EXPECT_EQ(one_shot.clock_ticks, sliced_out.clock_ticks);
+}
+
+// --- checkpoint/resume bit-identity sweep ----------------------------
+//
+// The checkpoint contract (DESIGN.md §10): interrupting a crawl at ANY
+// wave boundary, restoring the checkpoint into a freshly built stack,
+// and running to completion must emit byte-identical output — trace CSV
+// bytes, meters, resilience counters, harvest order, simulated clock —
+// versus the uninterrupted run. Corrupt-input rejection lives in
+// tests/crawler_checkpoint_test.cc; this sweep owns bit-identity.
+
+std::string TraceCsvBytes(const CrawlTrace& trace) {
+  std::ostringstream out;
+  Status status = WriteTraceCsv(trace, out);
+  DEEPCRAWL_CHECK(status.ok()) << status.ToString();
+  return out.str();
+}
+
+// Runs a one-shot crawl that also encodes a checkpoint image at every
+// `every`-th wave boundary.
+struct InstrumentedRun {
+  RunOutput output;
+  std::vector<std::string> images;
+};
+
+InstrumentedRun RunWithCheckpoints(const std::string& policy,
+                                   const std::string& profile_name,
+                                   CrawlOptions options, uint32_t threads,
+                                   uint32_t batch, uint64_t every) {
+  const Table& target = DifferentialTarget();
+  WebDbServer backend(target, ServerOptions());
+  FaultProfile profile = ProfileByName(profile_name);
+  std::optional<FaultyServer> faulty;
+  QueryInterface* direct = &backend;
+  if (!profile.IsAllZero()) {
+    faulty.emplace(backend, profile, kFaultSeed);
+    faulty->set_keyed_faults(true);
+    direct = &*faulty;
+  }
+  std::optional<LockedQueryInterface> locked;
+  QueryInterface* server = direct;
+  if (threads > 1) {
+    locked.emplace(*direct);
+    server = &*locked;
+  }
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  InstrumentedRun run;
+  const FaultyServer* faulty_ptr = faulty ? &*faulty : nullptr;
+  EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine_options.batch = batch;
+  engine_options.checkpoint_every_waves = every;
+  engine_options.checkpoint_sink = [&run,
+                                    faulty_ptr](const CrawlEngine& engine) {
+    StatusOr<std::string> image = EncodeCrawlCheckpoint(engine, faulty_ptr);
+    if (!image.ok()) return image.status();
+    run.images.push_back(std::move(*image));
+    return Status::OK();
+  };
+  CrawlEngine engine(*server, *selector, store, options, engine_options,
+                     /*abort_policy=*/nullptr, &retry);
+  engine.AddSeed(FirstQueriableSeed(target));
+  StatusOr<CrawlResult> result = engine.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  run.output = Capture(*result, store, engine.clock().now());
+  return run;
+}
+
+// Restores `image` into a freshly built stack and runs to completion.
+RunOutput ResumeFromImage(const std::string& image, const std::string& policy,
+                          const std::string& profile_name,
+                          CrawlOptions options, uint32_t threads,
+                          uint32_t batch) {
+  const Table& target = DifferentialTarget();
+  WebDbServer backend(target, ServerOptions());
+  FaultProfile profile = ProfileByName(profile_name);
+  std::optional<FaultyServer> faulty;
+  QueryInterface* direct = &backend;
+  if (!profile.IsAllZero()) {
+    faulty.emplace(backend, profile, kFaultSeed);
+    faulty->set_keyed_faults(true);
+    direct = &*faulty;
+  }
+  std::optional<LockedQueryInterface> locked;
+  QueryInterface* server = direct;
+  if (threads > 1) {
+    locked.emplace(*direct);
+    server = &*locked;
+  }
+  LocalStore store;
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine_options.batch = batch;
+  CrawlEngine engine(*server, *selector, store, options, engine_options,
+                     /*abort_policy=*/nullptr, &retry);
+  Status loaded =
+      DecodeCrawlCheckpoint(image, engine, faulty ? &*faulty : nullptr);
+  DEEPCRAWL_CHECK(loaded.ok()) << loaded.ToString();
+  StatusOr<CrawlResult> result = engine.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return Capture(*result, store, engine.clock().now());
+}
+
+void ExpectIdenticalWithCsv(const RunOutput& a, const RunOutput& b,
+                            const std::string& label) {
+  ExpectIdentical(a, b, label);
+  SCOPED_TRACE(label);
+  EXPECT_EQ(TraceCsvBytes(a.result.trace), TraceCsvBytes(b.result.trace));
+}
+
+// Interrupt-at-EVERY-wave sweep for one serial and one batched
+// configuration: each checkpoint a run ever writes must resume into the
+// exact one-shot output.
+TEST(ParallelCrawlerDifferentialTest, CheckpointEveryWaveResumesIdentically) {
+  struct Config {
+    uint32_t threads;
+    uint32_t batch;
+  };
+  for (const Config& config : {Config{1, 1}, Config{8, 8}}) {
+    CrawlOptions options = BaseOptions(DifferentialTarget());
+    InstrumentedRun reference =
+        RunWithCheckpoints("greedy", "flaky", options, config.threads,
+                           config.batch, /*every=*/1);
+    // The checkpoint sink is pure instrumentation: the instrumented run
+    // matches a plain one-shot run.
+    RunOutput plain = config.batch == 1
+                          ? RunSerial("greedy", "flaky", options)
+                          : RunParallel("greedy", "flaky", options,
+                                        config.threads, config.batch);
+    ExpectIdenticalWithCsv(plain, reference.output, "instrumented-vs-plain");
+    ASSERT_FALSE(reference.images.empty());
+    for (size_t i = 0; i < reference.images.size(); ++i) {
+      RunOutput resumed =
+          ResumeFromImage(reference.images[i], "greedy", "flaky", options,
+                          config.threads, config.batch);
+      ExpectIdenticalWithCsv(
+          reference.output, resumed,
+          "threads=" + std::to_string(config.threads) + "/batch=" +
+              std::to_string(config.batch) + "/wave=" + std::to_string(i));
+    }
+  }
+}
+
+// Full matrix: every selection policy x fault profile x {serial,
+// 8-thread/batch-8}, resuming from an early, a middle, and a late
+// checkpoint of each run.
+TEST(ParallelCrawlerDifferentialTest, CheckpointMatrixResumesIdentically) {
+  struct Config {
+    uint32_t threads;
+    uint32_t batch;
+  };
+  for (const char* policy : kPolicies) {
+    for (const char* profile : kProfiles) {
+      for (const Config& config : {Config{1, 1}, Config{8, 8}}) {
+        CrawlOptions options = BaseOptions(DifferentialTarget());
+        SCOPED_TRACE(std::string(policy) + "/" + profile + "/threads=" +
+                     std::to_string(config.threads) + "/batch=" +
+                     std::to_string(config.batch));
+        // every=1 (not a sampled stride): some fault profiles collapse a
+        // crawl after a single wave (a truncated seed page kills the BFS
+        // frontier), and the run must still produce a checkpoint.
+        InstrumentedRun reference = RunWithCheckpoints(
+            policy, profile, options, config.threads, config.batch,
+            /*every=*/1);
+        ASSERT_FALSE(reference.images.empty());
+        size_t last = reference.images.size() - 1;
+        std::set<size_t> picks = {0, last / 2, last};
+        for (size_t i : picks) {
+          RunOutput resumed =
+              ResumeFromImage(reference.images[i], policy, profile, options,
+                              config.threads, config.batch);
+          ExpectIdenticalWithCsv(
+              reference.output, resumed,
+              std::string(policy) + "/" + profile + "/threads=" +
+                  std::to_string(config.threads) + "/batch=" +
+                  std::to_string(config.batch) + "/image=" +
+                  std::to_string(i));
+        }
+      }
+    }
+  }
+}
+
+// A checkpoint taken mid-crawl may also be resumed under a DIFFERENT
+// thread count (threads are wall-clock only and deliberately not part
+// of the checkpoint fingerprint); the output must not change.
+TEST(ParallelCrawlerDifferentialTest, CheckpointResumesAcrossThreadCounts) {
+  CrawlOptions options = BaseOptions(DifferentialTarget());
+  InstrumentedRun reference = RunWithCheckpoints(
+      "mmmi", "hostile", options, /*threads=*/8, /*batch=*/4, /*every=*/5);
+  ASSERT_FALSE(reference.images.empty());
+  const std::string& image =
+      reference.images[reference.images.size() / 2];
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    RunOutput resumed = ResumeFromImage(image, "mmmi", "hostile", options,
+                                        threads, /*batch=*/4);
+    ExpectIdenticalWithCsv(reference.output, resumed,
+                           "resume-threads=" + std::to_string(threads));
+  }
 }
 
 // Abort policies are consulted at the same points in both engines.

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification, four times over: the plain build, an ASan/UBSan
-# build, a ThreadSanitizer build for the concurrency suite, and a
+# Tier-1 verification, five times over: the plain build, an ASan/UBSan
+# build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
-# baselines.
+# baselines, and a kill/resume pass that SIGKILLs a checkpointing crawl
+# mid-run and proves the resumed crawl's trace is byte-identical to an
+# uninterrupted one.
 #
-# Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf]
+# Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -24,7 +26,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -33,32 +35,34 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/4: plain build (build/) ==="
+echo "=== pass 1/5: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
 skip_tsan=0
 skip_perf=0
+skip_resume=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
     --no-tsan) skip_tsan=1 ;;
     --no-perf) skip_perf=1 ;;
+    --no-resume) skip_resume=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/4 skipped (--no-asan) ==="
+  echo "=== pass 2/5 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/4: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/5: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/4 skipped (--no-tsan) ==="
+  echo "=== pass 3/5 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/4: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/5: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -66,9 +70,9 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/4 skipped (--no-perf) ==="
+  echo "=== pass 4/5 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/4: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/5: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
     --target bench_micro bench_parallel bench_mmmi_ablation
@@ -83,6 +87,47 @@ else
     --current build-perf/BENCH_parallel.json \
     --baseline BENCH_mmmi_ablation.json \
     --current build-perf/BENCH_mmmi_ablation.json
+fi
+
+if [[ "${skip_resume}" == 1 ]]; then
+  echo "=== pass 5/5 skipped (--no-resume) ==="
+else
+  echo "=== pass 5/5: kill/resume checkpoint differential ==="
+  # An uninterrupted reference crawl, then the same crawl slowed by
+  # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
+  # resume from its last surviving checkpoint must emit the exact same
+  # trace CSV. Exercises the real files-on-disk path (atomic replace,
+  # partially-written temp files) that the in-process test sweeps cannot.
+  RESUME_DIR="$(mktemp -d)"
+  trap 'rm -rf "${RESUME_DIR}"' EXIT
+  CRAWL=./build/tools/deepcrawl_crawl
+  CRAWL_ARGS=(--workload=ebay --scale=0.05 --policy=greedy
+    --fault-profile=flaky --threads=4 --batch=4)
+  "${CRAWL}" "${CRAWL_ARGS[@]}" --trace-csv="${RESUME_DIR}/full.csv" \
+    > /dev/null
+  "${CRAWL}" "${CRAWL_ARGS[@]}" --latency-us=5000 \
+    --checkpoint="${RESUME_DIR}/crawl.ckpt" --checkpoint-every=1 \
+    > /dev/null 2>&1 &
+  CRAWL_PID=$!
+  # Let it commit some waves, then kill it hard mid-crawl (the
+  # simulated latency stretches the run so the kill lands mid-crawl;
+  # latency never affects results, so the resumed run drops it).
+  while [[ ! -s "${RESUME_DIR}/crawl.ckpt" ]]; do sleep 0.1; done
+  sleep 1
+  kill -9 "${CRAWL_PID}" 2> /dev/null || true
+  wait "${CRAWL_PID}" 2> /dev/null || true
+  if ! "${CRAWL}" "${CRAWL_ARGS[@]}" \
+      --resume-from="${RESUME_DIR}/crawl.ckpt" \
+      --trace-csv="${RESUME_DIR}/resumed.csv" > /dev/null; then
+    echo "kill/resume pass FAILED: resume from checkpoint errored" >&2
+    exit 1
+  fi
+  if ! cmp -s "${RESUME_DIR}/full.csv" "${RESUME_DIR}/resumed.csv"; then
+    echo "kill/resume pass FAILED: resumed trace differs from one-shot" >&2
+    diff "${RESUME_DIR}/full.csv" "${RESUME_DIR}/resumed.csv" | head -20 >&2
+    exit 1
+  fi
+  echo "kill/resume differential: traces byte-identical"
 fi
 
 echo "all requested checks passed"

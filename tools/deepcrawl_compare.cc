@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "src/crawler/crawler.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
@@ -127,9 +127,9 @@ Status Run(const Options& options) {
           options.saturation * static_cast<double>(target.num_records()));
     }
     server.ResetMeters();
-    Crawler crawler(server, *selector, store, crawl_options);
-    crawler.AddSeed(seed_value);
-    DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, crawler.Run());
+    CrawlEngine engine(server, *selector, store, crawl_options);
+    engine.AddSeed(seed_value);
+    DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, engine.Run());
     double coverage = static_cast<double>(result.records) /
                       static_cast<double>(target.num_records());
     table.AddRow({name, std::to_string(result.records),

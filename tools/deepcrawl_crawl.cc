@@ -23,6 +23,13 @@
 //   # Crawl a source that fails 10% of the time, with retries.
 //   deepcrawl_crawl --workload=ebay --scale=0.1 --policy=greedy ...
 //       --fault-profile=flaky --fault-seed=7
+//
+//   # Checkpoint every 64 waves; later resume from the last checkpoint
+//   # (same flags!) and continue bit-identically.
+//   deepcrawl_crawl --workload=ebay --policy=greedy ...
+//       --checkpoint=crawl.ckpt --checkpoint-every=64
+//   deepcrawl_crawl --workload=ebay --policy=greedy ...
+//       --resume-from=crawl.ckpt --checkpoint=crawl.ckpt --checkpoint-every=64
 
 #include <fstream>
 #include <iostream>
@@ -30,12 +37,12 @@
 #include <optional>
 #include <string>
 
-#include "src/crawler/crawler.h"
+#include "src/crawler/checkpoint.h"
+#include "src/crawler/crawl_engine.h"
 #include "src/crawler/greedy_link_selector.h"
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
 #include "src/crawler/oracle_selector.h"
-#include "src/crawler/parallel_crawler.h"
 #include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
 #include "src/datagen/canned_workloads.h"
@@ -95,6 +102,11 @@ struct Options {
   int64_t batch = 1;
   int64_t latency_us = 0;
   bool fault_keyed = false;
+
+  // Checkpoint/resume (src/crawler/checkpoint.h).
+  std::string checkpoint;
+  int64_t checkpoint_every = 0;
+  std::string resume_from;
 
   bool help = false;
 };
@@ -311,44 +323,65 @@ Status Run(const Options& options) {
         options.saturation * static_cast<double>(target.num_records()));
   }
 
-  std::optional<Crawler> serial_crawler;
-  std::optional<ParallelCrawler> parallel_crawler;
+  if (options.checkpoint_every < 0) {
+    return Status::InvalidArgument("--checkpoint-every must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every needs --checkpoint=<path>");
+  }
+  FaultyServer* faulty_ptr = faults_enabled ? &*faulty : nullptr;
+  EngineOptions engine_options;
+  engine_options.threads = static_cast<uint32_t>(options.threads);
+  engine_options.batch = static_cast<uint32_t>(options.batch);
+  engine_options.checkpoint_every_waves =
+      static_cast<uint64_t>(options.checkpoint_every);
+  if (options.checkpoint_every > 0) {
+    engine_options.checkpoint_sink =
+        [faulty_ptr, path = options.checkpoint](const CrawlEngine& engine) {
+          return SaveCrawlCheckpoint(engine, faulty_ptr, path);
+        };
+  }
+  CrawlEngine engine(server, *selector, store, crawl_options, engine_options,
+                     /*abort_policy=*/nullptr,
+                     faults_enabled ? &retry_policy : nullptr);
   if (parallel) {
-    ParallelOptions parallel_options;
-    parallel_options.threads = static_cast<uint32_t>(options.threads);
-    parallel_options.batch = static_cast<uint32_t>(options.batch);
-    parallel_crawler.emplace(server, *selector, store, crawl_options,
-                             parallel_options, /*abort_policy=*/nullptr,
-                             faults_enabled ? &retry_policy : nullptr);
     std::cout << "parallel engine: " << options.threads << " threads, batch "
               << options.batch << ", simulated latency "
               << options.latency_us << "us/fetch\n";
-  } else {
-    serial_crawler.emplace(server, *selector, store, crawl_options,
-                           /*abort_policy=*/nullptr,
-                           faults_enabled ? &retry_policy : nullptr);
   }
-  auto add_seed = [&](ValueId v) {
-    if (parallel) {
-      parallel_crawler->AddSeed(v);
-    } else {
-      serial_crawler->AddSeed(v);
+  if (!options.resume_from.empty()) {
+    // Restores the full crawl state (store, selector, retry queues,
+    // parked slots, clock, trace, fault-proxy RNG). The command line
+    // must rebuild the same stack the checkpoint was taken from; the
+    // budgets below are then re-applied so a resume can raise them.
+    DEEPCRAWL_RETURN_IF_ERROR(
+        LoadCrawlCheckpoint(options.resume_from, engine, faulty_ptr));
+    engine.set_max_rounds(crawl_options.max_rounds);
+    engine.set_target_records(crawl_options.target_records);
+    std::cout << "resumed from " << options.resume_from << ": "
+              << engine.store().num_records() << " records, "
+              << engine.rounds_used() << " rounds, "
+              << engine.waves_completed() << " waves\n";
+  } else {
+    Pcg32 rng(static_cast<uint64_t>(options.seed));
+    for (int64_t i = 0; i < options.num_seeds; ++i) {
+      ValueId seed_value = rng.NextBounded(
+          static_cast<uint32_t>(target.num_distinct_values()));
+      while (target.value_frequency(seed_value) == 0) {
+        seed_value = static_cast<ValueId>(
+            (seed_value + 1) % target.num_distinct_values());
+      }
+      engine.AddSeed(seed_value);
     }
-  };
-  Pcg32 rng(static_cast<uint64_t>(options.seed));
-  for (int64_t i = 0; i < options.num_seeds; ++i) {
-    ValueId seed_value = rng.NextBounded(
-        static_cast<uint32_t>(target.num_distinct_values()));
-    while (target.value_frequency(seed_value) == 0) {
-      seed_value = static_cast<ValueId>(
-          (seed_value + 1) % target.num_distinct_values());
-    }
-    add_seed(seed_value);
   }
 
-  DEEPCRAWL_ASSIGN_OR_RETURN(
-      CrawlResult result,
-      parallel ? parallel_crawler->Run() : serial_crawler->Run());
+  DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, engine.Run());
+  if (options.checkpoint_every > 0) {
+    std::cout << "checkpoints: every " << options.checkpoint_every
+              << " waves to " << options.checkpoint << " ("
+              << engine.waves_completed() << " waves completed)\n";
+  }
 
   double coverage = target.num_records() == 0
                         ? 0.0
@@ -470,6 +503,16 @@ int main(int argc, char** argv) {
   parser.AddBool("fault-keyed", &options.fault_keyed,
                  "key fault decisions by (query, page, attempt) instead "
                  "of fetch arrival order (forced on for parallel crawls)");
+  parser.AddString("checkpoint", &options.checkpoint,
+                   "write a resumable crawl checkpoint to this path "
+                   "(atomically replaced at every boundary)");
+  parser.AddInt64("checkpoint-every", &options.checkpoint_every,
+                  "checkpoint after every N completed waves "
+                  "(0 = never; needs --checkpoint)");
+  parser.AddString("resume-from", &options.resume_from,
+                   "resume a crawl from this checkpoint file; the other "
+                   "flags must rebuild the stack it was taken from "
+                   "(--max-rounds/--target-coverage may be raised)");
   parser.AddBool("help", &options.help, "print this help");
 
   Status parsed = parser.Parse(argc, argv);
