@@ -55,7 +55,8 @@ class CrawlEngine;
 class FaultyServer;
 
 // Bump on ANY payload-layout change; readers reject other versions.
-inline constexpr uint32_t kCrawlCheckpointVersion = 1;
+// v2: ResilienceCounters grew rate_limit_rejections / max_retry_after_hint.
+inline constexpr uint32_t kCrawlCheckpointVersion = 2;
 
 // Section markers (fourcc, little-endian u32). Sections appear in file
 // order: CONFIG, ENGINE (store + selector nested inside), optional

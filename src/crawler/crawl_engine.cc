@@ -55,9 +55,22 @@ DegradationTracker::FailureAction DegradationTracker::OnFetchFailure(
   }
   ++failures;
   ++resilience.transient_failures;
+  if (failure.retry_after_rounds().has_value()) {
+    ++resilience.rate_limit_rejections;
+    resilience.max_retry_after_hint = std::max<uint64_t>(
+        resilience.max_retry_after_hint, *failure.retry_after_rounds());
+  }
   if (!policy_->ShouldRetry(failure, failures)) {
     // Retry budget exhausted: degrade gracefully — re-queue the value at
-    // the frontier tail a bounded number of times, then abandon it.
+    // the frontier tail a bounded number of times, then abandon it. The
+    // retry-after floor still binds the *source* even though this value's
+    // drain is over: charge it to the clock, or the very next fetch would
+    // land before the server's advertised earliest-retry time.
+    uint64_t floor = policy_->FloorTicks(failure);
+    if (floor > 0) {
+      clock_.Advance(floor);
+      resilience.backoff_ticks += floor;
+    }
     ++resilience.degraded_queries;
     uint32_t& requeues = requeue_count_[value];
     if (requeues < policy_->config().max_requeues) {
@@ -130,11 +143,16 @@ CrawlEngine::CrawlEngine(QueryInterface& server, QuerySelector& selector,
       degradation_(retry_policy, clock_) {
   DEEPCRAWL_CHECK(engine_options_.threads >= 1) << "need >= 1 fetch thread";
   DEEPCRAWL_CHECK(engine_options_.batch >= 1) << "need >= 1 drain slot";
-  if (engine_options_.threads > 1) {
-    executor_ =
-        std::make_unique<ThreadPoolFetchExecutor>(engine_options_.threads);
+  if (engine_options_.shared_executor != nullptr) {
+    executor_ = engine_options_.shared_executor;
   } else {
-    executor_ = std::make_unique<InlineFetchExecutor>();
+    if (engine_options_.threads > 1) {
+      owned_executor_ =
+          std::make_unique<ThreadPoolFetchExecutor>(engine_options_.threads);
+    } else {
+      owned_executor_ = std::make_unique<InlineFetchExecutor>();
+    }
+    executor_ = owned_executor_.get();
   }
   slots_.resize(engine_options_.batch);
 }
@@ -441,6 +459,8 @@ Status CrawlEngine::SaveState(CheckpointWriter& writer) const {
   writer.WriteU64(res.requeues);
   writer.WriteU64(res.abandoned_values);
   writer.WriteU64(res.degraded_queries);
+  writer.WriteU64(res.rate_limit_rejections);
+  writer.WriteU64(res.max_retry_after_hint);
   degradation_.SaveState(writer);
   for (const auto& slot_box : slots_) {
     writer.WriteU8(slot_box.has_value() ? 1 : 0);
@@ -563,6 +583,8 @@ Status CrawlEngine::LoadState(CheckpointReader& reader) {
   res.requeues = reader.ReadU64();
   res.abandoned_values = reader.ReadU64();
   res.degraded_queries = reader.ReadU64();
+  res.rate_limit_rejections = reader.ReadU64();
+  res.max_retry_after_hint = reader.ReadU64();
   DEEPCRAWL_RETURN_IF_ERROR(degradation_.LoadState(reader));
   for (auto& slot_box : slots_) {
     bool present = reader.ReadU8() != 0;

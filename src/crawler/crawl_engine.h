@@ -100,6 +100,10 @@ struct CrawlResult {
   CrawlTrace trace;
   // Copy of trace.resilience(), for reporting convenience.
   ResilienceCounters resilience;
+  // Per-source degradation reports. Empty for a bare engine crawl; a
+  // fleet's merged result carries one entry per source so partial
+  // results under chaos are explicit, never silent (DESIGN.md §11).
+  std::vector<SourceDegradation> source_reports;
 };
 
 // Builds the CrawlResult snapshot every stop path returns — the one
@@ -192,6 +196,12 @@ struct EngineOptions {
   // Called at checkpoint boundaries (typically SaveCrawlCheckpoint); a
   // non-OK return fails the crawl with that status.
   std::function<Status(const CrawlEngine&)> checkpoint_sink;
+  // When set, the engine fetches through this executor instead of
+  // constructing its own, and `threads` is ignored. A fleet points every
+  // source's engine at one shared pool so N sources never spawn N pools;
+  // waves still run one engine at a time, so the shared executor needs
+  // no cross-engine synchronization. Must outlive the engine.
+  FetchExecutor* shared_executor = nullptr;
 };
 
 class CrawlEngine {
@@ -229,9 +239,11 @@ class CrawlEngine {
   }
 
   uint64_t rounds_used() const { return rounds_used_; }
+  uint64_t queries_issued() const { return queries_issued_; }
   uint64_t waves_completed() const { return waves_completed_; }
   const LocalStore& store() const { return store_; }
   const SimulatedClock& clock() const { return clock_; }
+  const CrawlTrace& trace() const { return trace_; }
   const CrawlOptions& options() const { return options_; }
   const EngineOptions& engine_options() const { return engine_options_; }
 
@@ -277,7 +289,11 @@ class CrawlEngine {
   EngineOptions engine_options_;
   AbortPolicy* abort_policy_;
   const RetryPolicy* retry_policy_;
-  std::unique_ptr<FetchExecutor> executor_;
+  // Owned when the engine built its own executor; empty when fetching
+  // through engine_options_.shared_executor. `executor_` is the one the
+  // wave loop uses either way.
+  std::unique_ptr<FetchExecutor> owned_executor_;
+  FetchExecutor* executor_;
 
   std::vector<char> seen_;  // value already in Lto-query or Lqueried
   bool saturation_notified_ = false;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace deepcrawl {
@@ -42,8 +43,55 @@ struct ResilienceCounters {
   // Queries that ended with pages lost to failures (requeued or
   // abandoned), i.e. completed in degraded mode.
   uint64_t degraded_queries = 0;
+  // Fetches rejected with a rate-limit status carrying a retry-after
+  // hint. The fleet's politeness limiter reads these (with
+  // max_retry_after_hint) to treat the server's hint as a hard floor on
+  // when the source may be scheduled again.
+  uint64_t rate_limit_rejections = 0;
+  // Largest retry-after hint (in clock ticks) any rate-limit rejection
+  // carried; 0 when none was ever seen.
+  uint64_t max_retry_after_hint = 0;
 
   bool operator==(const ResilienceCounters&) const = default;
+};
+
+// Circuit-breaker transition tallies for one fleet source (see
+// src/fleet/circuit_breaker.h for the state machine).
+struct BreakerTransitions {
+  uint32_t opens = 0;    // closed -> open trips
+  uint32_t reopens = 0;  // half-open probe failed -> open again
+  uint32_t closes = 0;   // half-open probe succeeded -> closed
+  uint32_t probes = 0;   // open -> half-open probe turns granted
+
+  bool operator==(const BreakerTransitions&) const = default;
+};
+
+// Per-source degradation report of a fleet crawl: what a source lost to
+// faults, how long its breaker kept it quarantined, and every breaker
+// transition — so partial results under chaos are explicit, never
+// silent (DESIGN.md §11).
+struct SourceDegradation {
+  uint32_t source_id = 0;
+  std::string name;
+  // Reached its coverage target or exhausted its frontier.
+  bool finished = false;
+  // Breaker flapped past the quarantine threshold (capped re-probe
+  // backoff engaged).
+  bool quarantined = false;
+  // The fleet gave up re-probing for good (or the source failed hard).
+  bool abandoned = false;
+  uint64_t records_harvested = 0;
+  // Target shortfall at the end of the run (0 when finished or no
+  // target was set).
+  uint64_t records_missing = 0;
+  // Values the retry machinery dropped after exhausting re-queues.
+  uint64_t values_abandoned = 0;
+  uint64_t rounds = 0;         // communication rounds this source consumed
+  uint64_t turns = 0;          // scheduler turns granted
+  uint64_t ticks_quarantined = 0;  // fleet clock ticks spent breaker-open
+  BreakerTransitions breaker;
+
+  bool operator==(const SourceDegradation&) const = default;
 };
 
 // Monotone (in both fields) crawl progress trace.

@@ -68,4 +68,8 @@ uint64_t RetryPolicy::BackoffTicks(const Status& status, uint32_t failures,
   return std::max<uint64_t>(ticks, 1);
 }
 
+uint64_t RetryPolicy::FloorTicks(const Status& status) const {
+  return status.retry_after_rounds().value_or(0);
+}
+
 }  // namespace deepcrawl

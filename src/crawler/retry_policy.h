@@ -82,6 +82,14 @@ class RetryPolicy {
   uint64_t BackoffTicks(const Status& status, uint32_t failures,
                         ValueId value) const;
 
+  // The server-advertised hard floor on when this failure may be
+  // followed by another fetch: the status's retry-after hint, or 0 when
+  // it carries none. BackoffTicks already applies it to retries; the
+  // give-up paths (re-queue / abandon) must charge it too — a 429's
+  // hint binds the *source*, not the value that happened to trigger it,
+  // so giving up on the value does not license an earlier fetch.
+  uint64_t FloorTicks(const Status& status) const;
+
   const RetryPolicyConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,118 @@
+#include "src/fleet/chaos.h"
+
+#include <string>
+
+namespace deepcrawl {
+namespace {
+
+// Splits `text` at the first `sep`, returning the prefix and leaving the
+// suffix (or empty when `sep` is absent and everything was consumed).
+std::string_view TakeUntil(std::string_view& text, char sep) {
+  size_t pos = text.find(sep);
+  std::string_view head = text.substr(0, pos);
+  text = pos == std::string_view::npos ? std::string_view{}
+                                       : text.substr(pos + 1);
+  return head;
+}
+
+StatusOr<uint64_t> ParseU64(std::string_view text, const char* what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("chaos spec: empty ") + what);
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("chaos spec: bad ") + what +
+                                     " '" + std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+StatusOr<FaultAction> ParseKind(std::string_view kind) {
+  if (kind == "dead") return FaultAction::kUnavailable;
+  if (kind == "timeout") return FaultAction::kTimeout;
+  if (kind == "ratelimit") return FaultAction::kRateLimit;
+  return Status::InvalidArgument("chaos spec: unknown kind '" +
+                                 std::string(kind) +
+                                 "' (dead|timeout|ratelimit)");
+}
+
+}  // namespace
+
+std::optional<FaultAction> ForcedActionAt(const ChaosSchedule& schedule,
+                                          uint32_t source, uint64_t turn) {
+  std::optional<FaultAction> forced;
+  for (const ChaosEvent& event : schedule) {
+    if (event.source != source) continue;
+    if (turn < event.begin_turn) continue;
+    if (event.end_turn != 0 && turn >= event.end_turn) continue;
+    forced = event.action;  // later events override earlier ones
+  }
+  return forced;
+}
+
+StatusOr<ChaosSchedule> ParseChaosSchedule(std::string_view spec,
+                                           uint32_t num_sources) {
+  ChaosSchedule schedule;
+  if (spec.empty()) return schedule;
+  if (spec == "hostile") return HostileChaosSchedule(num_sources);
+  while (!spec.empty()) {
+    std::string_view entry = TakeUntil(spec, ';');
+    if (entry.empty()) continue;
+    std::string_view kind = TakeUntil(entry, ':');
+    DEEPCRAWL_ASSIGN_OR_RETURN(FaultAction action, ParseKind(kind));
+    size_t at = entry.find('@');
+    if (at == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "chaos spec: missing '@begin[-end]' in '" + std::string(entry) +
+          "'");
+    }
+    std::string_view sources = entry.substr(0, at);
+    std::string_view window = entry.substr(at + 1);
+    std::string_view begin_text = TakeUntil(window, '-');
+    DEEPCRAWL_ASSIGN_OR_RETURN(uint64_t begin,
+                               ParseU64(begin_text, "begin turn"));
+    uint64_t end = 0;
+    if (!window.empty()) {
+      DEEPCRAWL_ASSIGN_OR_RETURN(end, ParseU64(window, "end turn"));
+      if (end <= begin) {
+        return Status::InvalidArgument(
+            "chaos spec: window end must be after begin");
+      }
+    }
+    while (!sources.empty()) {
+      std::string_view source_text = TakeUntil(sources, ',');
+      DEEPCRAWL_ASSIGN_OR_RETURN(uint64_t source,
+                                 ParseU64(source_text, "source id"));
+      if (source >= num_sources) {
+        return Status::InvalidArgument(
+            "chaos spec: source " + std::to_string(source) +
+            " out of range (fleet has " + std::to_string(num_sources) +
+            " sources)");
+      }
+      schedule.push_back(ChaosEvent{static_cast<uint32_t>(source), begin,
+                                    end, action});
+    }
+  }
+  return schedule;
+}
+
+ChaosSchedule HostileChaosSchedule(uint32_t num_sources) {
+  // One permanently dead source, two flappers — the acceptance scenario.
+  const ChaosEvent events[] = {
+      {1, 6, 0, FaultAction::kUnavailable},    // dead for good
+      {2, 10, 26, FaultAction::kUnavailable},  // flapper: dark burst...
+      {2, 40, 52, FaultAction::kTimeout},      // ...then timeouts
+      {3, 14, 30, FaultAction::kRateLimit},    // rate-limit storm...
+      {3, 40, 52, FaultAction::kUnavailable},  // ...then flaps too
+  };
+  ChaosSchedule schedule;
+  for (const ChaosEvent& event : events) {
+    if (event.source < num_sources) schedule.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace deepcrawl

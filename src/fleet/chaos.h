@@ -1,0 +1,72 @@
+// ChaosSchedule: scripted fleet-level fault windows (DESIGN.md §11).
+//
+// The per-fetch FaultProfile models steady-state background noise; the
+// chaos schedule scripts the *correlated* failures that actually kill
+// crawls in production — a whole source going dark for an hour, a rate-
+// limit storm, a flapping host. An event forces one fault action on one
+// source for a window of fleet scheduler turns:
+//
+//   ChaosEvent{source=1, begin_turn=6, end_turn=0, kUnavailable}
+//     → source 1 answers nothing from turn 6 onward, forever.
+//
+// Windows are keyed on the fleet's global turn counter (checkpointed),
+// so the forced action for any turn is recomputable after a resume, and
+// the override is applied through FaultyServer::set_forced_action, which
+// draws no randomness — engaging or clearing chaos never perturbs the
+// keyed fault stream underneath. Fleet output therefore stays a pure
+// function of (seed, batch, schedule).
+//
+// Text format (the --chaos flag): semicolon-separated events,
+//
+//   kind:src[,src...]@begin[-end]
+//
+// with kind ∈ {dead, timeout, ratelimit}, turns half-open [begin, end),
+// and a missing end meaning forever. "hostile" names the canned schedule
+// the acceptance tests use (one permanently dead source, two flappers).
+
+#ifndef DEEPCRAWL_FLEET_CHAOS_H_
+#define DEEPCRAWL_FLEET_CHAOS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/server/faulty_server.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+struct ChaosEvent {
+  uint32_t source = 0;
+  uint64_t begin_turn = 0;
+  // Exclusive end of the window; 0 = forever.
+  uint64_t end_turn = 0;
+  FaultAction action = FaultAction::kUnavailable;
+
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+using ChaosSchedule = std::vector<ChaosEvent>;
+
+// The action forced on `source` at fleet turn `turn`, or nullopt when no
+// event covers it (the source's own FaultProfile applies). When windows
+// overlap, the later event in the schedule wins.
+std::optional<FaultAction> ForcedActionAt(const ChaosSchedule& schedule,
+                                          uint32_t source, uint64_t turn);
+
+// Parses the --chaos text format above; "" → empty schedule, "hostile" →
+// HostileChaosSchedule(num_sources). Events naming a source >=
+// num_sources are rejected.
+StatusOr<ChaosSchedule> ParseChaosSchedule(std::string_view spec,
+                                           uint32_t num_sources);
+
+// The acceptance scenario: source 1 permanently dead from turn 6; source
+// 2 flaps (unavailable bursts, then timeouts); source 3 suffers a rate-
+// limit storm, then flaps. Events naming sources >= num_sources are
+// dropped, so the schedule degrades gracefully for small fleets.
+ChaosSchedule HostileChaosSchedule(uint32_t num_sources);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_FLEET_CHAOS_H_

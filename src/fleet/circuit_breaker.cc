@@ -1,0 +1,164 @@
+#include "src/fleet/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/checkpoint_io.h"
+#include "src/util/logging.h"
+
+namespace deepcrawl {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config), cooldown_(config.cooldown_ticks) {
+  DEEPCRAWL_CHECK_GE(config_.consecutive_failed_turns, 1u);
+  DEEPCRAWL_CHECK(config_.error_rate_to_open > 0.0 &&
+                  config_.error_rate_to_open <= 1.0)
+      << "error_rate_to_open must be in (0, 1]";
+  DEEPCRAWL_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0)
+      << "ewma_alpha must be in (0, 1]";
+  DEEPCRAWL_CHECK_GE(config_.cooldown_ticks, 1u);
+  DEEPCRAWL_CHECK_GE(config_.cooldown_multiplier, 1.0);
+  DEEPCRAWL_CHECK_GE(config_.max_cooldown_ticks, config_.cooldown_ticks);
+}
+
+bool CircuitBreaker::CanAdmit(uint64_t now) const {
+  if (exhausted()) return false;
+  if (state_ == BreakerState::kOpen) return now >= admit_at_;
+  return true;
+}
+
+uint64_t CircuitBreaker::EligibleAt(uint64_t now) const {
+  if (state_ == BreakerState::kOpen) return std::max(now, admit_at_);
+  return now;
+}
+
+void CircuitBreaker::Admit(uint64_t now) {
+  DEEPCRAWL_DCHECK(CanAdmit(now)) << "turn granted past a closed gate";
+  if (state_ == BreakerState::kOpen) {
+    // Cooldown elapsed: this turn is the half-open probe.
+    ticks_open_ += now - open_since_;
+    state_ = BreakerState::kHalfOpen;
+    ++transitions_.probes;
+  }
+}
+
+void CircuitBreaker::TripOpen(uint64_t now) {
+  state_ = BreakerState::kOpen;
+  open_since_ = now;
+  admit_at_ = now + cooldown_;
+  consecutive_failed_ = 0;
+}
+
+void CircuitBreaker::OnTurn(uint64_t now, uint64_t rounds, uint64_t failures,
+                            uint64_t new_records) {
+  ++turns_observed_;
+  // A turn's failure rate: failed fetches per round granted (each failed
+  // fetch costs exactly one round, so the ratio is in [0, 1]).
+  double rate = rounds == 0 ? 0.0
+                            : static_cast<double>(failures) /
+                                  static_cast<double>(rounds);
+  error_ewma_ = config_.ewma_alpha * rate +
+                (1.0 - config_.ewma_alpha) * error_ewma_;
+  bool fully_failed = rounds > 0 && failures > 0 && new_records == 0;
+
+  if (state_ == BreakerState::kHalfOpen) {
+    if (fully_failed) {
+      // Probe failed: back to open, with grown (capped) cooldown.
+      cooldown_ = std::min<uint64_t>(
+          config_.max_cooldown_ticks,
+          static_cast<uint64_t>(std::llround(
+              static_cast<double>(cooldown_) * config_.cooldown_multiplier)));
+      ++transitions_.reopens;
+      TripOpen(now);
+    } else {
+      // Probe succeeded: readmit. A flapper past the quarantine
+      // threshold keeps its grown cooldown — one lucky probe must not
+      // reset its re-probe backoff.
+      state_ = BreakerState::kClosed;
+      ++transitions_.closes;
+      consecutive_failed_ = 0;
+      error_ewma_ = 0.0;
+      if (!quarantined()) cooldown_ = config_.cooldown_ticks;
+    }
+    return;
+  }
+
+  if (state_ != BreakerState::kClosed) return;
+  if (fully_failed) {
+    ++consecutive_failed_;
+  } else {
+    consecutive_failed_ = 0;
+  }
+  bool too_many_consecutive =
+      consecutive_failed_ >= config_.consecutive_failed_turns;
+  bool rate_too_high = turns_observed_ >= config_.min_turns_for_rate &&
+                       error_ewma_ >= config_.error_rate_to_open;
+  if (too_many_consecutive || rate_too_high) {
+    ++transitions_.opens;
+    TripOpen(now);
+  }
+}
+
+uint64_t CircuitBreaker::TicksOpen(uint64_t now) const {
+  uint64_t ticks = ticks_open_;
+  if (state_ == BreakerState::kOpen && now > open_since_) {
+    ticks += now - open_since_;
+  }
+  return ticks;
+}
+
+void CircuitBreaker::SaveState(CheckpointWriter& writer) const {
+  writer.WriteU8(static_cast<uint8_t>(state_));
+  writer.WriteU32(consecutive_failed_);
+  writer.WriteDouble(error_ewma_);
+  writer.WriteU64(turns_observed_);
+  writer.WriteU64(cooldown_);
+  writer.WriteU64(admit_at_);
+  writer.WriteU64(open_since_);
+  writer.WriteU64(ticks_open_);
+  writer.WriteU32(transitions_.opens);
+  writer.WriteU32(transitions_.reopens);
+  writer.WriteU32(transitions_.closes);
+  writer.WriteU32(transitions_.probes);
+}
+
+Status CircuitBreaker::LoadState(CheckpointReader& reader) {
+  uint8_t state = reader.ReadU8();
+  if (reader.ok() && state > static_cast<uint8_t>(BreakerState::kHalfOpen)) {
+    reader.MarkCorrupt("breaker state out of range");
+  }
+  state_ = static_cast<BreakerState>(state);
+  consecutive_failed_ = reader.ReadU32();
+  error_ewma_ = reader.ReadDouble();
+  if (reader.ok() && !(error_ewma_ >= 0.0 && error_ewma_ <= 1.0)) {
+    reader.MarkCorrupt("breaker error EWMA out of range");
+  }
+  turns_observed_ = reader.ReadU64();
+  cooldown_ = reader.ReadU64();
+  if (reader.ok() && (cooldown_ < config_.cooldown_ticks ||
+                      cooldown_ > config_.max_cooldown_ticks)) {
+    reader.MarkCorrupt("breaker cooldown out of range");
+  }
+  admit_at_ = reader.ReadU64();
+  open_since_ = reader.ReadU64();
+  ticks_open_ = reader.ReadU64();
+  transitions_.opens = reader.ReadU32();
+  transitions_.reopens = reader.ReadU32();
+  transitions_.closes = reader.ReadU32();
+  transitions_.probes = reader.ReadU32();
+  return reader.status();
+}
+
+}  // namespace deepcrawl

@@ -71,8 +71,21 @@ void FaultyServer::set_schedule(FaultSchedule schedule) {
   schedule_pos_ = 0;
 }
 
+uint64_t FaultyServer::DeriveSourceSeed(uint64_t fleet_seed,
+                                        uint32_t source_id) {
+  // The source_id-th output of a SplitMix64 generator seeded with
+  // fleet_seed: state after source_id increments, finalized. Stateless
+  // per pair, so no source's seed depends on any other source existing.
+  return Mix64(fleet_seed +
+               0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(source_id));
+}
+
 FaultAction FaultyServer::NextAction(uint64_t query_key,
                                      uint32_t page_number) {
+  // The chaos override wins over everything and draws nothing: engaging
+  // or clearing it mid-crawl leaves the schedule cursor, RNG, and keyed
+  // attempt table exactly where they were.
+  if (forced_action_.has_value()) return *forced_action_;
   if (schedule_pos_ < schedule_.size()) return schedule_[schedule_pos_++];
   if (profile_.IsAllZero()) return FaultAction::kNone;
   double u;

@@ -42,6 +42,7 @@
 #define DEEPCRAWL_SERVER_FAULTY_SERVER_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <unordered_map>
@@ -128,6 +129,28 @@ class FaultyServer : public QueryInterface {
   void set_keyed_faults(bool keyed) { keyed_ = keyed; }
   bool keyed_faults() const { return keyed_; }
 
+  // Chaos override: while set, EVERY fetch meets `action` (kNone forces
+  // fault-free forwarding). Checked before the schedule and before any
+  // RNG or keyed-attempt draw, so engaging or clearing it never perturbs
+  // the underlying fault stream — the fleet's ChaosSchedule flips this
+  // per turn to script whole-source death, flapping, and recovery while
+  // the keyed-fault contract keeps everything else bit-reproducible.
+  // Deliberately NOT checkpointed: the fleet re-derives it from
+  // (schedule, turn counter) on every turn, including the first after a
+  // resume.
+  void set_forced_action(std::optional<FaultAction> action) {
+    forced_action_ = action;
+  }
+  const std::optional<FaultAction>& forced_action() const {
+    return forced_action_;
+  }
+
+  // Derives source `source_id`'s fault seed from the fleet seed: the
+  // source_id-th output of a SplitMix64 stream seeded with fleet_seed.
+  // Pure function of the pair, so adding or removing one source never
+  // perturbs another source's fault stream.
+  static uint64_t DeriveSourceSeed(uint64_t fleet_seed, uint32_t source_id);
+
   // QueryInterface implementation. Fetches are forwarded to the backend
   // unless a failure fault fires first; page-mutating faults apply to
   // the backend's successful response.
@@ -194,6 +217,7 @@ class FaultyServer : public QueryInterface {
   // page draw fresh (but still order-independent) fault decisions.
   bool keyed_ = false;
   std::unordered_map<uint64_t, uint32_t> keyed_attempts_;
+  std::optional<FaultAction> forced_action_;
   uint64_t injected_failure_rounds_ = 0;
   uint64_t injected_failure_queries_ = 0;
   FaultCounters counters_;

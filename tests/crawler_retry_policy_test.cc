@@ -136,6 +136,33 @@ TEST(RetryPolicyTest, BackoffIsAtLeastOneTick) {
   }
 }
 
+TEST(RetryPolicyTest, FloorTicksIsExactlyTheAdvertisedHint) {
+  RetryPolicy policy((RetryPolicyConfig()));
+  EXPECT_EQ(policy.FloorTicks(Status::ResourceExhausted("429").WithRetryAfter(7)),
+            7u);
+  EXPECT_EQ(policy.FloorTicks(Status::ResourceExhausted("429").WithRetryAfter(1)),
+            1u);
+  // No hint, no floor — regardless of status code.
+  EXPECT_EQ(policy.FloorTicks(Status::ResourceExhausted("429")), 0u);
+  EXPECT_EQ(policy.FloorTicks(Status::Unavailable("503")), 0u);
+  EXPECT_EQ(policy.FloorTicks(Status::OK()), 0u);
+}
+
+TEST(RetryPolicyTest, JitterNeverUndercutsTheRetryAfterFloor) {
+  RetryPolicyConfig config;
+  config.initial_backoff_ticks = 1;
+  config.max_backoff_ticks = 4;
+  config.jitter = 1.0;  // most adversarial: backoff uniform over [1, window]
+  RetryPolicy policy(config);
+  Status hinted = Status::ResourceExhausted("429").WithRetryAfter(11);
+  for (uint32_t failures = 1; failures <= 4; ++failures) {
+    for (ValueId value = 0; value < 64; ++value) {
+      EXPECT_GE(policy.BackoffTicks(hinted, failures, value), 11u)
+          << "failures=" << failures << " value=" << value;
+    }
+  }
+}
+
 TEST(SimulatedClockTest, AdvanceAccumulates) {
   SimulatedClock clock;
   EXPECT_EQ(clock.now(), 0u);

@@ -1,0 +1,594 @@
+// CrawlFleet contract tests (src/fleet/crawl_fleet.h):
+//
+//   * a single-source fleet is the bare CrawlEngine, bit-identically —
+//     same trace, same records, with and without faults;
+//   * scheduler policies allocate turns as documented;
+//   * the circuit breaker's transition accounting is exact under a
+//     scripted chaos schedule, and retry-after hints floor the source's
+//     next turn;
+//   * the 8-source hostile-chaos acceptance scenario: every healthy
+//     source reaches its coverage target, the permanently dead source is
+//     reported quarantined;
+//   * fleet checkpoints restore bit-identically from any turn boundary,
+//     and EVERY mangled checkpoint byte is rejected with a clean Status
+//     (same adversarial sweep as crawler_checkpoint_test.cc).
+//
+// Runs inside deepcrawl_concurrency_tests so the whole file also
+// executes under ASan and TSan via tools/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/crawler/checkpoint.h"
+#include "src/crawler/crawl_engine.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/retry_policy.h"
+#include "src/crawler/trace_io.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/fleet/chaos.h"
+#include "src/fleet/circuit_breaker.h"
+#include "src/fleet/crawl_fleet.h"
+#include "src/server/faulty_server.h"
+#include "src/server/web_db_server.h"
+#include "src/util/checkpoint_io.h"
+
+namespace deepcrawl {
+namespace {
+
+// Tables are move-only, so spec sets are regenerated per fleet; the
+// synthetic generator is seeded, so every call yields identical tables.
+// The tiny scale keeps per-construction cost (generation + index build)
+// negligible even inside the corruption sweeps.
+std::vector<FleetSourceSpec> TinySpecs() {
+  StatusOr<std::vector<FleetSourceSpec>> made =
+      MakeFleetSourceSpecs(2, /*scale=*/0.003, /*target_coverage=*/0.0);
+  DEEPCRAWL_CHECK(made.ok()) << made.status().ToString();
+  return std::move(*made);
+}
+
+std::string FleetTraceCsv(const FleetResult& result) {
+  std::ostringstream out;
+  DEEPCRAWL_CHECK(WriteFleetTraceCsv(result, out).ok());
+  return out.str();
+}
+
+// Replicates CrawlFleet::PlantSeeds for one source, so the bare-engine
+// reference stacks plant the identical seed values.
+ValueId FleetSeedValue(const Table& table, uint64_t fleet_seed,
+                       uint32_t source_id, uint32_t j) {
+  uint64_t derived = FaultyServer::DeriveSourceSeed(fleet_seed, source_id);
+  uint32_t distinct = static_cast<uint32_t>(table.num_distinct_values());
+  ValueId v = static_cast<ValueId>(FaultyServer::DeriveSourceSeed(derived, j) %
+                                   distinct);
+  while (table.value_frequency(v) == 0) {
+    v = static_cast<ValueId>((v + 1) % distinct);
+  }
+  return v;
+}
+
+// --- single-source ≡ bare engine -------------------------------------
+
+void ExpectSingleSourceMatchesBareEngine(FaultProfile faults) {
+  const uint64_t kFleetSeed = 7;
+  StatusOr<std::vector<FleetSourceSpec>> specs =
+      MakeFleetSourceSpecs(1, /*scale=*/0.003, /*target_coverage=*/0.0);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  (*specs)[0].faults = faults;
+
+  FleetOptions options;
+  options.seed = kFleetSeed;
+  options.turn_rounds = 16;  // slices the crawl into many turns
+  CrawlFleet fleet(std::move(*specs), options);
+  StatusOr<FleetResult> fleet_result = fleet.Run();
+  ASSERT_TRUE(fleet_result.ok()) << fleet_result.status().ToString();
+
+  // The bare reference: the same table (the generator is seeded — the
+  // fleet builder uses gen_seed + source_id = 1), same derived
+  // fault/retry seeds, same planted seed, run in one uninterrupted shot.
+  StatusOr<Table> regenerated = GenerateTable(EbayConfig(0.003, 1));
+  ASSERT_TRUE(regenerated.ok());
+  const Table& table = *regenerated;
+  uint64_t derived = FaultyServer::DeriveSourceSeed(kFleetSeed, 0);
+  WebDbServer backend(table, ServerOptions{});
+  FaultyServer faulty(backend, faults, derived);
+  faulty.set_keyed_faults(true);
+  LocalStore store;
+  GreedyLinkSelector selector(store);
+  RetryPolicyConfig retry_config;
+  retry_config.seed = derived;
+  RetryPolicy retry(retry_config);
+  CrawlOptions crawl_options;
+  crawl_options.saturation_records = static_cast<uint64_t>(
+      0.85 * static_cast<double>(table.num_records()));
+  CrawlEngine engine(faulty, selector, store, crawl_options, EngineOptions{},
+                     nullptr, &retry);
+  engine.AddSeed(FleetSeedValue(table, kFleetSeed, 0, 0));
+  StatusOr<CrawlResult> bare = engine.Run();
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+
+  const CrawlResult& fleet_side = fleet_result->sources[0].result;
+  EXPECT_EQ(fleet_side.stop_reason, bare->stop_reason);
+  EXPECT_EQ(fleet_side.rounds, bare->rounds);
+  EXPECT_EQ(fleet_side.queries, bare->queries);
+  EXPECT_EQ(fleet_side.records, bare->records);
+  EXPECT_EQ(fleet_side.resilience, bare->resilience);
+  ASSERT_EQ(fleet_side.trace.points(), bare->trace.points());
+
+  std::ostringstream fleet_csv;
+  std::ostringstream bare_csv;
+  ASSERT_TRUE(WriteTraceCsv(fleet_side.trace, fleet_csv).ok());
+  ASSERT_TRUE(WriteTraceCsv(bare->trace, bare_csv).ok());
+  EXPECT_EQ(fleet_csv.str(), bare_csv.str());
+}
+
+TEST(CrawlFleetTest, SingleSourceFleetIsBareEngineBitIdentical) {
+  ExpectSingleSourceMatchesBareEngine(FaultProfile{});
+}
+
+TEST(CrawlFleetTest, SingleSourceIdentityHoldsUnderFaults) {
+  FaultProfile faults;
+  faults.unavailable_rate = 0.08;
+  faults.timeout_rate = 0.04;
+  faults.rate_limit_rate = 0.04;
+  ExpectSingleSourceMatchesBareEngine(faults);
+}
+
+// --- scheduler policies ----------------------------------------------
+
+TEST(CrawlFleetTest, SequentialDrainsSourcesInIdOrder) {
+  FleetOptions options;
+  options.scheduler = SchedulerPolicy::kSequential;
+  options.turn_rounds = 8;
+  CrawlFleet fleet(TinySpecs(), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Source 1 starts only after source 0 finished, so in the merged
+  // trace, all of source 0's rows precede all of source 1's.
+  const std::string csv = FleetTraceCsv(*result);
+  size_t first_of_1 = csv.find("\n1,");
+  size_t last_of_0 = csv.rfind("\n0,");
+  ASSERT_NE(first_of_1, std::string::npos);
+  ASSERT_NE(last_of_0, std::string::npos);
+  EXPECT_LT(last_of_0, first_of_1);
+  EXPECT_TRUE(result->sources[0].degradation.finished);
+  EXPECT_TRUE(result->sources[1].degradation.finished);
+}
+
+TEST(CrawlFleetTest, RoundRobinAlternatesWhileBothEligible) {
+  FleetOptions options;
+  options.scheduler = SchedulerPolicy::kRoundRobin;
+  options.turn_rounds = 8;
+  options.max_total_rounds = 64;  // stop while both still have frontier
+  CrawlFleet fleet(TinySpecs(), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(fleet.engine(0).rounds_used(), 32u);
+  EXPECT_EQ(fleet.engine(1).rounds_used(), 32u);
+}
+
+TEST(CrawlFleetTest, MarginalHarvestOutrunsSequentialToFirstCoverage) {
+  // With a coverage target per source, marginal-HR reaches BOTH targets
+  // in no more total rounds than the naive sequential drain (it skips
+  // saturated tails; equality is possible on tiny tables).
+  auto run = [](SchedulerPolicy scheduler) {
+    std::vector<FleetSourceSpec> specs = TinySpecs();
+    for (FleetSourceSpec& spec : specs) spec.target_coverage = 0.6;
+    FleetOptions options;
+    options.scheduler = scheduler;
+    options.turn_rounds = 8;
+    CrawlFleet fleet(std::move(specs), options);
+    StatusOr<FleetResult> result = fleet.Run();
+    DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+    return result->merged.rounds;
+  };
+  EXPECT_LE(run(SchedulerPolicy::kMarginalHarvest),
+            run(SchedulerPolicy::kSequential));
+}
+
+TEST(CrawlFleetTest, SchedulerPolicyNamesRoundTrip) {
+  for (SchedulerPolicy policy :
+       {SchedulerPolicy::kMarginalHarvest, SchedulerPolicy::kRoundRobin,
+        SchedulerPolicy::kSequential}) {
+    StatusOr<SchedulerPolicy> parsed =
+        ParseSchedulerPolicy(SchedulerPolicyToString(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseSchedulerPolicy("lifo").ok());
+}
+
+// --- breaker accounting & adaptive politeness ------------------------
+
+TEST(CrawlFleetTest, BreakerTransitionAccountingIsExactUnderChaos) {
+  // Source 1 goes permanently dark from fleet turn 0; source 0 stays
+  // healthy. With sequential scheduling... source 1 would be starved, so
+  // use round-robin and watch the breaker trip, probe, and re-open with
+  // exact tallies.
+  std::vector<FleetSourceSpec> specs = TinySpecs();
+  specs[1].num_seeds = 24;  // enough frontier to outlast the breaker
+  FleetOptions options;
+  options.scheduler = SchedulerPolicy::kRoundRobin;
+  options.turn_rounds = 8;
+  options.breaker.consecutive_failed_turns = 2;
+  options.breaker.cooldown_ticks = 8;
+  options.breaker.cooldown_multiplier = 2.0;
+  options.breaker.max_cooldown_ticks = 64;
+  options.breaker.quarantine_after_trips = 3;
+  options.breaker.abandon_after_trips = 5;
+  options.chaos = {{1, 0, 0, FaultAction::kUnavailable}};
+  CrawlFleet fleet(std::move(specs), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const CircuitBreaker& breaker = fleet.breaker(1);
+  const BreakerTransitions& t = breaker.transitions();
+  // Exactly one closed->open trip (it never successfully closes again),
+  // then probes that all fail: every probe re-opens, none closes.
+  EXPECT_EQ(t.opens, 1u);
+  EXPECT_EQ(t.closes, 0u);
+  EXPECT_EQ(t.probes, t.reopens);
+  // Abandoned at exactly the trip cap.
+  EXPECT_TRUE(breaker.exhausted());
+  EXPECT_EQ(t.opens + t.reopens, 5u);
+  EXPECT_TRUE(breaker.quarantined());
+
+  const SourceDegradation& dead = result->sources[1].degradation;
+  EXPECT_TRUE(dead.quarantined);
+  EXPECT_TRUE(dead.abandoned);
+  EXPECT_FALSE(dead.finished);
+  EXPECT_EQ(dead.breaker, t);
+  EXPECT_EQ(dead.records_harvested, 0u);
+  EXPECT_GT(dead.ticks_quarantined, 0u);
+  // The healthy source was never slowed down to zero: it finished.
+  EXPECT_TRUE(result->sources[0].degradation.finished);
+  // The dead source's outcome is isolation, not a fleet error.
+  EXPECT_TRUE(result->sources[1].error.ok());
+}
+
+TEST(CrawlFleetTest, RetryAfterHintFloorsNextTurn) {
+  // A rate-limit storm on the only source: after a turn that saw 429s,
+  // the source's next turn waits for the advertised hint, visible as
+  // fleet idle ticks (the bucket alone would have admitted immediately).
+  StatusOr<std::vector<FleetSourceSpec>> made =
+      MakeFleetSourceSpecs(1, /*scale=*/0.003, /*target_coverage=*/0.0);
+  ASSERT_TRUE(made.ok());
+  std::vector<FleetSourceSpec> specs = std::move(*made);
+  specs[0].faults.retry_after_rounds = 12;
+  FleetOptions options;
+  options.turn_rounds = 8;
+  options.chaos = {{0, 1, 3, FaultAction::kRateLimit}};
+  CrawlFleet fleet(std::move(specs), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ResilienceCounters& res = result->sources[0].result.resilience;
+  EXPECT_GT(res.rate_limit_rejections, 0u);
+  EXPECT_EQ(res.max_retry_after_hint, 12u);
+  EXPECT_GE(result->idle_ticks, 12u);
+  EXPECT_TRUE(result->sources[0].degradation.finished);
+}
+
+// --- the hostile-chaos acceptance scenario ---------------------------
+
+TEST(CrawlFleetTest, HostileChaosFleetDegradesGracefully) {
+  StatusOr<std::vector<FleetSourceSpec>> specs =
+      MakeFleetSourceSpecs(8, /*scale=*/0.002, /*target_coverage=*/0.9);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  for (FleetSourceSpec& spec : *specs) spec.num_seeds = 12;
+
+  FleetOptions options;
+  options.seed = 42;
+  options.turn_rounds = 16;
+  options.chaos = HostileChaosSchedule(8);
+  // Generous requeue budget: flappers park values at the frontier tail
+  // during dark windows instead of abandoning them for good.
+  options.retry.max_requeues = 16;
+  CrawlFleet fleet(std::move(*specs), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->sources.size(), 8u);
+  ASSERT_EQ(result->merged.source_reports.size(), 8u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    const SourceDegradation& d = result->sources[i].degradation;
+    EXPECT_EQ(d.source_id, i);
+    EXPECT_EQ(d, result->merged.source_reports[i]);
+    if (i == 1) continue;  // the permanently dead source
+    // Every healthy (or recovering) source reaches its 90% target.
+    EXPECT_TRUE(d.finished) << "source " << i << " (" << d.name << ")";
+    EXPECT_GE(d.records_harvested,
+              static_cast<uint64_t>(
+                  0.9 * static_cast<double>(fleet.spec(i).table.num_records())))
+        << "source " << i;
+    EXPECT_EQ(d.records_missing, 0u) << "source " << i;
+  }
+
+  // The dead source is reported quarantined, with its breaker history.
+  const SourceDegradation& dead = result->sources[1].degradation;
+  EXPECT_TRUE(dead.quarantined);
+  EXPECT_FALSE(dead.finished);
+  EXPECT_GT(dead.breaker.opens + dead.breaker.reopens, 2u);
+  EXPECT_GT(dead.ticks_quarantined, 0u);
+  EXPECT_GT(dead.records_missing, 0u);
+
+  // Merged bookkeeping is consistent.
+  uint64_t records = 0;
+  uint64_t rounds = 0;
+  for (const FleetSourceOutcome& outcome : result->sources) {
+    records += outcome.result.records;
+    rounds += outcome.result.rounds;
+  }
+  EXPECT_EQ(result->merged.records, records);
+  EXPECT_EQ(result->merged.rounds, rounds);
+}
+
+// --- checkpoint/resume ------------------------------------------------
+
+FleetOptions CheckpointFleetOptions() {
+  FleetOptions options;
+  options.seed = 5;
+  options.turn_rounds = 8;
+  options.chaos = {{1, 2, 6, FaultAction::kUnavailable},
+                   {0, 4, 5, FaultAction::kRateLimit}};
+  return options;
+}
+
+std::vector<FleetSourceSpec> CheckpointFleetSpecs() {
+  std::vector<FleetSourceSpec> specs = TinySpecs();
+  for (FleetSourceSpec& spec : specs) {
+    spec.faults.unavailable_rate = 0.05;
+    spec.faults.timeout_rate = 0.03;
+  }
+  return specs;
+}
+
+// Captures a checkpoint image at every turn boundary of a bounded run.
+std::vector<std::string> ImagesAtEveryTurn(uint64_t max_rounds) {
+  FleetOptions options = CheckpointFleetOptions();
+  options.max_total_rounds = max_rounds;
+  options.checkpoint_every_turns = 1;
+  auto images = std::make_shared<std::vector<std::string>>();
+  options.checkpoint_sink = [images](const CrawlFleet& fleet) -> Status {
+    StatusOr<std::string> image = EncodeFleetCheckpoint(fleet);
+    DEEPCRAWL_RETURN_IF_ERROR(image.status());
+    images->push_back(std::move(*image));
+    return Status::OK();
+  };
+  CrawlFleet fleet(CheckpointFleetSpecs(), options);
+  StatusOr<FleetResult> result = fleet.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+  return *images;
+}
+
+TEST(CrawlFleetTest, ResumeFromAnyTurnBoundaryIsBitIdentical) {
+  // Reference: uninterrupted bounded run.
+  CrawlFleet reference(CheckpointFleetSpecs(), CheckpointFleetOptions());
+  reference.set_max_total_rounds(160);
+  StatusOr<FleetResult> uninterrupted = reference.Run();
+  ASSERT_TRUE(uninterrupted.ok()) << uninterrupted.status().ToString();
+  const std::string want = FleetTraceCsv(*uninterrupted);
+
+  std::vector<std::string> images = ImagesAtEveryTurn(160);
+  ASSERT_GT(images.size(), 4u);
+  for (size_t i = 0; i < images.size(); ++i) {
+    CrawlFleet resumed(CheckpointFleetSpecs(), CheckpointFleetOptions());
+    Status loaded = DecodeFleetCheckpoint(images[i], resumed);
+    ASSERT_TRUE(loaded.ok()) << "image " << i << ": " << loaded.ToString();
+    resumed.set_max_total_rounds(160);
+    StatusOr<FleetResult> cont = resumed.Run();
+    ASSERT_TRUE(cont.ok()) << cont.status().ToString();
+    EXPECT_EQ(FleetTraceCsv(*cont), want) << "resumed from image " << i;
+    EXPECT_EQ(cont->merged.records, uninterrupted->merged.records);
+    EXPECT_EQ(cont->turns, uninterrupted->turns);
+    EXPECT_EQ(cont->idle_ticks, uninterrupted->idle_ticks);
+    for (uint32_t s = 0; s < resumed.num_sources(); ++s) {
+      EXPECT_EQ(resumed.breaker(s).transitions(),
+                reference.breaker(s).transitions())
+          << "image " << i << " source " << s;
+    }
+  }
+}
+
+TEST(CrawlFleetTest, SaveLoadFileRoundTrip) {
+  std::vector<std::string> images = ImagesAtEveryTurn(80);
+  ASSERT_FALSE(images.empty());
+  std::string path = testing::TempDir() + "/deepcrawl_fleet_ckpt.bin";
+
+  CrawlFleet saved(CheckpointFleetSpecs(), CheckpointFleetOptions());
+  saved.set_max_total_rounds(80);
+  StatusOr<FleetResult> partial = saved.Run();
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(SaveFleetCheckpoint(saved, path).ok());
+
+  CrawlFleet resumed(CheckpointFleetSpecs(), CheckpointFleetOptions());
+  ASSERT_TRUE(LoadFleetCheckpoint(path, resumed).ok());
+  EXPECT_EQ(resumed.total_rounds(), saved.total_rounds());
+  EXPECT_EQ(resumed.total_records(), saved.total_records());
+  EXPECT_EQ(resumed.turns_completed(), saved.turns_completed());
+  EXPECT_EQ(resumed.clock(), saved.clock());
+  std::remove(path.c_str());
+}
+
+TEST(CrawlFleetTest, RestoreRequiresFreshFleet) {
+  std::vector<std::string> images = ImagesAtEveryTurn(80);
+  ASSERT_FALSE(images.empty());
+  CrawlFleet used(CheckpointFleetSpecs(), CheckpointFleetOptions());
+  used.set_max_total_rounds(24);
+  ASSERT_TRUE(used.Run().ok());
+  Status status = DecodeFleetCheckpoint(images.back(), used);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CrawlFleetTest, ConfigMismatchIsCleanError) {
+  std::vector<std::string> images = ImagesAtEveryTurn(80);
+  ASSERT_FALSE(images.empty());
+  const std::string& image = images.back();
+
+  {  // different scheduler
+    FleetOptions options = CheckpointFleetOptions();
+    options.scheduler = SchedulerPolicy::kRoundRobin;
+    CrawlFleet fleet(CheckpointFleetSpecs(), options);
+    EXPECT_FALSE(DecodeFleetCheckpoint(image, fleet).ok());
+  }
+  {  // different chaos schedule
+    FleetOptions options = CheckpointFleetOptions();
+    options.chaos[0].end_turn += 1;
+    CrawlFleet fleet(CheckpointFleetSpecs(), options);
+    EXPECT_FALSE(DecodeFleetCheckpoint(image, fleet).ok());
+  }
+  {  // different source count
+    FleetOptions options = CheckpointFleetOptions();
+    std::vector<FleetSourceSpec> specs = CheckpointFleetSpecs();
+    specs.pop_back();
+    CrawlFleet fleet(std::move(specs), options);
+    EXPECT_FALSE(DecodeFleetCheckpoint(image, fleet).ok());
+  }
+  {  // different source name (order is part of the contract)
+    FleetOptions options = CheckpointFleetOptions();
+    std::vector<FleetSourceSpec> specs = CheckpointFleetSpecs();
+    std::swap(specs[0], specs[1]);
+    CrawlFleet fleet(std::move(specs), options);
+    Status status = DecodeFleetCheckpoint(image, fleet);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("source"), std::string::npos);
+  }
+}
+
+// --- adversarial-input sweeps (crawler_checkpoint_test.cc idiom) -----
+
+std::string SmallFleetImage() {
+  static const std::string* image = [] {
+    FleetOptions options = CheckpointFleetOptions();
+    options.max_total_rounds = 48;
+    CrawlFleet fleet(CheckpointFleetSpecs(), options);
+    StatusOr<FleetResult> partial = fleet.Run();
+    DEEPCRAWL_CHECK(partial.ok()) << partial.status().ToString();
+    StatusOr<std::string> encoded = EncodeFleetCheckpoint(fleet);
+    DEEPCRAWL_CHECK(encoded.ok()) << encoded.status().ToString();
+    return new std::string(std::move(*encoded));
+  }();
+  return *image;
+}
+
+Status TryDecodeFleet(const std::string& image) {
+  // Framing rejects (bad magic/version/size/checksum) need no fleet;
+  // constructing one per probe would dominate the sweeps below.
+  StatusOr<std::string_view> payload =
+      UnframeCheckpoint(image, kFleetCheckpointVersion);
+  if (!payload.ok()) return payload.status();
+  CrawlFleet fleet(CheckpointFleetSpecs(), CheckpointFleetOptions());
+  return DecodeFleetCheckpoint(image, fleet);
+}
+
+TEST(CrawlFleetTest, EveryCheckpointByteFlipIsRejected) {
+  std::string image = SmallFleetImage();
+  ASSERT_GT(image.size(), 24u);
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::string mangled = image;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0xFF);
+    Status status = TryDecodeFleet(mangled);
+    ASSERT_FALSE(status.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(CrawlFleetTest, CheckpointTruncationsAndTrailersAreRejected) {
+  std::string image = SmallFleetImage();
+  for (size_t len = 0; len < image.size(); ++len) {
+    ASSERT_FALSE(TryDecodeFleet(image.substr(0, len)).ok())
+        << "truncation to " << len << " was accepted";
+  }
+  EXPECT_FALSE(TryDecodeFleet(image + "junk").ok());
+}
+
+TEST(CrawlFleetTest, ForgedChecksumPayloadFlipsNeverCrash) {
+  std::string image = SmallFleetImage();
+  StatusOr<std::string_view> payload =
+      UnframeCheckpoint(image, kFleetCheckpointVersion);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  size_t step = payload->size() / 4096 + 1;
+  size_t probed = 0;
+  size_t rejected = 0;
+  for (size_t i = 0; i < payload->size(); i += step) {
+    std::string mutated(*payload);
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    std::string reframed = FrameCheckpoint(mutated, kFleetCheckpointVersion);
+    ++probed;
+    if (!TryDecodeFleet(reframed).ok()) ++rejected;
+  }
+  // Flips in a fingerprint field, marker, count, or range-checked value
+  // are caught; flips in bulk engine payload (record ids, frequencies)
+  // decode as different-but-valid data — that residue is exactly what
+  // the frame checksum covers. The contract here is no crash plus a
+  // still-substantial structural-rejection rate.
+  EXPECT_GT(rejected, probed / 3);
+
+  for (size_t len = 0; len < payload->size(); len += step * 7) {
+    std::string reframed =
+        FrameCheckpoint(payload->substr(0, len), kFleetCheckpointVersion);
+    ASSERT_FALSE(TryDecodeFleet(reframed).ok())
+        << "reframed truncation to " << len << " was accepted";
+  }
+}
+
+TEST(CrawlFleetTest, VersionMismatchIsRejected) {
+  std::string image = SmallFleetImage();
+  uint32_t bogus = kFleetCheckpointVersion + 1;
+  for (int b = 0; b < 4; ++b) {
+    image[4 + b] = static_cast<char>((bogus >> (8 * b)) & 0xFF);
+  }
+  Status status = TryDecodeFleet(image);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos)
+      << status.ToString();
+}
+
+// An engine checkpoint is never accepted as a fleet checkpoint: the two
+// live in different version namespaces.
+TEST(CrawlFleetTest, EngineCheckpointVersionIsRejected) {
+  std::string image = SmallFleetImage();
+  for (int b = 0; b < 4; ++b) {
+    image[4 + b] =
+        static_cast<char>((kCrawlCheckpointVersion >> (8 * b)) & 0xFF);
+  }
+  EXPECT_FALSE(TryDecodeFleet(image).ok());
+}
+
+// --- chaos schedule parsing ------------------------------------------
+
+TEST(CrawlFleetTest, ChaosSpecParses) {
+  StatusOr<ChaosSchedule> parsed =
+      ParseChaosSchedule("dead:1@6;ratelimit:2,3@10-20", 4);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[0],
+            (ChaosEvent{1, 6, 0, FaultAction::kUnavailable}));
+  EXPECT_EQ((*parsed)[1], (ChaosEvent{2, 10, 20, FaultAction::kRateLimit}));
+  EXPECT_EQ((*parsed)[2], (ChaosEvent{3, 10, 20, FaultAction::kRateLimit}));
+
+  EXPECT_TRUE(ParseChaosSchedule("", 1)->empty());
+  EXPECT_FALSE(ParseChaosSchedule("dead:9@0", 4).ok());   // bad source
+  EXPECT_FALSE(ParseChaosSchedule("dead:0@9-3", 4).ok());  // bad window
+  EXPECT_FALSE(ParseChaosSchedule("meteor:0@0", 4).ok());  // bad kind
+  EXPECT_FALSE(ParseChaosSchedule("dead:0", 4).ok());      // no window
+}
+
+TEST(CrawlFleetTest, ForcedActionLaterEventsOverride) {
+  ChaosSchedule schedule = {{0, 0, 10, FaultAction::kUnavailable},
+                            {0, 5, 8, FaultAction::kRateLimit}};
+  EXPECT_EQ(ForcedActionAt(schedule, 0, 4), FaultAction::kUnavailable);
+  EXPECT_EQ(ForcedActionAt(schedule, 0, 6), FaultAction::kRateLimit);
+  EXPECT_EQ(ForcedActionAt(schedule, 0, 9), FaultAction::kUnavailable);
+  EXPECT_EQ(ForcedActionAt(schedule, 0, 10), std::nullopt);
+  EXPECT_EQ(ForcedActionAt(schedule, 1, 4), std::nullopt);
+}
+
+}  // namespace
+}  // namespace deepcrawl

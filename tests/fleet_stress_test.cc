@@ -1,0 +1,163 @@
+// Fleet concurrency stress: a multi-threaded fleet under scripted chaos
+// bursts produces byte-identical output to the serial fleet — same
+// traces, same records (none lost, none duplicated), same breaker
+// transition accounting — because the thread count is wall-clock only
+// (DESIGN.md §11). Runs inside deepcrawl_concurrency_tests, so the TSan
+// pass in tools/check.sh executes the shared-executor path under a real
+// data-race detector.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/datagen/canned_workloads.h"
+#include "src/fleet/chaos.h"
+#include "src/fleet/crawl_fleet.h"
+#include "src/relation/types.h"
+
+namespace deepcrawl {
+namespace {
+
+constexpr uint32_t kSources = 4;
+
+std::vector<FleetSourceSpec> StressSpecs() {
+  FaultProfile background;
+  background.unavailable_rate = 0.05;
+  background.timeout_rate = 0.03;
+  background.rate_limit_rate = 0.02;
+  StatusOr<std::vector<FleetSourceSpec>> specs = MakeFleetSourceSpecs(
+      kSources, /*scale=*/0.004, /*target_coverage=*/0.9, background);
+  DEEPCRAWL_CHECK(specs.ok()) << specs.status().ToString();
+  for (FleetSourceSpec& spec : *specs) spec.num_seeds = 4;
+  return std::move(*specs);
+}
+
+FleetOptions StressOptions(uint32_t threads) {
+  FleetOptions options;
+  options.seed = 99;
+  options.threads = threads;
+  options.batch = 4;  // waves wide enough for the pool to matter
+  options.turn_rounds = 12;
+  options.chaos = HostileChaosSchedule(kSources);
+  options.retry.max_requeues = 16;
+  return options;
+}
+
+struct RunOutput {
+  std::string trace_csv;
+  uint64_t records = 0;
+  uint64_t rounds = 0;
+  uint64_t turns = 0;
+  uint64_t idle_ticks = 0;
+  std::vector<BreakerTransitions> breakers;
+  std::vector<SourceDegradation> reports;
+  // Per source: every harvested record id, in store slot order.
+  std::vector<std::vector<RecordId>> harvested;
+};
+
+RunOutput RunFleet(uint32_t threads) {
+  CrawlFleet fleet(StressSpecs(), StressOptions(threads));
+  StatusOr<FleetResult> result = fleet.Run();
+  DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
+
+  RunOutput out;
+  std::ostringstream csv;
+  DEEPCRAWL_CHECK(WriteFleetTraceCsv(*result, csv).ok());
+  out.trace_csv = csv.str();
+  out.records = result->merged.records;
+  out.rounds = result->merged.rounds;
+  out.turns = result->turns;
+  out.idle_ticks = result->idle_ticks;
+  for (uint32_t i = 0; i < fleet.num_sources(); ++i) {
+    out.breakers.push_back(fleet.breaker(i).transitions());
+    out.reports.push_back(result->sources[i].degradation);
+    std::vector<RecordId> ids;
+    const LocalStore& store = fleet.store(i);
+    for (uint32_t slot = 0; slot < store.num_records(); ++slot) {
+      ids.push_back(store.OriginalRecordId(slot));
+    }
+    out.harvested.push_back(std::move(ids));
+  }
+  return out;
+}
+
+TEST(FleetStressTest, SixteenThreadFleetMatchesSerialUnderChaos) {
+  RunOutput serial = RunFleet(1);
+  RunOutput parallel = RunFleet(16);
+
+  EXPECT_EQ(parallel.trace_csv, serial.trace_csv);
+  EXPECT_EQ(parallel.records, serial.records);
+  EXPECT_EQ(parallel.rounds, serial.rounds);
+  EXPECT_EQ(parallel.turns, serial.turns);
+  EXPECT_EQ(parallel.idle_ticks, serial.idle_ticks);
+  ASSERT_EQ(parallel.breakers.size(), serial.breakers.size());
+  for (size_t i = 0; i < serial.breakers.size(); ++i) {
+    EXPECT_EQ(parallel.breakers[i], serial.breakers[i]) << "source " << i;
+    EXPECT_EQ(parallel.reports[i], serial.reports[i]) << "source " << i;
+    // Same records, in the same store order: nothing lost to thread
+    // scheduling, nothing double-committed.
+    EXPECT_EQ(parallel.harvested[i], serial.harvested[i]) << "source " << i;
+  }
+}
+
+TEST(FleetStressTest, NoRecordLostOrDuplicatedUnderChaosBursts) {
+  RunOutput out = RunFleet(16);
+  uint64_t total = 0;
+  for (size_t i = 0; i < out.harvested.size(); ++i) {
+    // A store slot list with repeats would mean a double-committed
+    // record; the set collapses them and the sizes would diverge.
+    std::set<RecordId> distinct(out.harvested[i].begin(),
+                                out.harvested[i].end());
+    EXPECT_EQ(distinct.size(), out.harvested[i].size()) << "source " << i;
+    EXPECT_EQ(out.harvested[i].size(), out.reports[i].records_harvested)
+        << "source " << i;
+    total += out.harvested[i].size();
+  }
+  EXPECT_EQ(total, out.records);
+
+  // Graceful degradation under the hostile schedule: the permanently
+  // dead source is quarantined, every other source reaches its target.
+  for (size_t i = 0; i < out.reports.size(); ++i) {
+    if (i == 1) {
+      EXPECT_TRUE(out.reports[i].quarantined);
+      EXPECT_FALSE(out.reports[i].finished);
+    } else {
+      EXPECT_TRUE(out.reports[i].finished) << "source " << i;
+      EXPECT_EQ(out.reports[i].records_missing, 0u) << "source " << i;
+    }
+  }
+}
+
+// Checkpoint images taken by a parallel fleet restore into a serial one
+// (and vice versa): thread count is not part of the fleet fingerprint.
+TEST(FleetStressTest, CheckpointCrossesThreadCounts) {
+  FleetOptions options = StressOptions(16);
+  options.max_total_rounds = 96;
+  CrawlFleet parallel(StressSpecs(), options);
+  StatusOr<FleetResult> partial = parallel.Run();
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  StatusOr<std::string> image = EncodeFleetCheckpoint(parallel);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  // Reference: serial uninterrupted run to completion.
+  CrawlFleet reference(StressSpecs(), StressOptions(1));
+  StatusOr<FleetResult> full = reference.Run();
+  ASSERT_TRUE(full.ok());
+  std::ostringstream want;
+  ASSERT_TRUE(WriteFleetTraceCsv(*full, want).ok());
+
+  CrawlFleet resumed(StressSpecs(), StressOptions(1));
+  ASSERT_TRUE(DecodeFleetCheckpoint(*image, resumed).ok());
+  StatusOr<FleetResult> cont = resumed.Run();
+  ASSERT_TRUE(cont.ok()) << cont.status().ToString();
+  std::ostringstream got;
+  ASSERT_TRUE(WriteFleetTraceCsv(*cont, got).ok());
+  EXPECT_EQ(got.str(), want.str());
+}
+
+}  // namespace
+}  // namespace deepcrawl

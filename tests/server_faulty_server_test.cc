@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -277,6 +279,100 @@ TEST(FaultyServerTest, TransientProfileHelperSetsOnlyUnavailableRate) {
   EXPECT_DOUBLE_EQ(profile.duplicate_rate, 0.0);
   EXPECT_FALSE(profile.IsAllZero());
   EXPECT_TRUE(FaultProfile().IsAllZero());
+}
+
+// --- fleet support: derived per-source seeds and forced actions -------
+
+TEST(FaultyServerTest, DeriveSourceSeedIsDeterministicAndDistinct) {
+  EXPECT_EQ(FaultyServer::DeriveSourceSeed(42, 3),
+            FaultyServer::DeriveSourceSeed(42, 3));
+  std::set<uint64_t> seeds;
+  for (uint32_t id = 0; id < 64; ++id) {
+    seeds.insert(FaultyServer::DeriveSourceSeed(42, id));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+  // Different fleet seeds shift every source's stream.
+  EXPECT_NE(FaultyServer::DeriveSourceSeed(42, 0),
+            FaultyServer::DeriveSourceSeed(43, 0));
+}
+
+// Each source's fault stream is a pure function of (fleet_seed, id):
+// adding or removing sibling sources must not perturb it.
+TEST(FaultyServerTest, KeyedFaultStreamIsIndependentOfSiblings) {
+  Table table = HubTable(30);
+  FaultProfile profile = FaultProfile::Transient(0.3);
+
+  auto run = [&](uint64_t source_seed) {
+    WebDbServer backend(table, ServerOptions());
+    FaultyServer proxy(backend, profile, source_seed);
+    proxy.set_keyed_faults(true);
+    ValueId toyota = GetValueId(table, "Brand", "toyota");
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 60; ++i) {
+      outcomes.push_back(proxy.FetchPage(toyota, 0).ok());
+    }
+    return outcomes;
+  };
+
+  uint64_t source2 = FaultyServer::DeriveSourceSeed(7, 2);
+  EXPECT_EQ(run(source2), run(source2));
+  EXPECT_NE(run(source2), run(FaultyServer::DeriveSourceSeed(7, 1)));
+}
+
+TEST(FaultyServerTest, ForcedActionOverridesEveryFetch) {
+  Table table = HubTable(5);
+  WebDbServer backend(table, ServerOptions());
+  FaultyServer proxy(backend, FaultProfile(), /*seed=*/1);
+  proxy.set_forced_action(FaultAction::kUnavailable);
+  ValueId toyota = GetValueId(table, "Brand", "toyota");
+
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<ResultPage> page = proxy.FetchPage(toyota, 0);
+    ASSERT_FALSE(page.ok());
+    EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(backend.communication_rounds(), 0u);
+
+  // Forcing kNone pins the proxy fault-free even under a hostile profile.
+  WebDbServer backend2(table, ServerOptions());
+  FaultyServer always(backend2, FaultProfile::Transient(1.0), /*seed=*/1);
+  always.set_forced_action(FaultAction::kNone);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(always.FetchPage(toyota, 0).ok());
+  }
+}
+
+// Clearing the forced action resumes the keyed stream exactly where it
+// left off: the override consumes no randomness and advances no keyed
+// attempt counter, so the forced window is invisible to the stream.
+TEST(FaultyServerTest, ClearingForcedActionLeavesKeyedStreamUnperturbed) {
+  Table table = HubTable(30);
+  FaultProfile profile = FaultProfile::Transient(0.4);
+  ValueId toyota = GetValueId(table, "Brand", "toyota");
+
+  WebDbServer backend_a(table, ServerOptions());
+  FaultyServer forced(backend_a, profile, /*seed=*/5);
+  forced.set_keyed_faults(true);
+  // Witness issues only the unforced fetches.
+  WebDbServer backend_b(table, ServerOptions());
+  FaultyServer witness(backend_b, profile, /*seed=*/5);
+  witness.set_keyed_faults(true);
+
+  std::vector<bool> got, want;
+  for (int i = 0; i < 80; ++i) {
+    bool in_forced_window = i >= 20 && i < 40;
+    forced.set_forced_action(
+        in_forced_window ? std::optional<FaultAction>(FaultAction::kTimeout)
+                         : std::nullopt);
+    bool ok = forced.FetchPage(toyota, 0).ok();
+    if (in_forced_window) {
+      EXPECT_FALSE(ok) << "fetch " << i << " should be forced timeout";
+    } else {
+      got.push_back(ok);
+      want.push_back(witness.FetchPage(toyota, 0).ok());
+    }
+  }
+  EXPECT_EQ(got, want);
 }
 
 TEST(FaultyServerTest, FaultRatesApproximateProfileOverManyRounds) {

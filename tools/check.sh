@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification, five times over: the plain build, an ASan/UBSan
+# Tier-1 verification, six times over: the plain build, an ASan/UBSan
 # build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
-# baselines, and a kill/resume pass that SIGKILLs a checkpointing crawl
+# baselines, a kill/resume pass that SIGKILLs a checkpointing crawl
 # mid-run and proves the resumed crawl's trace is byte-identical to an
-# uninterrupted one.
+# uninterrupted one, and the same kill/resume differential against a
+# whole fleet crawling under scripted chaos.
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
 #
@@ -26,7 +27,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -35,7 +36,7 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/5: plain build (build/) ==="
+echo "=== pass 1/6: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
@@ -53,16 +54,16 @@ for arg in "$@"; do
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/5 skipped (--no-asan) ==="
+  echo "=== pass 2/6 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/5: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/6: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/5 skipped (--no-tsan) ==="
+  echo "=== pass 3/6 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/5: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/6: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -70,29 +71,32 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/5 skipped (--no-perf) ==="
+  echo "=== pass 4/6 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/5: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/6: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
-    --target bench_micro bench_parallel bench_mmmi_ablation
+    --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet
   ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
   ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
   ./build-perf/bench/bench_mmmi_ablation \
     --json=build-perf/BENCH_mmmi_ablation.json
+  ./build-perf/bench/bench_fleet --json=build-perf/BENCH_fleet.json
   python3 tools/bench_compare.py --max-regress 0.20 \
     --baseline BENCH_micro.json \
     --current build-perf/BENCH_micro.json \
     --baseline BENCH_parallel.json \
     --current build-perf/BENCH_parallel.json \
     --baseline BENCH_mmmi_ablation.json \
-    --current build-perf/BENCH_mmmi_ablation.json
+    --current build-perf/BENCH_mmmi_ablation.json \
+    --baseline BENCH_fleet.json \
+    --current build-perf/BENCH_fleet.json
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 5/5 skipped (--no-resume) ==="
+  echo "=== pass 5/6 skipped (--no-resume) ==="
 else
-  echo "=== pass 5/5: kill/resume checkpoint differential ==="
+  echo "=== pass 5/6: kill/resume checkpoint differential ==="
   # An uninterrupted reference crawl, then the same crawl slowed by
   # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
   # resume from its last surviving checkpoint must emit the exact same
@@ -128,6 +132,46 @@ else
     exit 1
   fi
   echo "kill/resume differential: traces byte-identical"
+fi
+
+if [[ "${skip_resume}" == 1 ]]; then
+  echo "=== pass 6/6 skipped (--no-resume) ==="
+else
+  echo "=== pass 6/6: fleet kill/resume under chaos ==="
+  # Pass 5 for the whole fleet: an uninterrupted 4-source fleet crawl
+  # under the hostile chaos schedule, then the same fleet slowed by
+  # simulated latency and checkpointing every turn, SIGKILLed mid-chaos;
+  # the resume from the last surviving whole-fleet checkpoint (breakers,
+  # token buckets, scheduler, every engine) must emit a byte-identical
+  # per-source trace CSV.
+  FLEET_DIR="$(mktemp -d)"
+  # Keep cleaning pass 5's dir too (one trap per signal).
+  trap 'rm -rf "${RESUME_DIR:-}" "${FLEET_DIR}"' EXIT
+  FLEET=./build/tools/deepcrawl_fleet
+  FLEET_ARGS=(--sources=4 --scale=0.004 --target-coverage=0.9 --seeds=8
+    --retry-requeues=16 --fault-profile=flaky --chaos=hostile --seed=42)
+  "${FLEET}" "${FLEET_ARGS[@]}" --trace-csv="${FLEET_DIR}/full.csv" \
+    > /dev/null
+  "${FLEET}" "${FLEET_ARGS[@]}" --threads=4 --latency-us=3000 \
+    --checkpoint="${FLEET_DIR}/fleet.ckpt" --checkpoint-every=1 \
+    > /dev/null 2>&1 &
+  FLEET_PID=$!
+  while [[ ! -s "${FLEET_DIR}/fleet.ckpt" ]]; do sleep 0.1; done
+  sleep 1
+  kill -9 "${FLEET_PID}" 2> /dev/null || true
+  wait "${FLEET_PID}" 2> /dev/null || true
+  if ! "${FLEET}" "${FLEET_ARGS[@]}" \
+      --resume-from="${FLEET_DIR}/fleet.ckpt" \
+      --trace-csv="${FLEET_DIR}/resumed.csv" > /dev/null; then
+    echo "fleet kill/resume FAILED: resume from checkpoint errored" >&2
+    exit 1
+  fi
+  if ! cmp -s "${FLEET_DIR}/full.csv" "${FLEET_DIR}/resumed.csv"; then
+    echo "fleet kill/resume FAILED: resumed trace differs from one-shot" >&2
+    diff "${FLEET_DIR}/full.csv" "${FLEET_DIR}/resumed.csv" | head -20 >&2
+    exit 1
+  fi
+  echo "fleet kill/resume differential: traces byte-identical"
 fi
 
 echo "all requested checks passed"
