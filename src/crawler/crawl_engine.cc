@@ -334,6 +334,17 @@ StatusOr<CrawlResult> CrawlEngine::Run() {
         if (slot_box.has_value()) continue;
         ValueId value = NextValue();
         if (value == kInvalidValueId) break;
+        if (selector_.MaySelectUndiscovered()) {
+          // Interface-driven selectors may issue a value before any
+          // result page revealed it; record it as seen so every id the
+          // crawl touched stays below seen_.size() (the checkpoint
+          // id-validation bound). The value is entering Lqueried, so a
+          // later sighting on a page must not re-announce it.
+          if (value >= seen_.size()) {
+            seen_.resize(static_cast<size_t>(value) + 1, 0);
+          }
+          seen_[value] = 1;
+        }
         Slot slot;
         slot.value = value;
         slot.outcome.value = value;

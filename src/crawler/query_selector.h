@@ -82,6 +82,15 @@ class QuerySelector {
   // Policy name for reports, e.g. "greedy-link".
   virtual std::string_view name() const = 0;
 
+  // True when SelectNext may return a value the crawl has not seen on
+  // any result page yet (interface-driven selection, e.g. the Sheng et
+  // al. rank hierarchy of optimal_selector.h). The engine then marks
+  // such values seen at issue time, keeping the checkpoint id-bound
+  // invariant (every id the crawl touched < seen-bitmap size) sound.
+  // Frontier-driven selectors keep the default: the engine's discovery
+  // path stays byte-identical for them.
+  virtual bool MaySelectUndiscovered() const { return false; }
+
   // --- checkpointing (see src/crawler/checkpoint.h) -------------------
   // Serializes/restores the selector's full decision state, such that a
   // restored selector continues the crawl bit-identically. LoadState is

@@ -1,0 +1,183 @@
+#include "src/datagen/adversarial_workload.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+// Hard caps so a fuzzed config cannot allocate unbounded memory.
+constexpr uint32_t kMaxBuckets = 1u << 15;
+constexpr uint32_t kMaxBucketRecords = 1u << 12;
+constexpr uint32_t kMaxDecoyWidth = 1u << 12;
+constexpr uint64_t kMaxTotalCells = 1ull << 24;
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+uint32_t Log2(uint32_t pow2) {
+  uint32_t log = 0;
+  while ((1u << log) < pow2) ++log;
+  return log;
+}
+
+std::string PadIndex(uint32_t index, uint32_t width) {
+  std::string digits = std::to_string(index);
+  if (digits.size() < width) {
+    digits.insert(digits.begin(), width - digits.size(), '0');
+  }
+  return digits;
+}
+
+std::string IntervalText(uint32_t lo, uint32_t hi, uint32_t pad) {
+  return "r" + PadIndex(lo, pad) + "-" + PadIndex(hi, pad);
+}
+
+}  // namespace
+
+StatusOr<AdversarialInstance> GenerateAdversarialInstance(
+    const AdversarialConfig& config) {
+  if (config.leaf_buckets == 0) {
+    return Status::InvalidArgument("leaf_buckets must be >= 1");
+  }
+  if (config.bucket_records == 0 ||
+      config.bucket_records > kMaxBucketRecords) {
+    return Status::InvalidArgument("bucket_records out of range");
+  }
+  if (config.decoy_width > kMaxDecoyWidth) {
+    return Status::InvalidArgument("decoy_width out of range");
+  }
+
+  bool trap = config.family == AdversarialFamily::kGreedyTrap;
+  uint64_t requested = static_cast<uint64_t>(config.leaf_buckets) +
+                       (trap ? config.decoy_buckets : 0);
+  if (requested > kMaxBuckets) {
+    return Status::InvalidArgument("bucket count out of range");
+  }
+  uint32_t buckets = RoundUpPow2(static_cast<uint32_t>(requested));
+  uint32_t depth = Log2(buckets);
+  uint32_t occupied = buckets;
+  if (!trap) {
+    if (config.occupied_leaves == 0 ||
+        config.occupied_leaves > config.leaf_buckets) {
+      return Status::InvalidArgument(
+          "occupied_leaves must be in [1, leaf_buckets]");
+    }
+    occupied = config.occupied_leaves;
+  }
+  uint32_t records_per_bucket = config.bucket_records;
+  uint64_t num_records =
+      static_cast<uint64_t>(occupied) * records_per_bucket;
+  uint64_t cells_per_record = static_cast<uint64_t>(depth) + 1 +
+                              (trap ? config.decoy_width + 2 : 0);
+  if (num_records * cells_per_record > kMaxTotalCells) {
+    return Status::InvalidArgument("instance too large");
+  }
+
+  Schema schema;
+  DEEPCRAWL_ASSIGN_OR_RETURN(
+      AttributeId rank_attr,
+      schema.AddAttribute("range", /*multi_valued=*/true));
+  DEEPCRAWL_ASSIGN_OR_RETURN(
+      AttributeId link_attr,
+      schema.AddAttribute("link", /*multi_valued=*/true));
+  DEEPCRAWL_ASSIGN_OR_RETURN(
+      AttributeId decoy_attr,
+      schema.AddAttribute("decoy", /*multi_valued=*/true));
+
+  AdversarialInstance instance{Table(std::move(schema))};
+  instance.rank_attribute = rank_attr;
+  instance.link_attribute = link_attr;
+  instance.decoy_attribute = decoy_attr;
+  instance.result_limit = records_per_bucket;
+  instance.total_buckets = buckets;
+  instance.total_intervals = 2 * buckets - 1;
+
+  // Seeded ghetto placement: a partial Fisher-Yates shuffle picks which
+  // buckets carry the decoy mass.
+  instance.is_ghetto.assign(trap ? buckets : 0, 0);
+  if (trap && config.decoy_buckets > 0) {
+    uint32_t ghetto = std::min(config.decoy_buckets, buckets);
+    std::vector<uint32_t> order(buckets);
+    for (uint32_t i = 0; i < buckets; ++i) order[i] = i;
+    Pcg32 rng(config.seed, /*stream=*/0xad5e);
+    for (uint32_t i = 0; i < ghetto; ++i) {
+      uint32_t j = i + rng.NextBounded(buckets - i);
+      std::swap(order[i], order[j]);
+      instance.is_ghetto[order[i]] = 1;
+    }
+  }
+
+  uint32_t pad = static_cast<uint32_t>(
+      std::to_string(buckets == 0 ? 0 : buckets - 1).size());
+  std::vector<Cell> cells;
+  for (uint32_t bucket = 0; bucket < occupied; ++bucket) {
+    bool ghetto = trap && instance.is_ghetto[bucket];
+    for (uint32_t j = 0; j < records_per_bucket; ++j) {
+      cells.clear();
+      // Full dyadic ancestor chain, root first: depth d covers
+      // buckets [lo, lo + width - 1] with width = B >> d.
+      for (uint32_t d = 0; d <= depth; ++d) {
+        uint32_t width = buckets >> d;
+        uint32_t lo = (bucket / width) * width;
+        cells.push_back(
+            Cell{rank_attr, IntervalText(lo, lo + width - 1, pad)});
+      }
+      if (trap) {
+        // Reachability stitching: link l<k> joins the last record of
+        // bucket k-1 to the first record of bucket k, so greedy can
+        // always discover the next bucket (finite, measurable cost).
+        if (j == 0 && bucket > 0) {
+          cells.push_back(Cell{link_attr, "l" + PadIndex(bucket, pad)});
+        }
+        if (j + 1 == records_per_bucket && bucket + 1 < buckets) {
+          cells.push_back(
+              Cell{link_attr, "l" + PadIndex(bucket + 1, pad)});
+        }
+      }
+      if (ghetto) {
+        for (uint32_t w = 0; w < config.decoy_width; ++w) {
+          cells.push_back(Cell{decoy_attr,
+                               "d" + std::to_string(bucket) + "-" +
+                                   std::to_string(j) + "-" +
+                                   std::to_string(w)});
+          ++instance.num_decoy_values;
+        }
+      }
+      DEEPCRAWL_RETURN_IF_ERROR(instance.table.AddRecord(cells).status());
+    }
+  }
+
+  // Intern the complete hierarchy — including intervals over empty
+  // buckets — so the crawler's interface knowledge covers the whole
+  // rank domain (a zero-match interval query is answerable, it just
+  // returns an empty page).
+  for (uint32_t d = 0; d <= depth; ++d) {
+    uint32_t width = buckets >> d;
+    for (uint32_t lo = 0; lo < buckets; lo += width) {
+      instance.table.mutable_catalog().Intern(
+          rank_attr, IntervalText(lo, lo + width - 1, pad));
+    }
+  }
+
+  instance.root_value = instance.table.catalog().Find(
+      rank_attr, IntervalText(0, buckets - 1, pad));
+  instance.leaf_values.reserve(buckets);
+  for (uint32_t bucket = 0; bucket < buckets; ++bucket) {
+    instance.leaf_values.push_back(
+        instance.table.catalog().Find(rank_attr,
+                                      IntervalText(bucket, bucket, pad)));
+  }
+  instance.num_records = num_records;
+  instance.opt_queries =
+      (num_records + records_per_bucket - 1) / records_per_bucket;
+  return instance;
+}
+
+}  // namespace deepcrawl

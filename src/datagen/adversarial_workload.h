@@ -1,0 +1,106 @@
+// Adversarial lower-bound instances for query selection (Sheng et al.,
+// arXiv 1208.0075; crawled by src/crawler/optimal_selector.h).
+//
+// Each instance partitions its records into B rank buckets of exactly
+// `bucket_records` (= L) records each, assigns record ids in rank order
+// (the simulated server returns lowest ids first, so retrieval order IS
+// rank order), and attaches to every record its full dyadic ancestor
+// chain as interval values `r<lo>-<hi>` on the queriable "range"
+// attribute. With the server's result limit set to L, any query
+// retrieves at most L records, so
+//
+//   OPT = ceil(n / L) = B
+//
+// exactly — the B leaf queries achieve it. That ground truth is what
+// the competitive-ratio property suite divides measured costs by.
+//
+// Families:
+//
+//   * kGreedyTrap — the greedy-is-ω(OPT) construction. A seeded subset
+//     of `decoy_buckets` buckets is "ghetto": each of their records
+//     additionally carries `decoy_width` (= W) unique frequency-1
+//     decoy values. Decoy degree ~ W + log B dominates the core leaf
+//     degree ~ log B, so greedy degree ranking drains every decoy
+//     (g * L * W queries, each returning one already-held record)
+//     before it touches the remaining core leaves: greedy pays
+//     Θ(g * L * W) = ω(OPT) when W scales with B, while the rank
+//     descent stays under 2B - 1 <= 2 * OPT. So that greedy CAN finish
+//     (the gap must be measurable, not infinite), consecutive buckets
+//     are stitched by frequency-2 "link" values — the last record of
+//     bucket k-1 and the first record of bucket k share link `l<k>`,
+//     keeping every bucket discoverable without shrinking the trap.
+//   * kSkewedChain — all records packed into the `occupied_leaves`
+//     lowest buckets of a B-bucket hierarchy whose remaining intervals
+//     are interned but empty. The descent pays a chain of overflowing
+//     ancestors plus zero-match probes of the empty siblings: cost
+//     O(OPT + log B) — the additive logarithmic term of hierarchical
+//     interfaces the paper accounts for, isolated for the tests.
+//
+// The generator is pure (Pcg32-seeded): identical configs give
+// bit-identical tables.
+
+#ifndef DEEPCRAWL_DATAGEN_ADVERSARIAL_WORKLOAD_H_
+#define DEEPCRAWL_DATAGEN_ADVERSARIAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/relation/table.h"
+#include "src/relation/types.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+enum class AdversarialFamily {
+  kGreedyTrap,
+  kSkewedChain,
+};
+
+struct AdversarialConfig {
+  AdversarialFamily family = AdversarialFamily::kGreedyTrap;
+  // Requested non-decoy buckets; total buckets round up to a power of
+  // two so the dyadic hierarchy is complete.
+  uint32_t leaf_buckets = 16;
+  // L: records per occupied bucket. The server's result_limit must be
+  // set to AdversarialInstance::result_limit (= L) for the OPT
+  // bookkeeping to hold.
+  uint32_t bucket_records = 8;
+  // kGreedyTrap: ghetto buckets g and decoys per ghetto record W.
+  uint32_t decoy_buckets = 4;
+  uint32_t decoy_width = 16;
+  // kSkewedChain: occupied lowest buckets (1 .. leaf_buckets).
+  uint32_t occupied_leaves = 2;
+  // Seeds the ghetto-bucket placement permutation.
+  uint64_t seed = 1;
+};
+
+struct AdversarialInstance {
+  explicit AdversarialInstance(Table t) : table(std::move(t)) {}
+
+  Table table;
+  AttributeId rank_attribute = kInvalidAttributeId;
+  AttributeId link_attribute = kInvalidAttributeId;
+  AttributeId decoy_attribute = kInvalidAttributeId;
+  // Root interval value r0-<B-1>; the canonical crawl seed.
+  ValueId root_value = kInvalidValueId;
+  // The server result limit the OPT bookkeeping assumes (= L).
+  uint32_t result_limit = 0;
+  uint64_t num_records = 0;
+  // Ground-truth minimum query count: ceil(num_records / result_limit).
+  uint64_t opt_queries = 0;
+  uint32_t total_buckets = 0;    // B (power of two)
+  uint32_t total_intervals = 0;  // hierarchy size, 2B - 1
+  uint64_t num_decoy_values = 0;
+  // Leaf interval value per bucket (interned even for empty buckets).
+  std::vector<ValueId> leaf_values;
+  // by bucket index; kGreedyTrap only, empty otherwise
+  std::vector<char> is_ghetto;
+};
+
+StatusOr<AdversarialInstance> GenerateAdversarialInstance(
+    const AdversarialConfig& config);
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_DATAGEN_ADVERSARIAL_WORKLOAD_H_

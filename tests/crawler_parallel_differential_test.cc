@@ -28,9 +28,11 @@
 #include "src/crawler/local_store.h"
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
+#include "src/crawler/optimal_selector.h"
 #include "src/crawler/parallel_crawler.h"
 #include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
+#include "src/datagen/adversarial_workload.h"
 #include "src/datagen/movie_domain.h"
 #include "src/server/faulty_server.h"
 #include "src/server/locked_interface.h"
@@ -65,19 +67,6 @@ FaultProfile ProfileByName(const std::string& name) {
   return profile;
 }
 
-std::unique_ptr<QuerySelector> MakeSelector(const std::string& policy,
-                                            const LocalStore& store) {
-  if (policy == "bfs") return std::make_unique<BfsSelector>();
-  if (policy == "dfs") return std::make_unique<DfsSelector>();
-  if (policy == "random") {
-    return std::make_unique<RandomSelector>(kSelectorSeed);
-  }
-  if (policy == "greedy") return std::make_unique<GreedyLinkSelector>(store);
-  if (policy == "mmmi") return std::make_unique<MmmiSelector>(store);
-  ADD_FAILURE() << "unknown policy " << policy;
-  return nullptr;
-}
-
 ValueId FirstQueriableSeed(const Table& table) {
   for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
     if (table.value_frequency(v) > 0) return v;
@@ -97,6 +86,78 @@ const Table& DifferentialTarget() {
     return new Table(std::move(pair->target));
   }();
   return *table;
+}
+
+// One crawl environment: target table, server knobs, and the canonical
+// seed value. The movie env is the original differential workload; the
+// adversarial env points the same sweeps at a greedy-trap instance so
+// the optimal selectors run their native hierarchy descent.
+struct Env {
+  const Table* target = nullptr;
+  ServerOptions server_options;
+  ValueId seed_value = kInvalidValueId;
+};
+
+Env MovieEnv() {
+  Env env;
+  env.target = &DifferentialTarget();
+  env.seed_value = FirstQueriableSeed(*env.target);
+  return env;
+}
+
+const AdversarialInstance& DifferentialTrap() {
+  static const AdversarialInstance* instance = [] {
+    AdversarialConfig config;
+    config.family = AdversarialFamily::kGreedyTrap;
+    config.leaf_buckets = 12;  // rounds to B = 16 with the decoys
+    config.bucket_records = 4;
+    config.decoy_buckets = 4;
+    config.decoy_width = 8;
+    config.seed = 3;
+    StatusOr<AdversarialInstance> generated =
+        GenerateAdversarialInstance(config);
+    DEEPCRAWL_CHECK(generated.ok()) << generated.status().ToString();
+    return new AdversarialInstance(std::move(generated).value());
+  }();
+  return *instance;
+}
+
+Env AdversarialEnv() {
+  const AdversarialInstance& instance = DifferentialTrap();
+  Env env;
+  env.target = &instance.table;
+  env.server_options.page_size = instance.result_limit;
+  env.server_options.result_limit = instance.result_limit;
+  env.seed_value = instance.root_value;
+  return env;
+}
+
+std::unique_ptr<QuerySelector> MakeSelector(const std::string& policy,
+                                            const LocalStore& store,
+                                            const Env& env) {
+  if (policy == "bfs") return std::make_unique<BfsSelector>();
+  if (policy == "dfs") return std::make_unique<DfsSelector>();
+  if (policy == "random") {
+    return std::make_unique<RandomSelector>(kSelectorSeed);
+  }
+  if (policy == "greedy") return std::make_unique<GreedyLinkSelector>(store);
+  if (policy == "mmmi") return std::make_unique<MmmiSelector>(store);
+  if (policy == "opt-rank" || policy == "opt-threshold") {
+    StatusOr<AttributeId> rank_attr =
+        env.target->schema().FindAttribute("range");
+    DEEPCRAWL_CHECK(rank_attr.ok()) << "env target has no rank attribute";
+    StatusOr<QueryHierarchy> hierarchy = QueryHierarchy::FromCatalog(
+        env.target->catalog(), rank_attr.value());
+    DEEPCRAWL_CHECK(hierarchy.ok()) << hierarchy.status().ToString();
+    OptimalSelectorOptions options;
+    options.mode = policy == "opt-rank" ? OptimalMode::kRank
+                                        : OptimalMode::kThreshold;
+    options.result_limit = env.server_options.result_limit;
+    return std::make_unique<RankOptimalSelector>(
+        store, std::move(hierarchy).value(), options);
+  }
+  ADD_FAILURE() << "unknown policy " << policy;
+  return nullptr;
 }
 
 CrawlOptions BaseOptions(const Table& target) {
@@ -126,10 +187,9 @@ RunOutput Capture(const CrawlResult& result, const LocalStore& store,
   return out;
 }
 
-RunOutput RunSerial(const std::string& policy, const std::string& profile_name,
-                    CrawlOptions options) {
-  const Table& target = DifferentialTarget();
-  WebDbServer backend(target, ServerOptions());
+RunOutput RunSerial(const Env& env, const std::string& policy,
+                    const std::string& profile_name, CrawlOptions options) {
+  WebDbServer backend(*env.target, env.server_options);
   FaultProfile profile = ProfileByName(profile_name);
   std::optional<FaultyServer> faulty;
   QueryInterface* server = &backend;
@@ -139,21 +199,20 @@ RunOutput RunSerial(const std::string& policy, const std::string& profile_name,
     server = &*faulty;
   }
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store, env);
   RetryPolicy retry((RetryPolicyConfig()));
   Crawler crawler(*server, *selector, store, options,
                   /*abort_policy=*/nullptr, &retry);
-  crawler.AddSeed(FirstQueriableSeed(target));
+  crawler.AddSeed(env.seed_value);
   StatusOr<CrawlResult> result = crawler.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
   return Capture(*result, store, crawler.clock().now());
 }
 
-RunOutput RunParallel(const std::string& policy,
+RunOutput RunParallel(const Env& env, const std::string& policy,
                       const std::string& profile_name, CrawlOptions options,
                       uint32_t threads, uint32_t batch) {
-  const Table& target = DifferentialTarget();
-  WebDbServer backend(target, ServerOptions());
+  WebDbServer backend(*env.target, env.server_options);
   FaultProfile profile = ProfileByName(profile_name);
   std::optional<FaultyServer> faulty;
   QueryInterface* direct = &backend;
@@ -164,12 +223,12 @@ RunOutput RunParallel(const std::string& policy,
   }
   LockedQueryInterface server(*direct);
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store, env);
   RetryPolicy retry((RetryPolicyConfig()));
   ParallelOptions parallel{threads, batch};
   ParallelCrawler crawler(server, *selector, store, options, parallel,
                           /*abort_policy=*/nullptr, &retry);
-  crawler.AddSeed(FirstQueriableSeed(target));
+  crawler.AddSeed(env.seed_value);
   StatusOr<CrawlResult> result = crawler.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
   return Capture(*result, store, crawler.clock().now());
@@ -191,13 +250,14 @@ void ExpectIdentical(const RunOutput& a, const RunOutput& b,
 // batch == 1: the parallel engine must reproduce the serial crawler
 // bit-for-bit, for every selector, fault profile, and thread count.
 TEST(ParallelCrawlerDifferentialTest, SerialEquivalenceAllPolicies) {
+  const Env env = MovieEnv();
   for (const char* policy : kPolicies) {
     for (const char* profile : kProfiles) {
       CrawlOptions options = BaseOptions(DifferentialTarget());
-      RunOutput serial = RunSerial(policy, profile, options);
+      RunOutput serial = RunSerial(env, policy, profile, options);
       for (uint32_t threads : {1u, 4u, 8u}) {
         RunOutput parallel =
-            RunParallel(policy, profile, options, threads, /*batch=*/1);
+            RunParallel(env, policy, profile, options, threads, /*batch=*/1);
         ExpectIdentical(serial, parallel,
                         std::string(policy) + "/" + profile + "/threads=" +
                             std::to_string(threads));
@@ -209,14 +269,15 @@ TEST(ParallelCrawlerDifferentialTest, SerialEquivalenceAllPolicies) {
 // batch == 4: thread count is an execution detail — outputs at 1, 4,
 // and 8 threads must be identical to each other.
 TEST(ParallelCrawlerDifferentialTest, ThreadCountInvarianceBatch4) {
+  const Env env = MovieEnv();
   for (const char* policy : kPolicies) {
     for (const char* profile : kProfiles) {
       CrawlOptions options = BaseOptions(DifferentialTarget());
-      RunOutput reference =
-          RunParallel(policy, profile, options, /*threads=*/1, /*batch=*/4);
+      RunOutput reference = RunParallel(env, policy, profile, options,
+                                        /*threads=*/1, /*batch=*/4);
       for (uint32_t threads : {4u, 8u}) {
         RunOutput other =
-            RunParallel(policy, profile, options, threads, /*batch=*/4);
+            RunParallel(env, policy, profile, options, threads, /*batch=*/4);
         ExpectIdentical(reference, other,
                         std::string(policy) + "/" + profile + "/threads=" +
                             std::to_string(threads));
@@ -230,9 +291,10 @@ TEST(ParallelCrawlerDifferentialTest, ThreadCountInvarianceBatch4) {
 // drain at a time), but never the outcome of an exhaustive crawl: the
 // final coverage, round count, and query count all match serial.
 TEST(ParallelCrawlerDifferentialTest, BfsBatchedReachesSerialCoverage) {
+  const Env env = MovieEnv();
   CrawlOptions options = BaseOptions(DifferentialTarget());
-  RunOutput serial = RunSerial("bfs", "none", options);
-  RunOutput batched = RunParallel("bfs", "none", options, /*threads=*/4,
+  RunOutput serial = RunSerial(env, "bfs", "none", options);
+  RunOutput batched = RunParallel(env, "bfs", "none", options, /*threads=*/4,
                                   /*batch=*/4);
   EXPECT_EQ(batched.result.stop_reason, StopReason::kFrontierExhausted);
   EXPECT_EQ(batched.result.records, serial.result.records);
@@ -251,24 +313,26 @@ TEST(ParallelCrawlerDifferentialTest, BfsBatchedReachesSerialCoverage) {
 // Keyword-interface crawls flow through FetchPageKeywordOf; the
 // equivalence must hold there too.
 TEST(ParallelCrawlerDifferentialTest, KeywordModeEquivalence) {
+  const Env env = MovieEnv();
   CrawlOptions options = BaseOptions(DifferentialTarget());
   options.use_keyword_interface = true;
-  RunOutput serial = RunSerial("greedy", "flaky", options);
+  RunOutput serial = RunSerial(env, "greedy", "flaky", options);
   RunOutput parallel =
-      RunParallel("greedy", "flaky", options, /*threads=*/4, /*batch=*/1);
+      RunParallel(env, "greedy", "flaky", options, /*threads=*/4, /*batch=*/1);
   ExpectIdentical(serial, parallel, "keyword/greedy/flaky");
 }
 
 // Round-budget semantics: a target and a budget must stop both engines
 // at the same point with the same stop reason.
 TEST(ParallelCrawlerDifferentialTest, BudgetAndTargetStops) {
+  const Env env = MovieEnv();
   for (uint64_t max_rounds : {25u, 120u}) {
     CrawlOptions options = BaseOptions(DifferentialTarget());
     options.max_rounds = max_rounds;
     options.target_records = 150;
-    RunOutput serial = RunSerial("greedy", "hostile", options);
-    RunOutput parallel =
-        RunParallel("greedy", "hostile", options, /*threads=*/4, /*batch=*/1);
+    RunOutput serial = RunSerial(env, "greedy", "hostile", options);
+    RunOutput parallel = RunParallel(env, "greedy", "hostile", options,
+                                     /*threads=*/4, /*batch=*/1);
     ExpectIdentical(serial, parallel,
                     "budget=" + std::to_string(max_rounds));
   }
@@ -279,11 +343,12 @@ TEST(ParallelCrawlerDifferentialTest, BudgetAndTargetStops) {
 // parked slots resume with no page re-fetched and no record
 // double-counted, at any batch size.
 TEST(ParallelCrawlerDifferentialTest, SlicedRunsResumeExactly) {
+  const Env env = MovieEnv();
   const Table& target = DifferentialTarget();
   CrawlOptions options = BaseOptions(target);
 
   RunOutput one_shot =
-      RunParallel("greedy", "flaky", options, /*threads=*/4, /*batch=*/3);
+      RunParallel(env, "greedy", "flaky", options, /*threads=*/4, /*batch=*/3);
 
   WebDbServer backend(target, ServerOptions());
   FaultProfile profile = ProfileByName("flaky");
@@ -291,7 +356,7 @@ TEST(ParallelCrawlerDifferentialTest, SlicedRunsResumeExactly) {
   faulty.set_keyed_faults(true);
   LockedQueryInterface server(faulty);
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector = MakeSelector("greedy", store);
+  std::unique_ptr<QuerySelector> selector = MakeSelector("greedy", store, env);
   RetryPolicy retry((RetryPolicyConfig()));
   ParallelCrawler crawler(server, *selector, store, options,
                           ParallelOptions{4, 3}, nullptr, &retry);
@@ -338,12 +403,11 @@ struct InstrumentedRun {
   std::vector<std::string> images;
 };
 
-InstrumentedRun RunWithCheckpoints(const std::string& policy,
+InstrumentedRun RunWithCheckpoints(const Env& env, const std::string& policy,
                                    const std::string& profile_name,
                                    CrawlOptions options, uint32_t threads,
                                    uint32_t batch, uint64_t every) {
-  const Table& target = DifferentialTarget();
-  WebDbServer backend(target, ServerOptions());
+  WebDbServer backend(*env.target, env.server_options);
   FaultProfile profile = ProfileByName(profile_name);
   std::optional<FaultyServer> faulty;
   QueryInterface* direct = &backend;
@@ -359,7 +423,7 @@ InstrumentedRun RunWithCheckpoints(const std::string& policy,
     server = &*locked;
   }
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store, env);
   RetryPolicy retry((RetryPolicyConfig()));
   InstrumentedRun run;
   const FaultyServer* faulty_ptr = faulty ? &*faulty : nullptr;
@@ -376,7 +440,7 @@ InstrumentedRun RunWithCheckpoints(const std::string& policy,
   };
   CrawlEngine engine(*server, *selector, store, options, engine_options,
                      /*abort_policy=*/nullptr, &retry);
-  engine.AddSeed(FirstQueriableSeed(target));
+  engine.AddSeed(env.seed_value);
   StatusOr<CrawlResult> result = engine.Run();
   DEEPCRAWL_CHECK(result.ok()) << result.status().ToString();
   run.output = Capture(*result, store, engine.clock().now());
@@ -384,12 +448,12 @@ InstrumentedRun RunWithCheckpoints(const std::string& policy,
 }
 
 // Restores `image` into a freshly built stack and runs to completion.
-RunOutput ResumeFromImage(const std::string& image, const std::string& policy,
+RunOutput ResumeFromImage(const Env& env, const std::string& image,
+                          const std::string& policy,
                           const std::string& profile_name,
                           CrawlOptions options, uint32_t threads,
                           uint32_t batch) {
-  const Table& target = DifferentialTarget();
-  WebDbServer backend(target, ServerOptions());
+  WebDbServer backend(*env.target, env.server_options);
   FaultProfile profile = ProfileByName(profile_name);
   std::optional<FaultyServer> faulty;
   QueryInterface* direct = &backend;
@@ -405,7 +469,7 @@ RunOutput ResumeFromImage(const std::string& image, const std::string& policy,
     server = &*locked;
   }
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store);
+  std::unique_ptr<QuerySelector> selector = MakeSelector(policy, store, env);
   RetryPolicy retry((RetryPolicyConfig()));
   EngineOptions engine_options;
   engine_options.threads = threads;
@@ -435,23 +499,24 @@ TEST(ParallelCrawlerDifferentialTest, CheckpointEveryWaveResumesIdentically) {
     uint32_t threads;
     uint32_t batch;
   };
+  const Env env = MovieEnv();
   for (const Config& config : {Config{1, 1}, Config{8, 8}}) {
     CrawlOptions options = BaseOptions(DifferentialTarget());
     InstrumentedRun reference =
-        RunWithCheckpoints("greedy", "flaky", options, config.threads,
+        RunWithCheckpoints(env, "greedy", "flaky", options, config.threads,
                            config.batch, /*every=*/1);
     // The checkpoint sink is pure instrumentation: the instrumented run
     // matches a plain one-shot run.
     RunOutput plain = config.batch == 1
-                          ? RunSerial("greedy", "flaky", options)
-                          : RunParallel("greedy", "flaky", options,
+                          ? RunSerial(env, "greedy", "flaky", options)
+                          : RunParallel(env, "greedy", "flaky", options,
                                         config.threads, config.batch);
     ExpectIdenticalWithCsv(plain, reference.output, "instrumented-vs-plain");
     ASSERT_FALSE(reference.images.empty());
     for (size_t i = 0; i < reference.images.size(); ++i) {
       RunOutput resumed =
-          ResumeFromImage(reference.images[i], "greedy", "flaky", options,
-                          config.threads, config.batch);
+          ResumeFromImage(env, reference.images[i], "greedy", "flaky",
+                          options, config.threads, config.batch);
       ExpectIdenticalWithCsv(
           reference.output, resumed,
           "threads=" + std::to_string(config.threads) + "/batch=" +
@@ -468,6 +533,7 @@ TEST(ParallelCrawlerDifferentialTest, CheckpointMatrixResumesIdentically) {
     uint32_t threads;
     uint32_t batch;
   };
+  const Env env = MovieEnv();
   for (const char* policy : kPolicies) {
     for (const char* profile : kProfiles) {
       for (const Config& config : {Config{1, 1}, Config{8, 8}}) {
@@ -479,15 +545,15 @@ TEST(ParallelCrawlerDifferentialTest, CheckpointMatrixResumesIdentically) {
         // crawl after a single wave (a truncated seed page kills the BFS
         // frontier), and the run must still produce a checkpoint.
         InstrumentedRun reference = RunWithCheckpoints(
-            policy, profile, options, config.threads, config.batch,
+            env, policy, profile, options, config.threads, config.batch,
             /*every=*/1);
         ASSERT_FALSE(reference.images.empty());
         size_t last = reference.images.size() - 1;
         std::set<size_t> picks = {0, last / 2, last};
         for (size_t i : picks) {
           RunOutput resumed =
-              ResumeFromImage(reference.images[i], policy, profile, options,
-                              config.threads, config.batch);
+              ResumeFromImage(env, reference.images[i], policy, profile,
+                              options, config.threads, config.batch);
           ExpectIdenticalWithCsv(
               reference.output, resumed,
               std::string(policy) + "/" + profile + "/threads=" +
@@ -504,15 +570,17 @@ TEST(ParallelCrawlerDifferentialTest, CheckpointMatrixResumesIdentically) {
 // thread count (threads are wall-clock only and deliberately not part
 // of the checkpoint fingerprint); the output must not change.
 TEST(ParallelCrawlerDifferentialTest, CheckpointResumesAcrossThreadCounts) {
+  const Env env = MovieEnv();
   CrawlOptions options = BaseOptions(DifferentialTarget());
   InstrumentedRun reference = RunWithCheckpoints(
-      "mmmi", "hostile", options, /*threads=*/8, /*batch=*/4, /*every=*/5);
+      env, "mmmi", "hostile", options, /*threads=*/8, /*batch=*/4,
+      /*every=*/5);
   ASSERT_FALSE(reference.images.empty());
   const std::string& image =
       reference.images[reference.images.size() / 2];
   for (uint32_t threads : {1u, 2u, 8u}) {
-    RunOutput resumed = ResumeFromImage(image, "mmmi", "hostile", options,
-                                        threads, /*batch=*/4);
+    RunOutput resumed = ResumeFromImage(env, image, "mmmi", "hostile",
+                                        options, threads, /*batch=*/4);
     ExpectIdenticalWithCsv(reference.output, resumed,
                            "resume-threads=" + std::to_string(threads));
   }
@@ -527,7 +595,8 @@ TEST(ParallelCrawlerDifferentialTest, AbortPolicyEquivalence) {
     WebDbServer backend(target, ServerOptions());
     LockedQueryInterface locked(backend);
     LocalStore store;
-    std::unique_ptr<QuerySelector> selector = MakeSelector("greedy", store);
+    std::unique_ptr<QuerySelector> selector =
+        MakeSelector("greedy", store, MovieEnv());
     CountBasedAbort abort_policy(/*min_harvest_rate=*/2.0);
     StatusOr<CrawlResult> result = Status::Internal("never ran");
     uint64_t ticks = 0;
@@ -549,6 +618,80 @@ TEST(ParallelCrawlerDifferentialTest, AbortPolicyEquivalence) {
   };
 
   ExpectIdentical(run(false), run(true), "count-abort");
+}
+
+// --- optimal-selector determinism on the adversarial env -------------
+//
+// The Sheng et al. selectors keep extra mutable state (descent queue,
+// per-node status/count arrays); the same contracts that hold for the
+// classic selectors must hold for them: batch == 1 parallel is
+// bit-identical to serial, thread count never matters, and every
+// checkpoint resumes into the exact one-shot output via the SELC
+// section round-trip.
+
+TEST(ParallelCrawlerDifferentialTest, OptimalSerialEquivalenceAllProfiles) {
+  const Env env = AdversarialEnv();
+  for (const char* policy : {"opt-rank", "opt-threshold"}) {
+    for (const char* profile : kProfiles) {
+      CrawlOptions options;
+      RunOutput serial = RunSerial(env, policy, profile, options);
+      for (uint32_t threads : {1u, 4u, 8u}) {
+        RunOutput parallel =
+            RunParallel(env, policy, profile, options, threads, /*batch=*/1);
+        ExpectIdentical(serial, parallel,
+                        std::string(policy) + "/" + profile + "/threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelCrawlerDifferentialTest, OptimalThreadInvarianceBatch4) {
+  const Env env = AdversarialEnv();
+  for (const char* policy : {"opt-rank", "opt-threshold"}) {
+    for (const char* profile : kProfiles) {
+      CrawlOptions options;
+      RunOutput reference = RunParallel(env, policy, profile, options,
+                                        /*threads=*/1, /*batch=*/4);
+      for (uint32_t threads : {4u, 8u}) {
+        RunOutput other =
+            RunParallel(env, policy, profile, options, threads, /*batch=*/4);
+        ExpectIdentical(reference, other,
+                        std::string(policy) + "/" + profile + "/threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelCrawlerDifferentialTest,
+     OptimalCheckpointEveryWaveResumesIdentically) {
+  struct Config {
+    uint32_t threads;
+    uint32_t batch;
+  };
+  const Env env = AdversarialEnv();
+  for (const char* policy : {"opt-rank", "opt-threshold"}) {
+    for (const Config& config : {Config{1, 1}, Config{8, 4}}) {
+      CrawlOptions options;
+      SCOPED_TRACE(std::string(policy) + "/threads=" +
+                   std::to_string(config.threads) + "/batch=" +
+                   std::to_string(config.batch));
+      InstrumentedRun reference =
+          RunWithCheckpoints(env, policy, "flaky", options, config.threads,
+                             config.batch, /*every=*/1);
+      ASSERT_FALSE(reference.images.empty());
+      size_t last = reference.images.size() - 1;
+      std::set<size_t> picks = {0, last / 2, last};
+      for (size_t i : picks) {
+        RunOutput resumed =
+            ResumeFromImage(env, reference.images[i], policy, "flaky",
+                            options, config.threads, config.batch);
+        ExpectIdenticalWithCsv(reference.output, resumed,
+                               "image=" + std::to_string(i));
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// Structural invariants and fuzzing for the adversarial lower-bound
+// generator (src/datagen/adversarial_workload.h): dyadic ancestor
+// chains with exact interval frequencies, rank-ordered record ids,
+// decoy/link placement, the OPT ground truth, determinism, and
+// graceful rejection of hostile configurations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/crawler/optimal_selector.h"
+#include "src/datagen/adversarial_workload.h"
+#include "src/server/web_db_server.h"
+
+namespace deepcrawl {
+namespace {
+
+AdversarialConfig TrapConfig() {
+  AdversarialConfig config;
+  config.family = AdversarialFamily::kGreedyTrap;
+  config.leaf_buckets = 12;
+  config.bucket_records = 4;
+  config.decoy_buckets = 4;
+  config.decoy_width = 8;
+  config.seed = 3;
+  return config;
+}
+
+AdversarialInstance Generate(const AdversarialConfig& config) {
+  StatusOr<AdversarialInstance> instance =
+      GenerateAdversarialInstance(config);
+  DEEPCRAWL_CHECK(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+// Interval text as the generator spells it: indices zero-padded to the
+// width of the largest bucket index.
+std::string IntervalText(uint32_t lo, uint32_t hi, uint32_t buckets) {
+  uint32_t pad =
+      static_cast<uint32_t>(std::to_string(buckets - 1).size());
+  auto padded = [pad](uint32_t index) {
+    std::string digits = std::to_string(index);
+    if (digits.size() < pad) {
+      digits.insert(digits.begin(), pad - digits.size(), '0');
+    }
+    return digits;
+  };
+  return "r" + padded(lo) + "-" + padded(hi);
+}
+
+TEST(DatagenAdversarialTest, TrapGroundTruthAndShape) {
+  AdversarialInstance trap = Generate(TrapConfig());
+  // 12 + 4 buckets round up to B = 16; every bucket is occupied.
+  EXPECT_EQ(trap.total_buckets, 16u);
+  EXPECT_EQ(trap.total_intervals, 31u);  // 2B - 1
+  EXPECT_EQ(trap.num_records, 16u * 4u);
+  EXPECT_EQ(trap.result_limit, 4u);
+  EXPECT_EQ(trap.opt_queries, 16u);  // ceil(64 / 4) = B exactly
+  EXPECT_EQ(trap.table.num_records(), trap.num_records);
+  ASSERT_EQ(trap.leaf_values.size(), 16u);
+  for (ValueId leaf : trap.leaf_values) {
+    EXPECT_NE(leaf, kInvalidValueId);
+  }
+  EXPECT_NE(trap.root_value, kInvalidValueId);
+  ASSERT_EQ(trap.is_ghetto.size(), 16u);
+  uint32_t ghetto = 0;
+  for (char flag : trap.is_ghetto) ghetto += flag != 0;
+  EXPECT_EQ(ghetto, 4u);
+  EXPECT_EQ(trap.num_decoy_values, 4u * 4u * 8u);  // g * L * W
+}
+
+TEST(DatagenAdversarialTest, TrapIntervalFrequenciesMatchWidths) {
+  AdversarialInstance trap = Generate(TrapConfig());
+  const uint32_t buckets = trap.total_buckets;
+  // Every record carries its full ancestor chain, so the interval
+  // [lo, lo + width - 1] holds exactly width * L records.
+  for (uint32_t width = 1; width <= buckets; width *= 2) {
+    for (uint32_t lo = 0; lo < buckets; lo += width) {
+      ValueId v = trap.table.catalog().Find(
+          trap.rank_attribute,
+          IntervalText(lo, lo + width - 1, buckets));
+      ASSERT_NE(v, kInvalidValueId) << "interval [" << lo << ", "
+                                    << lo + width - 1 << "]";
+      EXPECT_EQ(trap.table.value_frequency(v), width * 4u);
+    }
+  }
+}
+
+TEST(DatagenAdversarialTest, TrapDecoyAndLinkPlacement) {
+  AdversarialInstance trap = Generate(TrapConfig());
+  // Decoys: frequency 1, only on ghetto-bucket records.
+  uint32_t first_ghetto = 0;
+  while (first_ghetto < trap.is_ghetto.size() &&
+         !trap.is_ghetto[first_ghetto]) {
+    ++first_ghetto;
+  }
+  ASSERT_LT(first_ghetto, trap.is_ghetto.size());
+  for (uint32_t w = 0; w < 8; ++w) {
+    ValueId decoy = trap.table.catalog().Find(
+        trap.decoy_attribute, "d" + std::to_string(first_ghetto) + "-0-" +
+                                  std::to_string(w));
+    ASSERT_NE(decoy, kInvalidValueId);
+    EXPECT_EQ(trap.table.value_frequency(decoy), 1u);
+  }
+  // Links: l<k> stitches buckets k-1 and k, frequency exactly 2, so
+  // greedy can always reach the next bucket but gains nothing from it.
+  for (uint32_t k = 1; k < trap.total_buckets; ++k) {
+    std::string text = "l" + std::to_string(k);
+    if (text.size() < 3) text.insert(1, 1, '0');  // pad matches buckets
+    ValueId link = trap.table.catalog().Find(trap.link_attribute, text);
+    ASSERT_NE(link, kInvalidValueId) << text;
+    EXPECT_EQ(trap.table.value_frequency(link), 2u);
+  }
+}
+
+TEST(DatagenAdversarialTest, RecordIdsFollowRankOrder) {
+  AdversarialInstance trap = Generate(TrapConfig());
+  // The server returns lowest record ids first and the generator
+  // assigns ids in bucket order, so a leaf query retrieves exactly its
+  // bucket's L consecutive ids — the property the right-before-left
+  // count arithmetic of the rank descent relies on.
+  WebDbServer server(trap.table, ServerOptions());
+  for (uint32_t bucket = 0; bucket < trap.total_buckets; ++bucket) {
+    StatusOr<ResultPage> page =
+        server.FetchPage(trap.leaf_values[bucket], 0);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    ASSERT_EQ(page->records.size(), 4u);
+    for (uint32_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(page->records[j].id, bucket * 4u + j);
+    }
+  }
+}
+
+TEST(DatagenAdversarialTest, HierarchyParsesBackFromCatalog) {
+  AdversarialInstance trap = Generate(TrapConfig());
+  StatusOr<QueryHierarchy> hierarchy = QueryHierarchy::FromCatalog(
+      trap.table.catalog(), trap.rank_attribute);
+  ASSERT_TRUE(hierarchy.ok()) << hierarchy.status().ToString();
+  EXPECT_EQ(hierarchy->num_nodes(), trap.total_intervals);
+  ASSERT_EQ(hierarchy->roots().size(), 1u);
+  const QueryHierarchy::Node& root =
+      hierarchy->node(hierarchy->roots()[0]);
+  EXPECT_EQ(root.value, trap.root_value);
+  EXPECT_EQ(root.lo, 0u);
+  EXPECT_EQ(root.hi, trap.total_buckets - 1);
+}
+
+TEST(DatagenAdversarialTest, SkewedChainOccupiesLowestLeaves) {
+  AdversarialConfig config;
+  config.family = AdversarialFamily::kSkewedChain;
+  config.leaf_buckets = 32;
+  config.bucket_records = 4;
+  config.occupied_leaves = 3;
+  AdversarialInstance skew = Generate(config);
+  EXPECT_EQ(skew.total_buckets, 32u);
+  EXPECT_EQ(skew.num_records, 12u);
+  EXPECT_EQ(skew.opt_queries, 3u);
+  EXPECT_TRUE(skew.is_ghetto.empty());
+  EXPECT_EQ(skew.num_decoy_values, 0u);
+  ASSERT_EQ(skew.leaf_values.size(), 32u);
+  for (uint32_t bucket = 0; bucket < 32; ++bucket) {
+    // Empty leaves are still interned (the crawler's interface
+    // knowledge covers the whole domain) but hold zero records.
+    ASSERT_NE(skew.leaf_values[bucket], kInvalidValueId);
+    EXPECT_EQ(skew.table.value_frequency(skew.leaf_values[bucket]),
+              bucket < 3 ? 4u : 0u);
+  }
+}
+
+TEST(DatagenAdversarialTest, IdenticalConfigsGenerateIdenticalInstances) {
+  AdversarialInstance a = Generate(TrapConfig());
+  AdversarialInstance b = Generate(TrapConfig());
+  EXPECT_EQ(a.is_ghetto, b.is_ghetto);
+  EXPECT_EQ(a.leaf_values, b.leaf_values);
+  EXPECT_EQ(a.root_value, b.root_value);
+  ASSERT_EQ(a.table.num_distinct_values(), b.table.num_distinct_values());
+  for (ValueId v = 0; v < a.table.num_distinct_values(); ++v) {
+    ASSERT_EQ(a.table.value_frequency(v), b.table.value_frequency(v))
+        << "value " << v;
+  }
+  // A different seed moves the ghetto placement.
+  AdversarialConfig moved = TrapConfig();
+  moved.seed = 4;
+  AdversarialInstance c = Generate(moved);
+  EXPECT_NE(a.is_ghetto, c.is_ghetto);
+}
+
+// Configuration fuzz: every config either generates a consistent
+// instance or fails with a clean InvalidArgument — never a crash and
+// never an unbounded allocation (the generator's hard caps).
+TEST(DatagenAdversarialTest, ConfigFuzzSweep) {
+  const uint32_t leaf_options[] = {0, 1, 2, 5, 16, 100, 40000};
+  const uint32_t record_options[] = {0, 1, 4, 5000};
+  const uint32_t width_options[] = {0, 8, 5000};
+  const uint32_t occupied_options[] = {0, 1, 5};
+  int generated = 0;
+  int rejected = 0;
+  for (int family = 0; family < 2; ++family) {
+    for (uint32_t leaves : leaf_options) {
+      for (uint32_t records : record_options) {
+        for (uint32_t width : width_options) {
+          for (uint32_t occupied : occupied_options) {
+            AdversarialConfig config;
+            config.family = family == 0 ? AdversarialFamily::kGreedyTrap
+                                        : AdversarialFamily::kSkewedChain;
+            config.leaf_buckets = leaves;
+            config.bucket_records = records;
+            config.decoy_buckets = leaves / 4;
+            config.decoy_width = width;
+            config.occupied_leaves = occupied;
+            config.seed = 11;
+            StatusOr<AdversarialInstance> instance =
+                GenerateAdversarialInstance(config);
+            SCOPED_TRACE("family=" + std::to_string(family) +
+                         " leaves=" + std::to_string(leaves) +
+                         " records=" + std::to_string(records) +
+                         " width=" + std::to_string(width) +
+                         " occupied=" + std::to_string(occupied));
+            if (!instance.ok()) {
+              ++rejected;
+              EXPECT_EQ(instance.status().code(),
+                        StatusCode::kInvalidArgument);
+              continue;
+            }
+            ++generated;
+            const AdversarialInstance& inst = *instance;
+            // Power-of-two bucket count with the full hierarchy.
+            EXPECT_EQ(inst.total_buckets & (inst.total_buckets - 1), 0u);
+            EXPECT_EQ(inst.total_intervals, 2 * inst.total_buckets - 1);
+            EXPECT_EQ(inst.leaf_values.size(), inst.total_buckets);
+            EXPECT_EQ(inst.table.num_records(), inst.num_records);
+            EXPECT_EQ(inst.result_limit, records);
+            EXPECT_EQ(inst.opt_queries,
+                      (inst.num_records + records - 1) / records);
+            EXPECT_NE(inst.root_value, kInvalidValueId);
+            StatusOr<QueryHierarchy> hierarchy =
+                QueryHierarchy::FromCatalog(inst.table.catalog(),
+                                            inst.rank_attribute);
+            ASSERT_TRUE(hierarchy.ok()) << hierarchy.status().ToString();
+            EXPECT_EQ(hierarchy->num_nodes(), inst.total_intervals);
+          }
+        }
+      }
+    }
+  }
+  // The sweep exercised both outcomes.
+  EXPECT_GT(generated, 10);
+  EXPECT_GT(rejected, 10);
+}
+
+}  // namespace
+}  // namespace deepcrawl

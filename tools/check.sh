@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification, six times over: the plain build, an ASan/UBSan
+# Tier-1 verification, seven times over: the plain build, an ASan/UBSan
 # build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
 # baselines, a kill/resume pass that SIGKILLs a checkpointing crawl
 # mid-run and proves the resumed crawl's trace is byte-identical to an
-# uninterrupted one, and the same kill/resume differential against a
-# whole fleet crawling under scripted chaos.
+# uninterrupted one, the same kill/resume differential against a whole
+# fleet crawling under scripted chaos, and a competitive-guarantee gate
+# that crawls a small adversarial greedy-trap instance end to end and
+# fails when the opt-rank selector exceeds its 2x-of-OPT bound (or when
+# the greedy lower-bound gap collapses).
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
+#        [--no-competitive]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -27,7 +31,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -36,34 +40,36 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/6: plain build (build/) ==="
+echo "=== pass 1/7: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
 skip_tsan=0
 skip_perf=0
 skip_resume=0
+skip_competitive=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
     --no-tsan) skip_tsan=1 ;;
     --no-perf) skip_perf=1 ;;
     --no-resume) skip_resume=1 ;;
+    --no-competitive) skip_competitive=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/6 skipped (--no-asan) ==="
+  echo "=== pass 2/7 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/6: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/7: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/6 skipped (--no-tsan) ==="
+  echo "=== pass 3/7 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/6: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/7: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -71,17 +77,19 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/6 skipped (--no-perf) ==="
+  echo "=== pass 4/7 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/6: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/7: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
-    --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet
+    --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet \
+    bench_optimal
   ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
   ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
   ./build-perf/bench/bench_mmmi_ablation \
     --json=build-perf/BENCH_mmmi_ablation.json
   ./build-perf/bench/bench_fleet --json=build-perf/BENCH_fleet.json
+  ./build-perf/bench/bench_optimal --json=build-perf/BENCH_optimal.json
   python3 tools/bench_compare.py --max-regress 0.20 \
     --baseline BENCH_micro.json \
     --current build-perf/BENCH_micro.json \
@@ -90,13 +98,15 @@ else
     --baseline BENCH_mmmi_ablation.json \
     --current build-perf/BENCH_mmmi_ablation.json \
     --baseline BENCH_fleet.json \
-    --current build-perf/BENCH_fleet.json
+    --current build-perf/BENCH_fleet.json \
+    --baseline BENCH_optimal.json \
+    --current build-perf/BENCH_optimal.json
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 5/6 skipped (--no-resume) ==="
+  echo "=== pass 5/7 skipped (--no-resume) ==="
 else
-  echo "=== pass 5/6: kill/resume checkpoint differential ==="
+  echo "=== pass 5/7: kill/resume checkpoint differential ==="
   # An uninterrupted reference crawl, then the same crawl slowed by
   # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
   # resume from its last surviving checkpoint must emit the exact same
@@ -135,9 +145,9 @@ else
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 6/6 skipped (--no-resume) ==="
+  echo "=== pass 6/7 skipped (--no-resume) ==="
 else
-  echo "=== pass 6/6: fleet kill/resume under chaos ==="
+  echo "=== pass 6/7: fleet kill/resume under chaos ==="
   # Pass 5 for the whole fleet: an uninterrupted 4-source fleet crawl
   # under the hostile chaos schedule, then the same fleet slowed by
   # simulated latency and checkpointing every turn, SIGKILLed mid-chaos;
@@ -172,6 +182,40 @@ else
     exit 1
   fi
   echo "fleet kill/resume differential: traces byte-identical"
+fi
+
+if [[ "${skip_competitive}" == 1 ]]; then
+  echo "=== pass 7/7 skipped (--no-competitive) ==="
+else
+  echo "=== pass 7/7: competitive-guarantee gate (adversarial trap) ==="
+  # End-to-end through the real CLI: generate a B=32 greedy-trap
+  # instance, crawl it to full coverage with opt-rank and with greedy,
+  # and gate on the measured cost/OPT ratios — the descent must stay
+  # within its 2x bound and the greedy gap must not collapse (the trap
+  # regressing would silently void the lower-bound property suite).
+  CRAWL=./build/tools/deepcrawl_crawl
+  ADV_ARGS=(--workload=adversarial --target-coverage=1 --adv-buckets=24
+    --adv-records=4 --adv-decoy-buckets=8 --adv-decoy-width=32)
+  rank_ratio="$("${CRAWL}" "${ADV_ARGS[@]}" --policy=opt-rank \
+    | awk -F'ratio=' '/^  competitive:/ {print $2}')"
+  greedy_ratio="$("${CRAWL}" "${ADV_ARGS[@]}" --policy=greedy \
+    | awk -F'ratio=' '/^  competitive:/ {print $2}')"
+  if [[ -z "${rank_ratio}" || -z "${greedy_ratio}" ]]; then
+    echo "competitive gate FAILED: no ratio line in crawl output" >&2
+    exit 1
+  fi
+  echo "opt-rank cost/OPT: ${rank_ratio}  greedy cost/OPT: ${greedy_ratio}"
+  if ! awk -v r="${rank_ratio}" 'BEGIN { exit !(r <= 2.0) }'; then
+    echo "competitive gate FAILED: opt-rank ratio ${rank_ratio} > 2.0" >&2
+    exit 1
+  fi
+  if ! awk -v g="${greedy_ratio}" -v r="${rank_ratio}" \
+      'BEGIN { exit !(g >= 4.0 * r) }'; then
+    echo "competitive gate FAILED: greedy gap collapsed" \
+      "(greedy ${greedy_ratio} < 4x opt-rank ${rank_ratio})" >&2
+    exit 1
+  fi
+  echo "competitive gate: bound holds, separation intact"
 fi
 
 echo "all requested checks passed"

@@ -10,22 +10,21 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/crawler/crawl_engine.h"
-#include "src/crawler/greedy_link_selector.h"
-#include "src/crawler/mmmi_selector.h"
-#include "src/crawler/naive_selectors.h"
-#include "src/crawler/oracle_selector.h"
 #include "src/crawler/trace_io.h"
+#include "src/datagen/adversarial_workload.h"
 #include "src/datagen/canned_workloads.h"
 #include "src/datagen/workload_config.h"
 #include "src/relation/tsv.h"
 #include "src/server/web_db_server.h"
 #include "src/util/flags.h"
 #include "src/util/table_printer.h"
+#include "tools/selector_factory.h"
 
 namespace deepcrawl {
 namespace {
@@ -36,6 +35,13 @@ struct Options {
   double scale = 0.1;
   int64_t gen_seed = 1;
   std::string policies = "bfs,random,greedy,mmmi";
+  std::string rank_attribute = "range";
+  std::string adv_family = "trap";
+  int64_t adv_buckets = 16;
+  int64_t adv_records = 8;
+  int64_t adv_decoy_buckets = 4;
+  int64_t adv_decoy_width = 16;
+  int64_t adv_occupied = 2;
   int64_t page_size = 10;
   int64_t result_limit = 0;
   int64_t max_rounds = 0;
@@ -55,8 +61,42 @@ std::vector<std::string> SplitCommas(const std::string& text) {
   return parts;
 }
 
-StatusOr<Table> LoadTarget(const Options& options) {
+// Ground truth carried out of an adversarial generation, so the table
+// can print each policy's cost as a multiple of OPT.
+struct AdversarialGroundTruth {
+  uint64_t opt_queries = 0;
+  uint32_t result_limit = 0;
+  ValueId root_value = kInvalidValueId;
+};
+
+StatusOr<Table> LoadTarget(const Options& options,
+                           std::optional<AdversarialGroundTruth>& adv) {
   if (!options.input.empty()) return ReadTableTsvFile(options.input);
+  if (options.workload == "adversarial") {
+    AdversarialConfig config;
+    if (options.adv_family == "trap") {
+      config.family = AdversarialFamily::kGreedyTrap;
+    } else if (options.adv_family == "skew") {
+      config.family = AdversarialFamily::kSkewedChain;
+    } else {
+      return Status::InvalidArgument("unknown --adv-family '" +
+                                     options.adv_family + "' (trap|skew)");
+    }
+    config.leaf_buckets = static_cast<uint32_t>(options.adv_buckets);
+    config.bucket_records = static_cast<uint32_t>(options.adv_records);
+    config.decoy_buckets =
+        static_cast<uint32_t>(options.adv_decoy_buckets);
+    config.decoy_width = static_cast<uint32_t>(options.adv_decoy_width);
+    config.occupied_leaves = static_cast<uint32_t>(options.adv_occupied);
+    config.seed = static_cast<uint64_t>(options.gen_seed);
+    DEEPCRAWL_ASSIGN_OR_RETURN(AdversarialInstance instance,
+                               GenerateAdversarialInstance(config));
+    adv.emplace();
+    adv->opt_queries = instance.opt_queries;
+    adv->result_limit = instance.result_limit;
+    adv->root_value = instance.root_value;
+    return std::move(instance.table);
+  }
   if (options.workload == "ebay") {
     return GenerateTable(EbayConfig(options.scale, options.gen_seed));
   }
@@ -70,58 +110,75 @@ StatusOr<Table> LoadTarget(const Options& options) {
     return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
   }
   return Status::InvalidArgument(
-      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb");
+      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
 }
 
 Status Run(const Options& options) {
-  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options));
+  std::optional<AdversarialGroundTruth> adv;
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options, adv));
   std::cout << "target: " << target.num_records() << " records, "
-            << target.num_distinct_values() << " distinct values\n\n";
+            << target.num_distinct_values() << " distinct values\n";
+  if (adv.has_value()) {
+    std::cout << "adversarial: family=" << options.adv_family
+              << " opt=" << adv->opt_queries << " queries\n";
+  }
+  std::cout << "\n";
 
   ServerOptions server_options;
   server_options.page_size = static_cast<uint32_t>(options.page_size);
   server_options.result_limit =
       static_cast<uint32_t>(options.result_limit);
+  if (adv.has_value() && options.result_limit == 0) {
+    server_options.result_limit = adv->result_limit;
+  }
   WebDbServer server(target, server_options);
 
-  // One deterministic seed value shared by every policy.
-  ValueId seed_value = static_cast<ValueId>(
-      (1 + 2654435761ull * static_cast<uint64_t>(options.seed)) %
-      target.num_distinct_values());
-  while (target.value_frequency(seed_value) == 0) {
-    seed_value = static_cast<ValueId>((seed_value + 1) %
-                                      target.num_distinct_values());
+  // One deterministic seed value shared by every policy; adversarial
+  // targets seed from the hierarchy root (matches every record) so no
+  // policy luckily starts inside a decoy cluster.
+  ValueId seed_value;
+  if (adv.has_value()) {
+    seed_value = adv->root_value;
+  } else {
+    seed_value = static_cast<ValueId>(
+        (1 + 2654435761ull * static_cast<uint64_t>(options.seed)) %
+        target.num_distinct_values());
+    while (target.value_frequency(seed_value) == 0) {
+      seed_value = static_cast<ValueId>((seed_value + 1) %
+                                        target.num_distinct_values());
+    }
   }
 
-  TablePrinter table(
-      {"policy", "records", "coverage", "rounds", "queries", "stop"});
+  std::vector<std::string> columns = {"policy", "records",  "coverage",
+                                      "rounds", "queries", "stop"};
+  if (adv.has_value()) {
+    columns.insert(columns.begin() + 5, "cost/OPT");
+  }
+  TablePrinter table(columns);
   std::vector<CrawlTrace> traces;
   std::vector<NamedTrace> named;
   std::vector<std::string> names = SplitCommas(options.policies);
   traces.reserve(names.size());
   for (const std::string& name : names) {
     LocalStore store;
-    std::unique_ptr<QuerySelector> selector;
-    if (name == "bfs") {
-      selector = std::make_unique<BfsSelector>();
-    } else if (name == "dfs") {
-      selector = std::make_unique<DfsSelector>();
-    } else if (name == "random") {
-      selector = std::make_unique<RandomSelector>(options.seed);
-    } else if (name == "greedy") {
-      selector = std::make_unique<GreedyLinkSelector>(store);
-    } else if (name == "mmmi") {
-      selector = std::make_unique<MmmiSelector>(store);
-    } else if (name == "oracle") {
-      selector = std::make_unique<OracleSelector>(
-          store, server.index(), server_options.page_size,
-          server_options.result_limit);
-    } else {
-      return Status::InvalidArgument("unknown policy '" + name + "'");
-    }
+    SelectorContext selector_context;
+    selector_context.store = &store;
+    selector_context.seed = static_cast<uint64_t>(options.seed);
+    selector_context.page_size = server_options.page_size;
+    selector_context.result_limit = server_options.result_limit;
+    selector_context.target = &target;
+    selector_context.rank_attribute = options.rank_attribute;
+    selector_context.oracle_index = &server.index();
+    DEEPCRAWL_ASSIGN_OR_RETURN(std::unique_ptr<QuerySelector> selector,
+                               MakeSelectorByName(name, selector_context));
 
     CrawlOptions crawl_options;
     crawl_options.max_rounds = static_cast<uint64_t>(options.max_rounds);
+    if (adv.has_value()) {
+      // Stop at full coverage: the competitive measure is queries to
+      // harvest everything, not queries to drain the frontier.
+      crawl_options.target_records = target.num_records();
+    }
     if (options.saturation > 0.0) {
       crawl_options.saturation_records = static_cast<uint64_t>(
           options.saturation * static_cast<double>(target.num_records()));
@@ -132,11 +189,19 @@ Status Run(const Options& options) {
     DEEPCRAWL_ASSIGN_OR_RETURN(CrawlResult result, engine.Run());
     double coverage = static_cast<double>(result.records) /
                       static_cast<double>(target.num_records());
-    table.AddRow({name, std::to_string(result.records),
-                  TablePrinter::FormatPercent(coverage, 1),
-                  std::to_string(result.rounds),
-                  std::to_string(result.queries),
-                  StopReasonToString(result.stop_reason)});
+    std::vector<std::string> row = {name, std::to_string(result.records),
+                                    TablePrinter::FormatPercent(coverage, 1),
+                                    std::to_string(result.rounds),
+                                    std::to_string(result.queries)};
+    if (adv.has_value()) {
+      double ratio = adv->opt_queries == 0
+                         ? 0.0
+                         : static_cast<double>(result.queries) /
+                               static_cast<double>(adv->opt_queries);
+      row.push_back(TablePrinter::FormatDouble(ratio, 2));
+    }
+    row.push_back(std::string(StopReasonToString(result.stop_reason)));
+    table.AddRow(row);
     traces.push_back(std::move(result.trace));
   }
   table.Print(std::cout);
@@ -165,11 +230,26 @@ int main(int argc, char** argv) {
   FlagParser parser;
   parser.AddString("input", &options.input, "TSV target database");
   parser.AddString("workload", &options.workload,
-                   "generate instead: ebay|acm|dblp|imdb");
+                   "generate instead: ebay|acm|dblp|imdb|adversarial");
   parser.AddDouble("scale", &options.scale, "workload scale factor");
   parser.AddInt64("gen-seed", &options.gen_seed, "generator seed");
   parser.AddString("policies", &options.policies,
-                   "comma-separated: bfs,dfs,random,greedy,mmmi,oracle");
+                   "comma-separated subset of bfs,dfs,random,greedy,mmmi,"
+                   "opt-rank,opt-threshold,oracle");
+  parser.AddString("rank-attribute", &options.rank_attribute,
+                   "interval attribute for opt-rank/opt-threshold");
+  parser.AddString("adv-family", &options.adv_family,
+                   "adversarial family: trap|skew");
+  parser.AddInt64("adv-buckets", &options.adv_buckets,
+                  "adversarial: non-decoy rank buckets");
+  parser.AddInt64("adv-records", &options.adv_records,
+                  "adversarial: records per occupied bucket");
+  parser.AddInt64("adv-decoy-buckets", &options.adv_decoy_buckets,
+                  "adversarial trap: buckets carrying decoy mass");
+  parser.AddInt64("adv-decoy-width", &options.adv_decoy_width,
+                  "adversarial trap: decoy values per trapped record");
+  parser.AddInt64("adv-occupied", &options.adv_occupied,
+                  "adversarial skew: occupied lowest buckets");
   parser.AddInt64("page-size", &options.page_size, "records per page (k)");
   parser.AddInt64("result-limit", &options.result_limit,
                   "max retrievable records per query (0 = unlimited)");

@@ -39,15 +39,11 @@
 
 #include "src/crawler/checkpoint.h"
 #include "src/crawler/crawl_engine.h"
-#include "src/crawler/greedy_link_selector.h"
-#include "src/crawler/mmmi_selector.h"
-#include "src/crawler/naive_selectors.h"
-#include "src/crawler/oracle_selector.h"
 #include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
+#include "src/datagen/adversarial_workload.h"
 #include "src/datagen/canned_workloads.h"
 #include "src/datagen/workload_config.h"
-#include "src/domain/domain_selector.h"
 #include "src/domain/domain_table.h"
 #include "src/estimate/chao.h"
 #include "src/relation/tsv.h"
@@ -57,6 +53,7 @@
 #include "src/util/flags.h"
 #include "src/util/random.h"
 #include "src/util/table_printer.h"
+#include "tools/selector_factory.h"
 
 namespace deepcrawl {
 namespace {
@@ -67,8 +64,17 @@ struct Options {
   double scale = 0.1;
   int64_t gen_seed = 1;
 
+  // --workload=adversarial knobs (src/datagen/adversarial_workload.h).
+  std::string adv_family = "trap";
+  int64_t adv_buckets = 16;
+  int64_t adv_records = 8;
+  int64_t adv_decoy_buckets = 4;
+  int64_t adv_decoy_width = 16;
+  int64_t adv_occupied = 2;
+
   std::string policy = "greedy";
   bool mmmi_reference = false;
+  std::string rank_attribute = "range";
   std::string domain_input;
   int64_t page_size = 10;
   int64_t result_limit = 0;
@@ -160,8 +166,42 @@ StatusOr<FaultProfile> BuildFaultProfile(const Options& options) {
   return profile;
 }
 
-StatusOr<Table> LoadTarget(const Options& options) {
+// Ground truth carried out of an adversarial generation: the crawl seeds
+// from the hierarchy root and reports its query cost against OPT.
+struct AdversarialGroundTruth {
+  uint64_t opt_queries = 0;
+  uint32_t result_limit = 0;
+  ValueId root_value = kInvalidValueId;
+};
+
+StatusOr<Table> LoadTarget(const Options& options,
+                           std::optional<AdversarialGroundTruth>& adv) {
   if (!options.input.empty()) return ReadTableTsvFile(options.input);
+  if (options.workload == "adversarial") {
+    AdversarialConfig config;
+    if (options.adv_family == "trap") {
+      config.family = AdversarialFamily::kGreedyTrap;
+    } else if (options.adv_family == "skew") {
+      config.family = AdversarialFamily::kSkewedChain;
+    } else {
+      return Status::InvalidArgument("unknown --adv-family '" +
+                                     options.adv_family + "' (trap|skew)");
+    }
+    config.leaf_buckets = static_cast<uint32_t>(options.adv_buckets);
+    config.bucket_records = static_cast<uint32_t>(options.adv_records);
+    config.decoy_buckets =
+        static_cast<uint32_t>(options.adv_decoy_buckets);
+    config.decoy_width = static_cast<uint32_t>(options.adv_decoy_width);
+    config.occupied_leaves = static_cast<uint32_t>(options.adv_occupied);
+    config.seed = static_cast<uint64_t>(options.gen_seed);
+    DEEPCRAWL_ASSIGN_OR_RETURN(AdversarialInstance instance,
+                               GenerateAdversarialInstance(config));
+    adv.emplace();
+    adv->opt_queries = instance.opt_queries;
+    adv->result_limit = instance.result_limit;
+    adv->root_value = instance.root_value;
+    return std::move(instance.table);
+  }
   if (options.workload == "ebay") {
     return GenerateTable(EbayConfig(options.scale, options.gen_seed));
   }
@@ -175,7 +215,7 @@ StatusOr<Table> LoadTarget(const Options& options) {
     return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
   }
   return Status::InvalidArgument(
-      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb");
+      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
 }
 
 // Writes the harvested records back out as a TSV, reconstructing cells
@@ -200,10 +240,16 @@ Status WriteHarvest(const Table& target, const LocalStore& store,
 }
 
 Status Run(const Options& options) {
-  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options));
+  std::optional<AdversarialGroundTruth> adv;
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options, adv));
   std::cout << "target: " << target.num_records() << " records, "
             << target.num_distinct_values() << " distinct values, "
             << target.schema().num_attributes() << " attributes\n";
+  if (adv.has_value()) {
+    std::cout << "adversarial: family=" << options.adv_family
+              << " opt=" << adv->opt_queries << " queries (result limit "
+              << adv->result_limit << ")\n";
+  }
 
   // Optional domain table (required by --policy=domain).
   std::optional<DomainTable> dt;
@@ -223,6 +269,10 @@ Status Run(const Options& options) {
   server_options.page_size = static_cast<uint32_t>(options.page_size);
   server_options.result_limit =
       static_cast<uint32_t>(options.result_limit);
+  if (adv.has_value() && options.result_limit == 0) {
+    // The OPT bookkeeping assumes the generated per-bucket limit.
+    server_options.result_limit = adv->result_limit;
+  }
   server_options.reports_total_count = options.counts;
   WebDbServer backend(target, server_options);
 
@@ -281,34 +331,19 @@ Status Run(const Options& options) {
   RetryPolicy retry_policy(retry_config);
 
   LocalStore store;
-  std::unique_ptr<QuerySelector> selector;
-  if (options.policy == "bfs") {
-    selector = std::make_unique<BfsSelector>();
-  } else if (options.policy == "dfs") {
-    selector = std::make_unique<DfsSelector>();
-  } else if (options.policy == "random") {
-    selector = std::make_unique<RandomSelector>(options.seed);
-  } else if (options.policy == "greedy") {
-    selector = std::make_unique<GreedyLinkSelector>(store);
-  } else if (options.policy == "mmmi") {
-    MmmiOptions mmmi_options;
-    mmmi_options.reference_scoring = options.mmmi_reference;
-    selector = std::make_unique<MmmiSelector>(store, mmmi_options);
-  } else if (options.policy == "oracle") {
-    selector = std::make_unique<OracleSelector>(
-        store, backend.index(), server_options.page_size,
-        server_options.result_limit);
-  } else if (options.policy == "domain") {
-    if (!dt.has_value()) {
-      return Status::InvalidArgument(
-          "--policy=domain needs --domain-input=<tsv>");
-    }
-    selector = std::make_unique<DomainSelector>(store, *dt,
-                                                server_options.page_size);
-  } else {
-    return Status::InvalidArgument("unknown --policy '" + options.policy +
-                                   "'");
-  }
+  SelectorContext selector_context;
+  selector_context.store = &store;
+  selector_context.seed = static_cast<uint64_t>(options.seed);
+  selector_context.page_size = server_options.page_size;
+  selector_context.result_limit = server_options.result_limit;
+  selector_context.mmmi.reference_scoring = options.mmmi_reference;
+  selector_context.target = &target;
+  selector_context.rank_attribute = options.rank_attribute;
+  selector_context.oracle_index = &backend.index();
+  if (dt.has_value()) selector_context.domain = &*dt;
+  DEEPCRAWL_ASSIGN_OR_RETURN(
+      std::unique_ptr<QuerySelector> selector,
+      MakeSelectorByName(options.policy, selector_context));
 
   CrawlOptions crawl_options;
   crawl_options.max_rounds = static_cast<uint64_t>(options.max_rounds);
@@ -363,6 +398,11 @@ Status Run(const Options& options) {
               << engine.store().num_records() << " records, "
               << engine.rounds_used() << " rounds, "
               << engine.waves_completed() << " waves\n";
+  } else if (adv.has_value()) {
+    // Every policy starts from the hierarchy root: it matches every
+    // record, so the comparison is fair and no policy luckily seeds
+    // inside a decoy cluster.
+    engine.AddSeed(adv->root_value);
   } else {
     Pcg32 rng(static_cast<uint64_t>(options.seed));
     for (int64_t i = 0; i < options.num_seeds; ++i) {
@@ -397,6 +437,13 @@ Status Run(const Options& options) {
             << "  online size est.:   "
             << TablePrinter::FormatDouble(chao.estimated_total, 0)
             << " records (Chao1)\n";
+  if (adv.has_value() && adv->opt_queries > 0) {
+    double ratio = static_cast<double>(result.queries) /
+                   static_cast<double>(adv->opt_queries);
+    std::cout << "  competitive: queries=" << result.queries
+              << " opt=" << adv->opt_queries
+              << " ratio=" << TablePrinter::FormatDouble(ratio, 3) << "\n";
+  }
   if (faults_enabled) {
     const ResilienceCounters& res = result.resilience;
     std::cout << "  resilience:         " << res.transient_failures
@@ -432,13 +479,32 @@ int main(int argc, char** argv) {
                    "TSV file with the target database (see src/relation/"
                    "tsv.h for the format)");
   parser.AddString("workload", &options.workload,
-                   "generate a canned workload instead: ebay|acm|dblp|imdb");
+                   "generate a canned workload instead: "
+                   "ebay|acm|dblp|imdb|adversarial");
   parser.AddDouble("scale", &options.scale,
                    "scale factor for --workload (1.0 = paper size)");
   parser.AddInt64("gen-seed", &options.gen_seed,
                   "generator seed for --workload");
-  parser.AddString("policy", &options.policy,
-                   "bfs|dfs|random|greedy|mmmi|oracle|domain");
+  parser.AddString("adv-family", &options.adv_family,
+                   "adversarial family: trap (greedy pays ω(OPT)) | skew "
+                   "(additive-log descent overhead)");
+  parser.AddInt64("adv-buckets", &options.adv_buckets,
+                  "adversarial: requested non-decoy rank buckets "
+                  "(rounded up to a power of two with the decoys)");
+  parser.AddInt64("adv-records", &options.adv_records,
+                  "adversarial: records per occupied bucket (= the "
+                  "server result limit the instance assumes)");
+  parser.AddInt64("adv-decoy-buckets", &options.adv_decoy_buckets,
+                  "adversarial trap: buckets carrying decoy mass");
+  parser.AddInt64("adv-decoy-width", &options.adv_decoy_width,
+                  "adversarial trap: unique decoy values per trapped "
+                  "record");
+  parser.AddInt64("adv-occupied", &options.adv_occupied,
+                  "adversarial skew: occupied lowest buckets");
+  parser.AddString("policy", &options.policy, kKnownPolicies);
+  parser.AddString("rank-attribute", &options.rank_attribute,
+                   "attribute carrying r<lo>-<hi> interval values for "
+                   "--policy=opt-rank/opt-threshold");
   parser.AddBool("mmmi-reference", &options.mmmi_reference,
                  "score MMMI batches with the pre-optimization postings "
                  "rescan instead of the incremental counters (identical "

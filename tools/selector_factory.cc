@@ -1,0 +1,90 @@
+#include "tools/selector_factory.h"
+
+#include <utility>
+
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/naive_selectors.h"
+#include "src/crawler/optimal_selector.h"
+#include "src/crawler/oracle_selector.h"
+#include "src/domain/domain_selector.h"
+
+namespace deepcrawl {
+
+StatusOr<std::unique_ptr<QuerySelector>> MakeSelectorByName(
+    const std::string& policy, const SelectorContext& context) {
+  // Two user-defined conversions (unique_ptr<Derived> -> unique_ptr<
+  // QuerySelector> -> StatusOr) don't chain implicitly, hence the named
+  // base-typed pointer per branch.
+  std::unique_ptr<QuerySelector> selector;
+  if (policy == "bfs") {
+    selector = std::make_unique<BfsSelector>();
+    return selector;
+  }
+  if (policy == "dfs") {
+    selector = std::make_unique<DfsSelector>();
+    return selector;
+  }
+  if (policy == "random") {
+    selector = std::make_unique<RandomSelector>(context.seed);
+    return selector;
+  }
+  if (context.store == nullptr) {
+    return Status::InvalidArgument("selector context has no local store");
+  }
+  if (policy == "greedy") {
+    selector = std::make_unique<GreedyLinkSelector>(*context.store);
+    return selector;
+  }
+  if (policy == "mmmi") {
+    selector = std::make_unique<MmmiSelector>(*context.store, context.mmmi);
+    return selector;
+  }
+  if (policy == "opt-rank" || policy == "opt-threshold") {
+    if (context.target == nullptr) {
+      return Status::InvalidArgument("policy '" + policy +
+                                     "' needs the target table (for the "
+                                     "rank hierarchy)");
+    }
+    // A target without the rank attribute yields an empty hierarchy and
+    // the selector degrades to plain greedy — that is deliberate, so
+    // opt-* can run on any workload for comparison.
+    AttributeId rank_attr = kInvalidAttributeId;
+    StatusOr<AttributeId> found =
+        context.target->schema().FindAttribute(context.rank_attribute);
+    if (found.ok()) rank_attr = found.value();
+    DEEPCRAWL_ASSIGN_OR_RETURN(
+        QueryHierarchy hierarchy,
+        QueryHierarchy::FromCatalog(context.target->catalog(), rank_attr));
+    OptimalSelectorOptions opts;
+    opts.mode = policy == "opt-rank" ? OptimalMode::kRank
+                                     : OptimalMode::kThreshold;
+    opts.result_limit = context.result_limit;
+    selector = std::make_unique<RankOptimalSelector>(
+        *context.store, std::move(hierarchy), opts);
+    return selector;
+  }
+  if (policy == "oracle") {
+    if (context.oracle_index == nullptr) {
+      return Status::InvalidArgument(
+          "policy 'oracle' needs the backend's inverted index");
+    }
+    selector = std::make_unique<OracleSelector>(*context.store,
+                                                *context.oracle_index,
+                                                context.page_size,
+                                                context.result_limit);
+    return selector;
+  }
+  if (policy == "domain") {
+    if (context.domain == nullptr) {
+      return Status::InvalidArgument(
+          "policy 'domain' needs a domain table (--domain-input=<tsv>)");
+    }
+    selector = std::make_unique<DomainSelector>(
+        *context.store, *context.domain, context.page_size);
+    return selector;
+  }
+  return Status::InvalidArgument("unknown policy '" + policy + "' (" +
+                                 kKnownPolicies + ")");
+}
+
+}  // namespace deepcrawl
