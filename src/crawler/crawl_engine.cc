@@ -35,16 +35,35 @@ CrawlResult MakeCrawlResult(StopReason reason, uint64_t rounds,
   return result;
 }
 
-void InlineFetchExecutor::Execute(std::vector<std::function<void()>>& tasks) {
-  for (auto& task : tasks) task();
+StatusOr<ResultPage> ExecuteFetch(QueryInterface& server,
+                                  const FetchRequest& request) {
+  return request.keyword
+             ? server.FetchPageKeywordOf(request.value, request.page_number)
+             : server.FetchPage(request.value, request.page_number);
+}
+
+void InlineFetchExecutor::FetchWave(
+    QueryInterface& server, std::span<const FetchRequest> requests,
+    std::span<std::optional<StatusOr<ResultPage>>> results) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    results[i] = ExecuteFetch(server, requests[i]);
+  }
 }
 
 ThreadPoolFetchExecutor::ThreadPoolFetchExecutor(uint32_t threads)
     : pool_(threads) {}
 
-void ThreadPoolFetchExecutor::Execute(
-    std::vector<std::function<void()>>& tasks) {
-  pool_.RunAndWait(tasks);
+void ThreadPoolFetchExecutor::FetchWave(
+    QueryInterface& server, std::span<const FetchRequest> requests,
+    std::span<std::optional<StatusOr<ResultPage>>> results) {
+  tasks_.clear();
+  tasks_.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    tasks_.push_back([&server, &requests, &results, i] {
+      results[i] = ExecuteFetch(server, requests[i]);
+    });
+  }
+  pool_.RunAndWait(tasks_);
 }
 
 DegradationTracker::FailureAction DegradationTracker::OnFetchFailure(
@@ -195,8 +214,10 @@ void CrawlEngine::FinishDrain(std::optional<Slot>& slot_box) {
 }
 
 CrawlResult CrawlEngine::MakeResult(StopReason reason) const {
-  return MakeCrawlResult(reason, rounds_used_, queries_issued_,
-                         store_.num_records(), trace_);
+  CrawlResult result = MakeCrawlResult(reason, rounds_used_, queries_issued_,
+                                       store_.num_records(), trace_);
+  result.rtt = server_.rtt_counters();
+  return result;
 }
 
 Status CrawlEngine::CommitFetch(std::optional<Slot>& slot_box,
@@ -369,25 +390,20 @@ StatusOr<CrawlResult> CrawlEngine::Run() {
     }
 
     // Fetch phase: one page per wave slot, through the executor. Each
-    // task writes its own rank-indexed cell, so execution order is
-    // invisible to the commit phase. The result/task buffers are
-    // members reused across waves; no task mutates them structurally
-    // while the executor runs.
+    // fetch lands in its own rank-indexed cell, so execution order is
+    // invisible to the commit phase. The request/result buffers are
+    // members reused across waves; no executor mutates them
+    // structurally while the wave runs.
     fetch_results_.clear();
     fetch_results_.resize(slice);
-    fetch_tasks_.clear();
-    fetch_tasks_.reserve(slice);
+    fetch_requests_.clear();
+    fetch_requests_.reserve(slice);
     for (size_t i = 0; i < slice; ++i) {
       const Slot& slot = *slots_[wave_[wave_pos_ + i]];
-      ValueId value = slot.value;
-      uint32_t page = slot.next_page;
-      fetch_tasks_.push_back([this, i, value, page] {
-        fetch_results_[i] = options_.use_keyword_interface
-                                ? server_.FetchPageKeywordOf(value, page)
-                                : server_.FetchPage(value, page);
-      });
+      fetch_requests_.push_back(FetchRequest{
+          slot.value, slot.next_page, options_.use_keyword_interface});
     }
-    executor_->Execute(fetch_tasks_);
+    executor_->FetchWave(server_, fetch_requests_, fetch_results_);
 
     // Commit phase: strictly by slot rank, never by completion order.
     wave_points_.clear();

@@ -49,6 +49,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -100,6 +101,13 @@ struct CrawlResult {
   CrawlTrace trace;
   // Copy of trace.resilience(), for reporting convenience.
   ResilienceCounters resilience;
+  // Round-trip-time tallies from the query interface the crawl ran
+  // against: simulated latency (LockedQueryInterface --latency-us) and
+  // measured socket RTT (NetQueryClient) land in these SAME counters,
+  // so latency reporting is uniform across in-process and TCP crawls.
+  // Wall-clock-derived for network crawls, hence excluded from the
+  // determinism contract (never serialized, never traced).
+  RttCounters rtt;
   // Per-source degradation reports. Empty for a bare engine crawl; a
   // fleet's merged result carries one entry per source so partial
   // results under chaos are explicit, never silent (DESIGN.md §11).
@@ -113,31 +121,58 @@ CrawlResult MakeCrawlResult(StopReason reason, uint64_t rounds,
                             uint64_t queries, uint64_t records,
                             const CrawlTrace& trace);
 
-// Executes one wave's fetch closures. Implementations only choose the
-// execution vehicle; each task writes its own rank-indexed result cell,
-// so execution (and completion) order is invisible to the commit phase.
+// One planned page fetch of a wave, in selector-rank order. The typed
+// form (rather than an opaque closure) is what lets transport-aware
+// executors see a whole wave at once: the network executor pipelines
+// every request of the wave over its connections before reading any
+// response (DESIGN.md §13).
+struct FetchRequest {
+  ValueId value = kInvalidValueId;
+  uint32_t page_number = 0;
+  // FetchPageKeywordOf instead of FetchPage (CrawlOptions::
+  // use_keyword_interface).
+  bool keyword = false;
+};
+
+// Issues `request` against `server` through the query form the request
+// names — the one fetch dispatch shared by every executor.
+StatusOr<ResultPage> ExecuteFetch(QueryInterface& server,
+                                  const FetchRequest& request);
+
+// Executes one wave of page fetches, writing results[i] for
+// requests[i]. Implementations only choose the transport/execution
+// vehicle; each fetch lands in its own rank-indexed result cell, so
+// execution (and completion) order is invisible to the commit phase.
 class FetchExecutor {
  public:
   virtual ~FetchExecutor() = default;
-  virtual void Execute(std::vector<std::function<void()>>& tasks) = 0;
+  virtual void FetchWave(
+      QueryInterface& server, std::span<const FetchRequest> requests,
+      std::span<std::optional<StatusOr<ResultPage>>> results) = 0;
 };
 
-// Runs the tasks sequentially on the calling thread (the serial engine
+// Fetches sequentially on the calling thread (the serial engine
 // configuration; never spawns a thread).
 class InlineFetchExecutor : public FetchExecutor {
  public:
-  void Execute(std::vector<std::function<void()>>& tasks) override;
+  void FetchWave(
+      QueryInterface& server, std::span<const FetchRequest> requests,
+      std::span<std::optional<StatusOr<ResultPage>>> results) override;
 };
 
-// Runs the tasks concurrently on an owned ThreadPool. The server behind
-// the engine must be thread-safe (see src/server/locked_interface.h).
+// Fetches concurrently on an owned ThreadPool. The server behind the
+// engine must be thread-safe (see src/server/locked_interface.h).
 class ThreadPoolFetchExecutor : public FetchExecutor {
  public:
   explicit ThreadPoolFetchExecutor(uint32_t threads);
-  void Execute(std::vector<std::function<void()>>& tasks) override;
+  void FetchWave(
+      QueryInterface& server, std::span<const FetchRequest> requests,
+      std::span<std::optional<StatusOr<ResultPage>>> results) override;
 
  private:
   ThreadPool pool_;
+  // Wave closures, reused across waves (cleared, never shrunk).
+  std::vector<std::function<void()>> tasks_;
 };
 
 // Graceful-degradation bookkeeping shared by every engine configuration
@@ -319,7 +354,7 @@ class CrawlEngine {
   // Wave-assembly scratch, reused across waves (cleared, never shrunk)
   // so steady-state waves allocate nothing.
   std::vector<std::optional<StatusOr<ResultPage>>> fetch_results_;
-  std::vector<std::function<void()>> fetch_tasks_;
+  std::vector<FetchRequest> fetch_requests_;
 };
 
 }  // namespace deepcrawl

@@ -1,0 +1,379 @@
+#include "src/net/frame.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace deepcrawl {
+namespace {
+
+// Minimum bytes of the inner framing (magic + version + size + checksum)
+// — any announced frame length below this is forged.
+constexpr uint32_t kInnerFramingBytes = 4 + 4 + 8 + 8;
+
+// Smallest possible encoding of one record (u32 id + u64 value count):
+// the divisor ReadCount uses to bound a forged record count.
+constexpr size_t kMinRecordBytes = 4 + 8;
+
+void EncodeServerOptions(CheckpointWriter& writer,
+                         const ServerOptions& options) {
+  writer.WriteU32(options.page_size);
+  writer.WriteU32(options.result_limit);
+  writer.WriteU8(options.reports_total_count ? 1 : 0);
+  writer.WriteU64(options.queriable_attributes.size());
+  for (AttributeId attr : options.queriable_attributes) {
+    writer.WriteU32(attr);
+  }
+}
+
+ServerOptions DecodeServerOptions(CheckpointReader& reader) {
+  ServerOptions options;
+  options.page_size = reader.ReadU32();
+  options.result_limit = reader.ReadU32();
+  uint8_t reports = reader.ReadU8();
+  if (reports > 1) reader.MarkCorrupt("reports_total_count flag not 0/1");
+  options.reports_total_count = reports == 1;
+  uint64_t count = reader.ReadCount(4);
+  options.queriable_attributes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t attr = reader.ReadU32();
+    if (attr > UINT16_MAX) reader.MarkCorrupt("attribute id out of range");
+    options.queriable_attributes.push_back(static_cast<AttributeId>(attr));
+  }
+  return options;
+}
+
+void EncodePage(CheckpointWriter& writer, const ResultPage& page) {
+  writer.WriteU32(page.page_number);
+  writer.WriteU8(page.total_matches.has_value() ? 1 : 0);
+  if (page.total_matches.has_value()) writer.WriteU32(*page.total_matches);
+  writer.WriteU8(page.has_more ? 1 : 0);
+  writer.WriteU64(page.records.size());
+  for (const ReturnedRecord& record : page.records) {
+    writer.WriteU32(record.id);
+    writer.WriteU64(record.values.size());
+    for (ValueId value : record.values) writer.WriteU32(value);
+  }
+}
+
+DecodedPage DecodePage(CheckpointReader& reader) {
+  DecodedPage out;
+  out.page.page_number = reader.ReadU32();
+  uint8_t has_total = reader.ReadU8();
+  if (has_total > 1) reader.MarkCorrupt("total_matches flag not 0/1");
+  if (has_total == 1) out.page.total_matches = reader.ReadU32();
+  uint8_t has_more = reader.ReadU8();
+  if (has_more > 1) reader.MarkCorrupt("has_more flag not 0/1");
+  out.page.has_more = has_more == 1;
+  uint64_t num_records = reader.ReadCount(kMinRecordBytes);
+  out.page.records.reserve(num_records);
+  // Spans can only be planted once out.values stops reallocating, so
+  // first decode ids and per-record extents, then fix the spans up.
+  std::vector<std::pair<size_t, size_t>> extents;  // (offset, count)
+  extents.reserve(num_records);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    ReturnedRecord record;
+    record.id = reader.ReadU32();
+    uint64_t num_values = reader.ReadCount(4);
+    extents.emplace_back(out.values.size(), num_values);
+    for (uint64_t j = 0; j < num_values; ++j) {
+      out.values.push_back(reader.ReadU32());
+    }
+    out.page.records.push_back(record);
+  }
+  if (!reader.ok()) return DecodedPage{};
+  for (size_t i = 0; i < extents.size(); ++i) {
+    out.page.records[i].values = std::span<const ValueId>(
+        out.values.data() + extents[i].first, extents[i].second);
+  }
+  return out;
+}
+
+// Validates that `type` names a fetch-request form.
+bool IsFetchType(WireMessageType type) {
+  switch (type) {
+    case WireMessageType::kFetchPage:
+    case WireMessageType::kFetchPageByText:
+    case WireMessageType::kFetchPageByKeyword:
+    case WireMessageType::kFetchPageConjunctive:
+    case WireMessageType::kFetchPageKeywordOf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FinishFrame(CheckpointWriter& body) {
+  return EncodeWireFrame(body.buffer());
+}
+
+}  // namespace
+
+uint8_t WireStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:                 return 0;
+    case StatusCode::kInvalidArgument:    return 1;
+    case StatusCode::kNotFound:           return 2;
+    case StatusCode::kOutOfRange:         return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kAlreadyExists:      return 5;
+    case StatusCode::kResourceExhausted:  return 6;
+    case StatusCode::kInternal:           return 7;
+    case StatusCode::kUnavailable:        return 8;
+    case StatusCode::kDeadlineExceeded:   return 9;
+  }
+  return 7;  // unreachable; map to kInternal
+}
+
+StatusOr<StatusCode> StatusCodeFromWire(uint8_t wire_code) {
+  switch (wire_code) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kOutOfRange;
+    case 4: return StatusCode::kFailedPrecondition;
+    case 5: return StatusCode::kAlreadyExists;
+    case 6: return StatusCode::kResourceExhausted;
+    case 7: return StatusCode::kInternal;
+    case 8: return StatusCode::kUnavailable;
+    case 9: return StatusCode::kDeadlineExceeded;
+    default:
+      return Status::InvalidArgument("unknown wire status code " +
+                                     std::to_string(wire_code));
+  }
+}
+
+void EncodeStatus(CheckpointWriter& writer, const Status& status) {
+  writer.WriteU8(WireStatusCode(status.code()));
+  writer.WriteString(status.message());
+  writer.WriteU8(status.retry_after_rounds().has_value() ? 1 : 0);
+  if (status.retry_after_rounds().has_value()) {
+    writer.WriteU32(*status.retry_after_rounds());
+  }
+}
+
+Status DecodeStatus(CheckpointReader& reader) {
+  uint8_t wire_code = reader.ReadU8();
+  std::string message = reader.ReadString();
+  uint8_t has_retry = reader.ReadU8();
+  if (has_retry > 1) reader.MarkCorrupt("retry_after flag not 0/1");
+  uint32_t retry_after = has_retry == 1 ? reader.ReadU32() : 0;
+  StatusOr<StatusCode> code = StatusCodeFromWire(wire_code);
+  if (!code.ok()) {
+    reader.MarkCorrupt(code.status().message());
+    return Status::OK();
+  }
+  Status status(*code, std::move(message));
+  if (has_retry == 1) status = status.WithRetryAfter(retry_after);
+  return status;
+}
+
+std::string EncodeWireFrame(std::string_view body) {
+  std::string inner = FrameCheckpoint(body, kWireProtocolVersion);
+  std::string out;
+  out.reserve(4 + inner.size());
+  uint32_t len = static_cast<uint32_t>(inner.size());
+  out.push_back(static_cast<char>(len & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.append(inner);
+  return out;
+}
+
+std::string EncodeHelloFrame() {
+  CheckpointWriter body;
+  body.WriteU8(static_cast<uint8_t>(WireMessageType::kHello));
+  return FinishFrame(body);
+}
+
+std::string EncodeServerInfoFrame(const WireServerInfo& info) {
+  CheckpointWriter body;
+  body.WriteU8(static_cast<uint8_t>(WireMessageType::kServerInfo));
+  EncodeServerOptions(body, info.options);
+  body.WriteU32(info.num_values);
+  body.WriteString(std::string_view(
+      reinterpret_cast<const char*>(info.queriable_bitmap.data()),
+      info.queriable_bitmap.size()));
+  return FinishFrame(body);
+}
+
+std::string EncodeRequestFrame(const WireRequest& request) {
+  CheckpointWriter body;
+  body.WriteU8(static_cast<uint8_t>(request.type));
+  body.WriteU64(request.request_id);
+  switch (request.type) {
+    case WireMessageType::kFetchPage:
+    case WireMessageType::kFetchPageKeywordOf:
+      body.WriteU32(request.value);
+      break;
+    case WireMessageType::kFetchPageByText:
+      body.WriteU32(request.attr);
+      body.WriteString(request.text);
+      break;
+    case WireMessageType::kFetchPageByKeyword:
+      body.WriteString(request.text);
+      break;
+    case WireMessageType::kFetchPageConjunctive:
+      body.WriteU64(request.values.size());
+      for (ValueId value : request.values) body.WriteU32(value);
+      break;
+    default:
+      DEEPCRAWL_CHECK(false) << "not a fetch request type: "
+                             << static_cast<int>(request.type);
+  }
+  body.WriteU32(request.page_number);
+  return FinishFrame(body);
+}
+
+std::string EncodeResponseFrame(uint64_t request_id,
+                                const StatusOr<ResultPage>& result) {
+  CheckpointWriter body;
+  body.WriteU8(static_cast<uint8_t>(WireMessageType::kPageResult));
+  body.WriteU64(request_id);
+  EncodeStatus(body, result.status());
+  if (result.ok()) EncodePage(body, *result);
+  return FinishFrame(body);
+}
+
+std::string EncodeGoAwayFrame(const Status& status) {
+  DEEPCRAWL_CHECK(!status.ok()) << "GoAway must carry the shed reason";
+  CheckpointWriter body;
+  body.WriteU8(static_cast<uint8_t>(WireMessageType::kGoAway));
+  EncodeStatus(body, status);
+  return FinishFrame(body);
+}
+
+StatusOr<WireRequest> DecodeRequest(std::string_view body) {
+  CheckpointReader reader(body);
+  WireRequest request;
+  uint8_t raw_type = reader.ReadU8();
+  request.type = static_cast<WireMessageType>(raw_type);
+  if (request.type == WireMessageType::kHello) {
+    if (!reader.ok() || !reader.AtEnd()) {
+      return Status::InvalidArgument("malformed hello body");
+    }
+    return request;
+  }
+  if (!IsFetchType(request.type)) {
+    return Status::InvalidArgument("unexpected client message type " +
+                                   std::to_string(raw_type));
+  }
+  request.request_id = reader.ReadU64();
+  switch (request.type) {
+    case WireMessageType::kFetchPage:
+    case WireMessageType::kFetchPageKeywordOf:
+      request.value = reader.ReadU32();
+      break;
+    case WireMessageType::kFetchPageByText: {
+      uint32_t attr = reader.ReadU32();
+      if (attr > UINT16_MAX) reader.MarkCorrupt("attribute id out of range");
+      request.attr = static_cast<AttributeId>(attr);
+      request.text = reader.ReadString();
+      break;
+    }
+    case WireMessageType::kFetchPageByKeyword:
+      request.text = reader.ReadString();
+      break;
+    case WireMessageType::kFetchPageConjunctive: {
+      uint64_t count = reader.ReadCount(4);
+      request.values.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        request.values.push_back(reader.ReadU32());
+      }
+      break;
+    }
+    default:
+      break;  // unreachable: IsFetchType filtered already
+  }
+  request.page_number = reader.ReadU32();
+  DEEPCRAWL_RETURN_IF_ERROR(reader.status());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request body");
+  }
+  return request;
+}
+
+StatusOr<WireServerMessage> DecodeServerMessage(std::string_view body) {
+  CheckpointReader reader(body);
+  WireServerMessage message;
+  uint8_t raw_type = reader.ReadU8();
+  message.type = static_cast<WireMessageType>(raw_type);
+  switch (message.type) {
+    case WireMessageType::kServerInfo: {
+      message.info.options = DecodeServerOptions(reader);
+      message.info.num_values = reader.ReadU32();
+      std::string bitmap = reader.ReadString();
+      if (reader.ok() && bitmap.size() != (message.info.num_values + 7) / 8) {
+        reader.MarkCorrupt("queriable bitmap size mismatch");
+      }
+      message.info.queriable_bitmap.assign(bitmap.begin(), bitmap.end());
+      break;
+    }
+    case WireMessageType::kPageResult: {
+      message.request_id = reader.ReadU64();
+      message.status = DecodeStatus(reader);
+      if (reader.ok() && message.status.ok()) {
+        message.result = DecodePage(reader);
+      }
+      break;
+    }
+    case WireMessageType::kGoAway: {
+      message.status = DecodeStatus(reader);
+      if (reader.ok() && message.status.ok()) {
+        reader.MarkCorrupt("GoAway without a shed reason");
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unexpected server message type " +
+                                     std::to_string(raw_type));
+  }
+  DEEPCRAWL_RETURN_IF_ERROR(reader.status());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after server message");
+  }
+  return message;
+}
+
+void FrameAssembler::Append(std::string_view bytes) {
+  // Compact once the consumed prefix dominates, so long-lived
+  // connections don't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+StatusOr<bool> FrameAssembler::Next(std::string* body) {
+  if (failed_.has_value()) return *failed_;
+  size_t available = buffer_.size() - pos_;
+  if (available < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + pos_);
+  uint32_t frame_len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  // Bound-check the announced length BEFORE waiting for the bytes: a
+  // forged length must not make us buffer toward a 4 GiB frame.
+  if (frame_len < kInnerFramingBytes || frame_len > max_frame_bytes_) {
+    failed_ = Status::InvalidArgument("frame length " +
+                                      std::to_string(frame_len) +
+                                      " outside protocol bounds");
+    return *failed_;
+  }
+  if (available < 4 + static_cast<size_t>(frame_len)) return false;
+  std::string_view inner(buffer_.data() + pos_ + 4, frame_len);
+  StatusOr<std::string_view> payload =
+      UnframeCheckpoint(inner, kWireProtocolVersion);
+  if (!payload.ok()) {
+    failed_ = payload.status();
+    return *failed_;
+  }
+  body->assign(payload->data(), payload->size());
+  pos_ += 4 + static_cast<size_t>(frame_len);
+  return true;
+}
+
+}  // namespace deepcrawl

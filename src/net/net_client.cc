@@ -1,0 +1,653 @@
+#include "src/net/net_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace deepcrawl {
+namespace {
+
+uint64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+uint64_t NowUs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000;
+}
+
+void SleepMs(uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  nanosleep(&ts, nullptr);
+}
+
+// Blocks until `fd` is ready for `events`. kDeadlineExceeded on
+// timeout, kUnavailable on poll error or socket hangup/error.
+Status WaitFd(int fd, short events, uint64_t timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  uint64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    uint64_t now = NowMs();
+    int wait = now >= deadline ? 0 : static_cast<int>(
+        std::min<uint64_t>(deadline - now, INT_MAX));
+    int n = poll(&pfd, 1, wait);
+    if (n > 0) {
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        return Status::Unavailable("socket error while waiting");
+      }
+      return Status::OK();
+    }
+    if (n == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("poll: ") + strerror(errno));
+  }
+}
+
+}  // namespace
+
+// --- NetConnection ----------------------------------------------------
+
+NetConnection::~NetConnection() { Close(); }
+
+void NetConnection::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetConnection::Open(const std::string& host, uint16_t port,
+                           uint64_t timeout_ms, uint32_t max_frame_bytes) {
+  Close();
+  assembler_ = FrameAssembler(max_frame_bytes);
+  send_buffer_.clear();
+  send_pos_ = 0;
+  total_sent_ = 0;
+  uint64_t deadline = NowMs() + timeout_ms;
+
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + strerror(errno));
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) {
+      Status status =
+          Status::Unavailable(std::string("connect: ") + strerror(errno));
+      Close();
+      return status;
+    }
+    uint64_t now = NowMs();
+    Status ready =
+        WaitFd(fd_, POLLOUT, deadline > now ? deadline - now : 0);
+    if (!ready.ok()) {
+      Close();
+      return ready;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      Close();
+      return Status::Unavailable(std::string("connect: ") + strerror(err));
+    }
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Handshake: Hello out, ServerInfo back.
+  Status sent = Send(EncodeHelloFrame());
+  if (sent.ok()) {
+    uint64_t now = NowMs();
+    sent = SendAll(deadline > now ? deadline - now : 0);
+  }
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  uint64_t now = NowMs();
+  StatusOr<WireServerMessage> reply =
+      ReceiveMessage(deadline > now ? deadline - now : 0);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  if (reply->type == WireMessageType::kGoAway) {
+    Close();
+    return reply->status;  // shed: kUnavailable with a retry-after hint
+  }
+  if (reply->type != WireMessageType::kServerInfo) {
+    Close();
+    return Status::InvalidArgument("handshake reply is not ServerInfo");
+  }
+  info_ = std::move(reply->info);
+  return Status::OK();
+}
+
+Status NetConnection::Send(std::string_view bytes) {
+  if (!is_open()) return Status::Unavailable("connection is closed");
+  if (send_pos_ == send_buffer_.size()) {
+    send_buffer_.clear();
+    send_pos_ = 0;
+  }
+  send_buffer_.append(bytes);
+  return TryFlushSend();
+}
+
+Status NetConnection::TryFlushSend() {
+  if (!is_open()) return Status::Unavailable("connection is closed");
+  while (send_pos_ < send_buffer_.size()) {
+    ssize_t n = write(fd_, send_buffer_.data() + send_pos_,
+                      send_buffer_.size() - send_pos_);
+    if (n > 0) {
+      send_pos_ += static_cast<size_t>(n);
+      total_sent_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    Status status =
+        Status::Unavailable(std::string("write: ") + strerror(errno));
+    Close();
+    return status;
+  }
+  send_buffer_.clear();
+  send_pos_ = 0;
+  return Status::OK();
+}
+
+Status NetConnection::SendAll(uint64_t timeout_ms) {
+  uint64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    DEEPCRAWL_RETURN_IF_ERROR(TryFlushSend());
+    if (!send_pending()) return Status::OK();
+    uint64_t now = NowMs();
+    if (now >= deadline) return Status::DeadlineExceeded("send timed out");
+    DEEPCRAWL_RETURN_IF_ERROR(WaitFd(fd_, POLLOUT, deadline - now));
+  }
+}
+
+Status NetConnection::FillFromSocket() {
+  if (!is_open()) return Status::Unavailable("connection is closed");
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      assembler_.Append(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) return Status::OK();
+      continue;
+    }
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("connection closed by server");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    Status status =
+        Status::Unavailable(std::string("read: ") + strerror(errno));
+    Close();
+    return status;
+  }
+}
+
+StatusOr<bool> NetConnection::NextMessage(WireServerMessage* out) {
+  std::string body;
+  StatusOr<bool> next = assembler_.Next(&body);
+  if (!next.ok()) return next.status();
+  if (!*next) return false;
+  StatusOr<WireServerMessage> message = DecodeServerMessage(body);
+  if (!message.ok()) return message.status();
+  *out = std::move(*message);
+  return true;
+}
+
+StatusOr<WireServerMessage> NetConnection::ReceiveMessage(
+    uint64_t timeout_ms) {
+  uint64_t deadline = NowMs() + timeout_ms;
+  WireServerMessage message;
+  for (;;) {
+    StatusOr<bool> next = NextMessage(&message);
+    if (!next.ok()) {
+      Close();  // corrupt stream: framing sync is gone
+      return next.status();
+    }
+    if (*next) return message;
+    if (!is_open()) return Status::Unavailable("connection is closed");
+    uint64_t now = NowMs();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded("no response within timeout");
+    }
+    DEEPCRAWL_RETURN_IF_ERROR(WaitFd(fd_, POLLIN, deadline - now));
+    DEEPCRAWL_RETURN_IF_ERROR(FillFromSocket());
+  }
+}
+
+// --- NetQueryClient ---------------------------------------------------
+
+NetQueryClient::NetQueryClient(NetClientOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<NetQueryClient>> NetQueryClient::Connect(
+    NetClientOptions options) {
+  std::unique_ptr<NetQueryClient> client(
+      new NetQueryClient(std::move(options)));
+  DEEPCRAWL_RETURN_IF_ERROR(client->EnsureConnected(client->primary_));
+  return client;
+}
+
+Status NetQueryClient::EnsureConnected(NetConnection& conn) {
+  if (conn.is_open()) return Status::OK();
+  uint64_t deadline = NowMs() + options_.reconnect_window_ms;
+  uint64_t backoff = options_.reconnect_backoff_ms;
+  Status last = Status::Unavailable("never attempted");
+  for (;;) {
+    uint64_t now = NowMs();
+    if (now >= deadline) {
+      return Status::Unavailable("server unreachable within reconnect window (last: " +
+                                 last.ToString() + ")");
+    }
+    last = conn.Open(options_.host, options_.port,
+                     std::min<uint64_t>(deadline - now,
+                                        options_.request_timeout_ms),
+                     options_.max_frame_bytes);
+    if (last.ok()) {
+      if (connected_once_) ++reconnects_;
+      connected_once_ = true;
+      if (info_.num_values == 0 && info_.queriable_bitmap.empty()) {
+        info_ = conn.info();
+      }
+      return Status::OK();
+    }
+    now = NowMs();
+    if (now >= deadline) {
+      return Status::Unavailable("server unreachable within reconnect window (last: " +
+                                 last.ToString() + ")");
+    }
+    SleepMs(std::min<uint64_t>(backoff, deadline - now));
+    backoff = std::min<uint64_t>(backoff * 2, 1000);
+  }
+}
+
+void NetQueryClient::ResetMeters() {
+  rounds_ = 0;
+  queries_ = 0;
+  rtt_ = RttCounters{};
+}
+
+void NetQueryClient::PurgeRetainedPages() { retained_.clear(); }
+
+const ResultPage& NetQueryClient::Retain(DecodedPage page) {
+  retained_.push_back(std::move(page));
+  return retained_.back().page;
+}
+
+void NetQueryClient::AccountFetch(uint32_t page_number) {
+  ++rounds_;
+  if (page_number == 0) ++queries_;
+}
+
+StatusOr<ResultPage> NetQueryClient::RoundTrip(WireRequest request) {
+  request.request_id = NextRequestId();
+  AccountFetch(request.page_number);
+  const std::string frame = EncodeRequestFrame(request);
+  const uint64_t started_us = NowUs();
+  // The protocol is read-only, so a dead connection is simply reopened
+  // and the request retransmitted; EnsureConnected bounds the total
+  // time spent chasing the server.
+  for (;;) {
+    DEEPCRAWL_RETURN_IF_ERROR(EnsureConnected(primary_));
+    Status sent = primary_.Send(frame);
+    if (sent.ok()) sent = primary_.SendAll(options_.request_timeout_ms);
+    if (!sent.ok()) {
+      primary_.Close();
+      continue;
+    }
+    StatusOr<WireServerMessage> reply =
+        primary_.ReceiveMessage(options_.request_timeout_ms);
+    if (!reply.ok()) {
+      primary_.Close();
+      continue;
+    }
+    if (reply->type == WireMessageType::kGoAway) {
+      primary_.Close();
+      return reply->status;  // pace via the engine's RetryPolicy
+    }
+    if (reply->type != WireMessageType::kPageResult ||
+        reply->request_id != request.request_id) {
+      // Protocol confusion; resync with a fresh connection.
+      primary_.Close();
+      continue;
+    }
+    rtt_.Record(NowUs() - started_us);
+    if (!reply->status.ok()) return reply->status;
+    return Retain(std::move(reply->result));
+  }
+}
+
+StatusOr<ResultPage> NetQueryClient::FetchPage(ValueId value,
+                                               uint32_t page_number) {
+  WireRequest request;
+  request.type = WireMessageType::kFetchPage;
+  request.value = value;
+  request.page_number = page_number;
+  return RoundTrip(std::move(request));
+}
+
+StatusOr<ResultPage> NetQueryClient::FetchPageByText(AttributeId attr,
+                                                     std::string_view text,
+                                                     uint32_t page_number) {
+  WireRequest request;
+  request.type = WireMessageType::kFetchPageByText;
+  request.attr = attr;
+  request.text = std::string(text);
+  request.page_number = page_number;
+  return RoundTrip(std::move(request));
+}
+
+StatusOr<ResultPage> NetQueryClient::FetchPageByKeyword(
+    std::string_view text, uint32_t page_number) {
+  WireRequest request;
+  request.type = WireMessageType::kFetchPageByKeyword;
+  request.text = std::string(text);
+  request.page_number = page_number;
+  return RoundTrip(std::move(request));
+}
+
+StatusOr<ResultPage> NetQueryClient::FetchPageConjunctive(
+    std::span<const ValueId> values, uint32_t page_number) {
+  WireRequest request;
+  request.type = WireMessageType::kFetchPageConjunctive;
+  request.values.assign(values.begin(), values.end());
+  request.page_number = page_number;
+  return RoundTrip(std::move(request));
+}
+
+StatusOr<ResultPage> NetQueryClient::FetchPageKeywordOf(
+    ValueId value, uint32_t page_number) {
+  WireRequest request;
+  request.type = WireMessageType::kFetchPageKeywordOf;
+  request.value = value;
+  request.page_number = page_number;
+  return RoundTrip(std::move(request));
+}
+
+// --- NetFetchExecutor -------------------------------------------------
+
+// One connection plus its share of the wave. `slots` indexes into the
+// wave's request/result spans, in send order; responses must come back
+// in exactly that order (the server guarantees per-connection request
+// order), so the answered prefix is a single counter and a reconnect
+// retransmits the unanswered suffix.
+struct NetFetchExecutor::Lane {
+  NetConnection* conn = nullptr;
+  std::vector<size_t> slots;
+  std::vector<uint64_t> ids;           // request id per slot position
+  std::vector<size_t> send_end;        // sendbuf offset after each frame
+  std::vector<uint64_t> send_time_us;  // stamped as bytes reach the kernel
+  std::string sendbuf;
+  size_t sendbuf_pos = 0;   // handed to conn->Send already
+  size_t sent_slots = 0;    // slots whose bytes the kernel accepted
+  size_t next_unanswered = 0;
+  uint64_t base_sent = 0;   // conn->total_bytes_sent() at (re)build
+  uint64_t last_progress_ms = 0;
+  bool dead = false;
+
+  bool done() const { return dead || next_unanswered == slots.size(); }
+};
+
+NetFetchExecutor::NetFetchExecutor(NetQueryClient& client)
+    : client_(client) {}
+
+NetFetchExecutor::~NetFetchExecutor() = default;
+
+void NetFetchExecutor::FetchWave(
+    QueryInterface& server, std::span<const FetchRequest> requests,
+    std::span<std::optional<StatusOr<ResultPage>>> results) {
+  DEEPCRAWL_CHECK(&server == static_cast<QueryInterface*>(&client_))
+      << "NetFetchExecutor must be driven with its own NetQueryClient";
+  // The previous wave is committed by now; release its page storage.
+  client_.PurgeRetainedPages();
+  if (requests.empty()) return;
+
+  const NetClientOptions& opts = client_.net_options();
+  const uint32_t want_conns = std::max<uint32_t>(1, opts.connections);
+
+  // Connection 0 is the client's primary (shared with the serial
+  // path); the rest live in secondary_ and are opened lazily. A
+  // secondary that cannot be opened right now just shrinks the fan-out
+  // for this wave — the primary alone can always carry it.
+  std::vector<NetConnection*> conns;
+  if (client_.EnsureConnected(client_.primary_).ok()) {
+    conns.push_back(&client_.primary_);
+  }
+  while (secondary_.size() + 1 < want_conns) {
+    secondary_.push_back(std::make_unique<NetConnection>());
+  }
+  for (auto& conn : secondary_) {
+    if (conns.size() >= want_conns || conns.size() >= requests.size()) break;
+    if (!conn->is_open() &&
+        !conn->Open(opts.host, opts.port, opts.request_timeout_ms,
+                    opts.max_frame_bytes)
+             .ok()) {
+      continue;
+    }
+    conns.push_back(conn.get());
+  }
+  if (conns.empty()) {
+    Status unreachable =
+        Status::Unavailable("server unreachable within reconnect window");
+    for (size_t i = 0; i < requests.size(); ++i) results[i] = unreachable;
+    return;
+  }
+
+  // Round-robin the wave over the lanes and serialize each lane's
+  // share as ONE pipelined burst.
+  const size_t num_lanes = std::min(conns.size(), requests.size());
+  std::vector<Lane> lanes(num_lanes);
+  const uint64_t now_ms = NowMs();
+  for (size_t i = 0; i < num_lanes; ++i) {
+    lanes[i].conn = conns[i];
+    lanes[i].last_progress_ms = now_ms;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Lane& lane = lanes[i % num_lanes];
+    const FetchRequest& req = requests[i];
+    WireRequest wire;
+    wire.type = req.keyword ? WireMessageType::kFetchPageKeywordOf
+                            : WireMessageType::kFetchPage;
+    wire.request_id = client_.NextRequestId();
+    wire.value = req.value;
+    wire.page_number = req.page_number;
+    client_.AccountFetch(req.page_number);
+    lane.slots.push_back(i);
+    lane.ids.push_back(wire.request_id);
+    lane.sendbuf.append(EncodeRequestFrame(wire));
+    lane.send_end.push_back(lane.sendbuf.size());
+    lane.send_time_us.push_back(0);
+  }
+  for (Lane& lane : lanes) lane.base_sent = lane.conn->total_bytes_sent();
+
+  // Rebuilds a lane's burst from its unanswered suffix (after a
+  // reconnect: same request ids, fresh byte stream).
+  auto rebuild_lane = [this](Lane& lane) {
+    lane.slots.erase(lane.slots.begin(),
+                     lane.slots.begin() +
+                         static_cast<ptrdiff_t>(lane.next_unanswered));
+    lane.ids.erase(lane.ids.begin(),
+                   lane.ids.begin() +
+                       static_cast<ptrdiff_t>(lane.next_unanswered));
+    lane.next_unanswered = 0;
+    lane.sendbuf.clear();
+    lane.sendbuf_pos = 0;
+    lane.send_end.clear();
+    lane.send_time_us.assign(lane.slots.size(), 0);
+    lane.sent_slots = 0;
+    lane.base_sent = lane.conn->total_bytes_sent();
+  };
+
+  // A lane's connection died: reconnect within the window and
+  // retransmit its unanswered suffix, else mark the lane dead and fail
+  // its remaining slots with `reason` (the engine's RetryPolicy takes
+  // it from there).
+  auto fail_or_revive = [&](Lane& lane, const Status& reason,
+                            std::span<const FetchRequest> reqs) {
+    lane.conn->Close();
+    Status revived = client_.EnsureConnected(*lane.conn);
+    if (revived.ok()) {
+      rebuild_lane(lane);
+      for (size_t j = 0; j < lane.slots.size(); ++j) {
+        size_t slot = lane.slots[j];
+        WireRequest wire;
+        wire.type = reqs[slot].keyword ? WireMessageType::kFetchPageKeywordOf
+                                       : WireMessageType::kFetchPage;
+        wire.request_id = lane.ids[j];
+        wire.value = reqs[slot].value;
+        wire.page_number = reqs[slot].page_number;
+        lane.sendbuf.append(EncodeRequestFrame(wire));
+        lane.send_end.push_back(lane.sendbuf.size());
+      }
+      lane.last_progress_ms = NowMs();
+      return;
+    }
+    lane.dead = true;
+    Status failed = reason.ok() ? revived : reason;
+    for (size_t j = lane.next_unanswered; j < lane.slots.size(); ++j) {
+      results[lane.slots[j]] = failed;
+    }
+  };
+
+  // Feeds as much of the lane's burst to the connection as fits and
+  // stamps the send time of every request fully accepted by the
+  // kernel. Returns false when the connection died.
+  auto pump_send = [](Lane& lane) -> bool {
+    if (lane.sendbuf_pos < lane.sendbuf.size()) {
+      std::string_view chunk(lane.sendbuf.data() + lane.sendbuf_pos,
+                             lane.sendbuf.size() - lane.sendbuf_pos);
+      if (!lane.conn->Send(chunk).ok()) return false;
+      lane.sendbuf_pos = lane.sendbuf.size();
+    } else if (lane.conn->send_pending()) {
+      if (!lane.conn->TryFlushSend().ok()) return false;
+    }
+    uint64_t sent = lane.conn->total_bytes_sent() - lane.base_sent;
+    uint64_t now_us = NowUs();
+    while (lane.sent_slots < lane.slots.size() &&
+           lane.send_end[lane.sent_slots] <= sent) {
+      lane.send_time_us[lane.sent_slots++] = now_us;
+    }
+    return true;
+  };
+
+  for (Lane& lane : lanes) {
+    if (!pump_send(lane)) fail_or_revive(lane, Status::OK(), requests);
+  }
+
+  std::vector<struct pollfd> pfds;
+  std::vector<Lane*> polled;
+  WireServerMessage message;
+  for (;;) {
+    pfds.clear();
+    polled.clear();
+    for (Lane& lane : lanes) {
+      if (lane.done()) continue;
+      struct pollfd pfd;
+      pfd.fd = lane.conn->fd();
+      pfd.events = POLLIN;
+      if (lane.conn->send_pending() ||
+          lane.sendbuf_pos < lane.sendbuf.size()) {
+        pfd.events |= POLLOUT;
+      }
+      pfd.revents = 0;
+      pfds.push_back(pfd);
+      polled.push_back(&lane);
+    }
+    if (pfds.empty()) break;
+
+    int n = poll(pfds.data(), pfds.size(), 50);
+    if (n < 0 && errno != EINTR) break;
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      Lane& lane = *polled[i];
+      if (lane.done()) continue;
+      short revents = pfds[i].revents;
+      if (revents & (POLLOUT)) {
+        if (!pump_send(lane)) {
+          fail_or_revive(lane, Status::OK(), requests);
+          continue;
+        }
+        lane.last_progress_ms = NowMs();
+      }
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        Status filled = lane.conn->FillFromSocket();
+        bool lane_failed = !filled.ok();
+        while (!lane_failed && !lane.done()) {
+          StatusOr<bool> next = lane.conn->NextMessage(&message);
+          if (!next.ok()) {
+            lane_failed = true;
+            break;
+          }
+          if (!*next) break;
+          lane.last_progress_ms = NowMs();
+          if (message.type == WireMessageType::kGoAway) {
+            lane_failed = true;
+            break;
+          }
+          if (message.type != WireMessageType::kPageResult ||
+              message.request_id != lane.ids[lane.next_unanswered]) {
+            lane_failed = true;  // out-of-order or foreign response
+            break;
+          }
+          size_t slot = lane.slots[lane.next_unanswered];
+          if (lane.send_time_us[lane.next_unanswered] != 0) {
+            client_.rtt_.Record(NowUs() -
+                                lane.send_time_us[lane.next_unanswered]);
+          }
+          if (message.status.ok()) {
+            results[slot] = client_.Retain(std::move(message.result));
+          } else {
+            results[slot] = message.status;
+          }
+          ++lane.next_unanswered;
+        }
+        if (lane_failed) {
+          fail_or_revive(lane, Status::OK(), requests);
+          continue;
+        }
+      }
+      if (!lane.done() &&
+          NowMs() - lane.last_progress_ms > opts.request_timeout_ms) {
+        fail_or_revive(
+            lane, Status::DeadlineExceeded("no response within timeout"),
+            requests);
+      }
+    }
+  }
+}
+
+}  // namespace deepcrawl

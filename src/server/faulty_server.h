@@ -179,6 +179,7 @@ class FaultyServer : public QueryInterface {
   bool IsQueriableValue(ValueId value) const override {
     return inner_.IsQueriableValue(value);
   }
+  RttCounters rtt_counters() const override { return inner_.rtt_counters(); }
 
   const FaultProfile& profile() const { return profile_; }
   const FaultCounters& fault_counters() const { return counters_; }

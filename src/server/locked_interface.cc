@@ -15,6 +15,11 @@ StatusOr<ResultPage> LockedQueryInterface::Locked(Fetch&& fetch) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // The modeled round trip lands in the same counters a network client
+  // fills with measured socket RTT (see RttCounters in
+  // query_interface.h), so --latency-us runs report latency the same
+  // way TCP-backed crawls do.
+  rtt_.Record(latency_us_);
   return fetch();
 }
 
@@ -57,6 +62,14 @@ uint64_t LockedQueryInterface::queries_issued() const {
 void LockedQueryInterface::ResetMeters() {
   std::lock_guard<std::mutex> lock(mu_);
   inner_.ResetMeters();
+  rtt_ = RttCounters{};
+}
+
+RttCounters LockedQueryInterface::rtt_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RttCounters merged = inner_.rtt_counters();
+  merged.Merge(rtt_);
+  return merged;
 }
 
 }  // namespace deepcrawl

@@ -61,6 +61,9 @@ class LockedQueryInterface : public QueryInterface {
   uint64_t communication_rounds() const override;
   uint64_t queries_issued() const override;
   void ResetMeters() override;
+  // Inner counters merged with the simulated per-fetch latency this
+  // adapter modeled (one observation of latency_us per fetch).
+  RttCounters rtt_counters() const override;
 
   const ServerOptions& options() const override { return inner_.options(); }
   bool IsQueriableValue(ValueId value) const override {
@@ -77,6 +80,7 @@ class LockedQueryInterface : public QueryInterface {
   QueryInterface& inner_;
   const uint64_t latency_us_;
   mutable std::mutex mu_;
+  RttCounters rtt_;  // guarded by mu_
 };
 
 }  // namespace deepcrawl

@@ -45,6 +45,44 @@ struct ServerOptions {
   std::vector<AttributeId> queriable_attributes;
 };
 
+// Round-trip-time tallies of the page fetches an interface served. One
+// struct covers both latency sources, so reporting is uniform: the
+// LockedQueryInterface records its SIMULATED --latency-us per fetch,
+// the NetQueryClient (src/net/net_client.h) records the MEASURED
+// wall-clock of each socket round trip. Wall-clock-derived, hence
+// outside the determinism contract: never checkpointed, never traced.
+struct RttCounters {
+  uint64_t fetches = 0;       // fetches with an RTT observation
+  uint64_t total_rtt_us = 0;  // sum over those fetches
+  uint64_t min_rtt_us = 0;    // 0 until the first observation
+  uint64_t max_rtt_us = 0;
+
+  void Record(uint64_t rtt_us) {
+    if (fetches == 0 || rtt_us < min_rtt_us) min_rtt_us = rtt_us;
+    if (rtt_us > max_rtt_us) max_rtt_us = rtt_us;
+    ++fetches;
+    total_rtt_us += rtt_us;
+  }
+
+  void Merge(const RttCounters& other) {
+    if (other.fetches == 0) return;
+    if (fetches == 0 || other.min_rtt_us < min_rtt_us) {
+      min_rtt_us = other.min_rtt_us;
+    }
+    if (other.max_rtt_us > max_rtt_us) max_rtt_us = other.max_rtt_us;
+    fetches += other.fetches;
+    total_rtt_us += other.total_rtt_us;
+  }
+
+  double MeanUs() const {
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(total_rtt_us) /
+                              static_cast<double>(fetches);
+  }
+
+  bool operator==(const RttCounters&) const = default;
+};
+
 // One record as returned on a result page. The id stands in for the
 // extracted record content (a real crawler deduplicates on content; the
 // simulation deduplicates on id, which is equivalent because records are
@@ -113,6 +151,12 @@ class QueryInterface {
   // submissions rejected by a fault).
   virtual uint64_t queries_issued() const = 0;
   virtual void ResetMeters() = 0;
+
+  // Round-trip-time tallies for the fetches this interface served.
+  // Zero-valued by default: the in-memory simulator answers instantly;
+  // latency-modeling and network implementations override this (see
+  // RttCounters above).
+  virtual RttCounters rtt_counters() const { return RttCounters{}; }
 
   // --- interface schema ------------------------------------------------
 

@@ -1,0 +1,417 @@
+// End-to-end loopback tests for the TCP WebDB server and the network
+// client (src/net/): handshake schema, fetch parity against the
+// in-process backend for every query form, fault propagation (status
+// codes and retry-after hints over the wire), pipelining order,
+// connection shedding, malformed-frame handling, server-restart
+// reconnection, and the pipelined fetch executor.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/net_client.h"
+#include "src/net/tcp_server.h"
+#include "src/server/faulty_server.h"
+#include "src/server/web_db_server.h"
+#include "src/util/logging.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeFigure1Table;
+
+// Runs a WebDbTcpServer on its own EventLoop thread. Stats are only
+// read after Stop() (the join synchronizes with the loop thread's
+// writes).
+class LoopServer {
+ public:
+  LoopServer(QueryInterface& backend, TcpServerOptions options) {
+    Status init = loop_.Init();
+    DEEPCRAWL_CHECK(init.ok()) << init.ToString();
+    server_.emplace(loop_, backend, options);
+    Status started = server_->Start();
+    DEEPCRAWL_CHECK(started.ok()) << started.ToString();
+    thread_ = std::thread([this] { loop_.Run(); });
+  }
+  ~LoopServer() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      loop_.Stop();
+      thread_.join();
+      server_->Shutdown();
+    }
+  }
+
+  uint16_t port() const { return server_->port(); }
+  const WebDbTcpServer& server() const { return *server_; }
+
+ private:
+  EventLoop loop_;
+  std::optional<WebDbTcpServer> server_;
+  std::thread thread_;
+};
+
+TcpServerOptions OptionsFor(const Table& table) {
+  TcpServerOptions options;
+  options.num_values = table.num_distinct_values();
+  return options;
+}
+
+NetClientOptions ClientOptions(uint16_t port, uint32_t connections = 1) {
+  NetClientOptions options;
+  options.port = port;
+  options.connections = connections;
+  // Tests should fail fast, not hang for the production 15s window.
+  options.reconnect_window_ms = 3000;
+  options.reconnect_backoff_ms = 5;
+  return options;
+}
+
+void ExpectSamePage(const StatusOr<ResultPage>& got,
+                    const StatusOr<ResultPage>& want) {
+  ASSERT_EQ(got.ok(), want.ok())
+      << (got.ok() ? want.status().ToString() : got.status().ToString());
+  if (!want.ok()) {
+    EXPECT_EQ(got.status().code(), want.status().code());
+    EXPECT_EQ(got.status().retry_after_rounds(),
+              want.status().retry_after_rounds());
+    return;
+  }
+  const ResultPage& g = got.value();
+  const ResultPage& w = want.value();
+  EXPECT_EQ(g.page_number, w.page_number);
+  EXPECT_EQ(g.total_matches, w.total_matches);
+  EXPECT_EQ(g.has_more, w.has_more);
+  ASSERT_EQ(g.records.size(), w.records.size());
+  for (size_t i = 0; i < w.records.size(); ++i) {
+    EXPECT_EQ(g.records[i].id, w.records[i].id);
+    EXPECT_EQ(std::vector<ValueId>(g.records[i].values.begin(),
+                                   g.records[i].values.end()),
+              std::vector<ValueId>(w.records[i].values.begin(),
+                                   w.records[i].values.end()))
+        << "record " << i;
+  }
+}
+
+TEST(NetServerTest, HandshakeExposesInterfaceSchema) {
+  Table table = MakeFigure1Table();
+  ServerOptions server_options;
+  server_options.page_size = 2;
+  server_options.result_limit = 4;
+  WebDbServer backend(table, server_options);
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  StatusOr<std::unique_ptr<NetQueryClient>> client =
+      NetQueryClient::Connect(ClientOptions(loop_server.port()));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ((*client)->options().page_size, server_options.page_size);
+  EXPECT_EQ((*client)->options().result_limit, server_options.result_limit);
+  EXPECT_EQ((*client)->options().reports_total_count,
+            server_options.reports_total_count);
+  for (ValueId v = 0; v < table.num_distinct_values() + 3; ++v) {
+    EXPECT_EQ((*client)->IsQueriableValue(v), backend.IsQueriableValue(v))
+        << "value " << v;
+  }
+}
+
+TEST(NetServerTest, EveryFetchFormMatchesInProcess) {
+  Table table = MakeFigure1Table();
+  ServerOptions server_options;
+  server_options.page_size = 2;
+  WebDbServer backend(table, server_options);
+  WebDbServer reference(table, server_options);
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(ClientOptions(loop_server.port()));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NetQueryClient& client = **connected;
+
+  ValueId a2 = GetValueId(table, "A", "a2");
+  ValueId c2 = GetValueId(table, "C", "c2");
+  AttributeId attr_b = table.schema().FindAttribute("B").value();
+
+  for (uint32_t page = 0; page < 3; ++page) {
+    ExpectSamePage(client.FetchPage(a2, page),
+                   reference.FetchPage(a2, page));
+  }
+  ExpectSamePage(client.FetchPageByText(attr_b, "b2", 0),
+                 reference.FetchPageByText(attr_b, "b2", 0));
+  ExpectSamePage(client.FetchPageByKeyword("c2", 0),
+                 reference.FetchPageByKeyword("c2", 0));
+  std::vector<ValueId> conjunction = {a2, c2};
+  ExpectSamePage(client.FetchPageConjunctive(conjunction, 0),
+                 reference.FetchPageConjunctive(conjunction, 0));
+  ExpectSamePage(client.FetchPageKeywordOf(a2, 0),
+                 reference.FetchPageKeywordOf(a2, 0));
+
+  // Error paths cross the wire as faithfully as pages do.
+  ExpectSamePage(client.FetchPage(a2, 999), reference.FetchPage(a2, 999));
+  ExpectSamePage(client.FetchPage(kInvalidValueId, 0),
+                 reference.FetchPage(kInvalidValueId, 0));
+
+  // One attempt = one round, page 0 = one query: the network client
+  // must meter exactly like the in-process server.
+  EXPECT_EQ(client.communication_rounds(), reference.communication_rounds());
+  EXPECT_EQ(client.queries_issued(), reference.queries_issued());
+
+  // Socket round trips are real, so the RTT counters must have
+  // recorded one sample per fetch.
+  EXPECT_EQ(client.rtt_counters().fetches, client.communication_rounds());
+  EXPECT_GT(client.rtt_counters().max_rtt_us, 0u);
+}
+
+TEST(NetServerTest, KeyedFaultsMatchInProcessThroughTcp) {
+  Table table = MakeFigure1Table();
+  ServerOptions server_options;
+  server_options.page_size = 2;
+  WebDbServer backend(table, server_options);
+  FaultProfile profile;
+  profile.unavailable_rate = 0.3;
+  profile.rate_limit_rate = 0.3;
+  profile.retry_after_rounds = 6;
+  FaultyServer faulty(backend, profile, /*seed=*/11);
+  faulty.set_keyed_faults(true);
+  LoopServer loop_server(faulty, OptionsFor(table));
+
+  WebDbServer reference_backend(table, server_options);
+  FaultyServer reference(reference_backend, profile, /*seed=*/11);
+  reference.set_keyed_faults(true);
+
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(ClientOptions(loop_server.port()));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NetQueryClient& client = **connected;
+
+  // The same fetch sequence must meet the same injected faults: keyed
+  // decisions depend only on (query, page, attempt), which both sides
+  // count identically.
+  int rate_limits = 0;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+      StatusOr<ResultPage> over_wire = client.FetchPage(v, 0);
+      StatusOr<ResultPage> in_process = reference.FetchPage(v, 0);
+      ExpectSamePage(over_wire, in_process);
+      if (!over_wire.ok() &&
+          over_wire.status().code() == StatusCode::kResourceExhausted) {
+        ++rate_limits;
+        // The retry-after hint survived the wire (checked for equality
+        // in ExpectSamePage; here for presence).
+        EXPECT_EQ(over_wire.status().retry_after_rounds(),
+                  std::optional<uint32_t>(6));
+      }
+    }
+  }
+  // The profile injects rate limits at 30%; a silent zero would mean
+  // the fault proxy never engaged.
+  EXPECT_GT(rate_limits, 0);
+}
+
+TEST(NetServerTest, PipelinedRequestsAnsweredInOrder) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  NetConnection conn;
+  Status opened = conn.Open("127.0.0.1", loop_server.port(), 3000);
+  ASSERT_TRUE(opened.ok()) << opened.ToString();
+
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    WireRequest request;
+    request.type = WireMessageType::kFetchPage;
+    request.request_id = 1000 + i;
+    request.value = static_cast<ValueId>(i % table.num_distinct_values());
+    request.page_number = 0;
+    Status sent = conn.Send(EncodeRequestFrame(request));
+    ASSERT_TRUE(sent.ok()) << sent.ToString();
+  }
+  Status flushed = conn.SendAll(3000);
+  ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<WireServerMessage> reply = conn.ReceiveMessage(3000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, WireMessageType::kPageResult);
+    EXPECT_EQ(reply->request_id, 1000u + i) << "response out of order";
+  }
+}
+
+TEST(NetServerTest, ResponseLatencyPreservesOrder) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  TcpServerOptions tcp_options = OptionsFor(table);
+  tcp_options.latency_us = 2000;
+  LoopServer loop_server(backend, tcp_options);
+
+  NetConnection conn;
+  ASSERT_TRUE(conn.Open("127.0.0.1", loop_server.port(), 3000).ok());
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    WireRequest request;
+    request.request_id = 50 + i;
+    request.value = static_cast<ValueId>(i % table.num_distinct_values());
+    ASSERT_TRUE(conn.Send(EncodeRequestFrame(request)).ok());
+  }
+  ASSERT_TRUE(conn.SendAll(3000).ok());
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<WireServerMessage> reply = conn.ReceiveMessage(5000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->request_id, 50u + i) << "delayed response out of order";
+  }
+}
+
+TEST(NetServerTest, ConnectionCapShedsWithRetryableGoAway) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  TcpServerOptions tcp_options = OptionsFor(table);
+  tcp_options.max_connections = 1;
+  tcp_options.shed_retry_after_rounds = 8;
+  LoopServer loop_server(backend, tcp_options);
+
+  NetConnection first;
+  ASSERT_TRUE(first.Open("127.0.0.1", loop_server.port(), 3000).ok());
+
+  NetConnection second;
+  Status shed = second.Open("127.0.0.1", loop_server.port(), 3000);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.retry_after_rounds(), std::optional<uint32_t>(8));
+
+  // The surviving connection still works.
+  WireRequest request;
+  request.request_id = 1;
+  request.value = 0;
+  ASSERT_TRUE(first.Send(EncodeRequestFrame(request)).ok());
+  ASSERT_TRUE(first.SendAll(3000).ok());
+  StatusOr<WireServerMessage> reply = first.ReceiveMessage(3000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  // Closing the first connection frees the slot for a newcomer.
+  first.Close();
+  NetConnection third;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (third.Open("127.0.0.1", loop_server.port(), 3000).ok()) break;
+    usleep(10'000);
+  }
+  ASSERT_TRUE(third.is_open()) << "slot never freed after close";
+
+  loop_server.Stop();
+  // At least the second connection was shed (the reopen loop may have
+  // collected a few more GoAways while the close was still in flight).
+  EXPECT_GE(loop_server.server().connections_shed(), 1u);
+}
+
+TEST(NetServerTest, MalformedFrameClosesConnection) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(loop_server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A tiny forged length prefix: unframeable, so the server must cut
+  // the connection (read returns EOF here) rather than serve garbage.
+  const char garbage[] = {4, 0, 0, 0, 'J', 'U', 'N', 'K'};
+  ASSERT_EQ(write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  char buffer[64];
+  ssize_t n = read(fd, buffer, sizeof(buffer));
+  EXPECT_EQ(n, 0) << "server kept the connection alive past corruption";
+  close(fd);
+
+  loop_server.Stop();
+  EXPECT_EQ(loop_server.server().protocol_errors(), 1u);
+}
+
+TEST(NetServerTest, ClientReconnectsAcrossServerRestart) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  auto first = std::make_unique<LoopServer>(backend, OptionsFor(table));
+  uint16_t port = first->port();
+
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(ClientOptions(port));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NetQueryClient& client = **connected;
+  ASSERT_TRUE(client.FetchPage(0, 0).ok());
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Kill the server, restart on the same port (SO_REUSEADDR), and the
+  // next fetch must transparently reconnect and retransmit.
+  first.reset();
+  TcpServerOptions restart_options = OptionsFor(table);
+  restart_options.port = port;
+  LoopServer second(backend, restart_options);
+
+  StatusOr<ResultPage> refetched = client.FetchPage(0, 0);
+  ASSERT_TRUE(refetched.ok()) << refetched.status().ToString();
+  EXPECT_GE(client.reconnects(), 1u);
+
+  // With no server at all, the reconnect window must expire into a
+  // retryable kUnavailable instead of hanging forever.
+  second.Stop();
+  StatusOr<ResultPage> dead = client.FetchPage(0, 0);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServerTest, ExecutorWaveMatchesInProcessResults) {
+  Table table = MakeFigure1Table();
+  ServerOptions server_options;
+  server_options.page_size = 2;
+  WebDbServer backend(table, server_options);
+  WebDbServer reference(table, server_options);
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(ClientOptions(loop_server.port(),
+                                            /*connections=*/3));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NetQueryClient& client = **connected;
+  NetFetchExecutor executor(client);
+
+  // Two waves, so the second exercises the purge-then-reuse path.
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<FetchRequest> requests;
+    for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+      requests.push_back(FetchRequest{v, 0, false});
+      requests.push_back(FetchRequest{v, 1, false});
+      requests.push_back(FetchRequest{v, 0, true});
+    }
+    std::vector<std::optional<StatusOr<ResultPage>>> results(requests.size());
+    executor.FetchWave(client, requests, results);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(results[i].has_value()) << "slot " << i << " unfilled";
+      StatusOr<ResultPage> expected =
+          requests[i].keyword
+              ? reference.FetchPageKeywordOf(requests[i].value,
+                                             requests[i].page_number)
+              : reference.FetchPage(requests[i].value,
+                                    requests[i].page_number);
+      ExpectSamePage(*results[i], expected);
+    }
+  }
+  EXPECT_EQ(client.communication_rounds(), reference.communication_rounds());
+  EXPECT_EQ(client.queries_issued(), reference.queries_issued());
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification, seven times over: the plain build, an ASan/UBSan
+# Tier-1 verification, eight times over: the plain build, an ASan/UBSan
 # build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
 # baselines, a kill/resume pass that SIGKILLs a checkpointing crawl
 # mid-run and proves the resumed crawl's trace is byte-identical to an
 # uninterrupted one, the same kill/resume differential against a whole
-# fleet crawling under scripted chaos, and a competitive-guarantee gate
+# fleet crawling under scripted chaos, a competitive-guarantee gate
 # that crawls a small adversarial greedy-trap instance end to end and
 # fails when the opt-rank selector exceeds its 2x-of-OPT bound (or when
-# the greedy lower-bound gap collapses).
+# the greedy lower-bound gap collapses), and a network resilience pass
+# that SIGKILLs a deepcrawl_serve process under a live TCP crawl,
+# restarts it on the same port, and proves the client reconnected,
+# retransmitted, and produced a byte-identical trace.
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
-#        [--no-competitive]
+#        [--no-competitive] [--no-net]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -31,7 +34,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest|NetServerTest|NetDifferentialTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -40,7 +43,7 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/7: plain build (build/) ==="
+echo "=== pass 1/8: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
@@ -48,6 +51,7 @@ skip_tsan=0
 skip_perf=0
 skip_resume=0
 skip_competitive=0
+skip_net=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
@@ -55,21 +59,22 @@ for arg in "$@"; do
     --no-perf) skip_perf=1 ;;
     --no-resume) skip_resume=1 ;;
     --no-competitive) skip_competitive=1 ;;
+    --no-net) skip_net=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/7 skipped (--no-asan) ==="
+  echo "=== pass 2/8 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/7: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/8: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/7 skipped (--no-tsan) ==="
+  echo "=== pass 3/8 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/7: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/8: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -77,19 +82,20 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/7 skipped (--no-perf) ==="
+  echo "=== pass 4/8 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/7: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/8: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
     --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet \
-    bench_optimal
+    bench_optimal bench_net
   ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
   ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
   ./build-perf/bench/bench_mmmi_ablation \
     --json=build-perf/BENCH_mmmi_ablation.json
   ./build-perf/bench/bench_fleet --json=build-perf/BENCH_fleet.json
   ./build-perf/bench/bench_optimal --json=build-perf/BENCH_optimal.json
+  ./build-perf/bench/bench_net --json=build-perf/BENCH_net.json
   python3 tools/bench_compare.py --max-regress 0.20 \
     --baseline BENCH_micro.json \
     --current build-perf/BENCH_micro.json \
@@ -100,13 +106,15 @@ else
     --baseline BENCH_fleet.json \
     --current build-perf/BENCH_fleet.json \
     --baseline BENCH_optimal.json \
-    --current build-perf/BENCH_optimal.json
+    --current build-perf/BENCH_optimal.json \
+    --baseline BENCH_net.json \
+    --current build-perf/BENCH_net.json
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 5/7 skipped (--no-resume) ==="
+  echo "=== pass 5/8 skipped (--no-resume) ==="
 else
-  echo "=== pass 5/7: kill/resume checkpoint differential ==="
+  echo "=== pass 5/8: kill/resume checkpoint differential ==="
   # An uninterrupted reference crawl, then the same crawl slowed by
   # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
   # resume from its last surviving checkpoint must emit the exact same
@@ -145,9 +153,9 @@ else
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 6/7 skipped (--no-resume) ==="
+  echo "=== pass 6/8 skipped (--no-resume) ==="
 else
-  echo "=== pass 6/7: fleet kill/resume under chaos ==="
+  echo "=== pass 6/8: fleet kill/resume under chaos ==="
   # Pass 5 for the whole fleet: an uninterrupted 4-source fleet crawl
   # under the hostile chaos schedule, then the same fleet slowed by
   # simulated latency and checkpointing every turn, SIGKILLed mid-chaos;
@@ -185,9 +193,9 @@ else
 fi
 
 if [[ "${skip_competitive}" == 1 ]]; then
-  echo "=== pass 7/7 skipped (--no-competitive) ==="
+  echo "=== pass 7/8 skipped (--no-competitive) ==="
 else
-  echo "=== pass 7/7: competitive-guarantee gate (adversarial trap) ==="
+  echo "=== pass 7/8: competitive-guarantee gate (adversarial trap) ==="
   # End-to-end through the real CLI: generate a B=32 greedy-trap
   # instance, crawl it to full coverage with opt-rank and with greedy,
   # and gate on the measured cost/OPT ratios — the descent must stay
@@ -216,6 +224,91 @@ else
     exit 1
   fi
   echo "competitive gate: bound holds, separation intact"
+fi
+
+if [[ "${skip_net}" == 1 ]]; then
+  echo "=== pass 8/8 skipped (--no-net) ==="
+else
+  echo "=== pass 8/8: network kill/reconnect over real sockets ==="
+  # The wire protocol's story end to end through the real binaries, in
+  # two differentials. (a) Transparency: the same faulty crawl run
+  # in-process and against a deepcrawl_serve process must emit
+  # byte-identical traces — keyed fault injection crosses the wire
+  # unchanged. (b) Resilience: a fault-free crawl against a slowed
+  # server (per-response latency stretches the run) whose process is
+  # SIGKILLed mid-crawl and restarted on the same port must reconnect,
+  # retransmit the in-flight wave, and still finish byte-identical to
+  # the in-process run. (b) runs fault-free on purpose: keyed fault
+  # attempt counters are server state, so a restarted server re-faults
+  # first attempts it has forgotten — restart equivalence is a promise
+  # about the stateless protocol, not about fault bookkeeping.
+  NET_DIR="$(mktemp -d)"
+  # Keep cleaning the earlier passes' dirs too (one trap per signal).
+  trap 'rm -rf "${RESUME_DIR:-}" "${FLEET_DIR:-}" "${NET_DIR}"' EXIT
+  SERVE=./build/tools/deepcrawl_serve
+  CRAWL=./build/tools/deepcrawl_crawl
+  NET_BASE=(--workload=ebay --scale=0.05 --policy=greedy --batch=4)
+  # (a) faulty wire transparency.
+  "${CRAWL}" "${NET_BASE[@]}" --fault-profile=flaky \
+    --trace-csv="${NET_DIR}/inproc_flaky.csv" > /dev/null
+  "${SERVE}" --workload=ebay --scale=0.05 --fault-profile=flaky \
+    --port-file="${NET_DIR}/port" > /dev/null 2>&1 &
+  SERVE_PID=$!
+  while [[ ! -s "${NET_DIR}/port" ]]; do sleep 0.05; done
+  NET_PORT="$(cat "${NET_DIR}/port")"
+  "${CRAWL}" "${NET_BASE[@]}" --fault-profile=flaky --connections=4 \
+    --connect="127.0.0.1:${NET_PORT}" \
+    --trace-csv="${NET_DIR}/tcp_flaky.csv" > /dev/null
+  kill "${SERVE_PID}" 2> /dev/null || true
+  wait "${SERVE_PID}" 2> /dev/null || true
+  if ! cmp -s "${NET_DIR}/inproc_flaky.csv" "${NET_DIR}/tcp_flaky.csv"; then
+    echo "network transparency FAILED: TCP trace differs in-process" >&2
+    diff "${NET_DIR}/inproc_flaky.csv" "${NET_DIR}/tcp_flaky.csv" \
+      | head -20 >&2
+    exit 1
+  fi
+  echo "network transparency: faulty TCP trace byte-identical in-process"
+  # (b) kill/reconnect across a server restart.
+  "${CRAWL}" "${NET_BASE[@]}" \
+    --trace-csv="${NET_DIR}/inproc_clean.csv" > /dev/null
+  "${SERVE}" --workload=ebay --scale=0.05 --port="${NET_PORT}" \
+    --latency-us=10000 > /dev/null 2>&1 &
+  SERVE_PID=$!
+  sleep 0.3
+  "${CRAWL}" "${NET_BASE[@]}" --connections=4 \
+    --connect="127.0.0.1:${NET_PORT}" \
+    --trace-csv="${NET_DIR}/tcp_killed.csv" > "${NET_DIR}/killed.out" &
+  NET_CRAWL_PID=$!
+  sleep 1
+  kill -9 "${SERVE_PID}" 2> /dev/null || true
+  wait "${SERVE_PID}" 2> /dev/null || true
+  "${SERVE}" --workload=ebay --scale=0.05 --port="${NET_PORT}" \
+    > /dev/null 2>&1 &
+  SERVE_PID=$!
+  if ! wait "${NET_CRAWL_PID}"; then
+    echo "network kill/reconnect FAILED: crawl errored across restart" >&2
+    kill "${SERVE_PID}" 2> /dev/null || true
+    exit 1
+  fi
+  kill "${SERVE_PID}" 2> /dev/null || true
+  wait "${SERVE_PID}" 2> /dev/null || true
+  if ! cmp -s "${NET_DIR}/inproc_clean.csv" "${NET_DIR}/tcp_killed.csv"; then
+    echo "network kill/reconnect FAILED: trace differs after restart" >&2
+    diff "${NET_DIR}/inproc_clean.csv" "${NET_DIR}/tcp_killed.csv" \
+      | head -20 >&2
+    exit 1
+  fi
+  # reconnects == 0 would mean the kill landed after the crawl was done
+  # and the pass proved nothing; fail loudly so the timing gets fixed.
+  NET_RECONNECTS="$(awk '/network:/ {print $(NF-1)}' \
+    "${NET_DIR}/killed.out")"
+  if [[ -z "${NET_RECONNECTS}" || "${NET_RECONNECTS}" == 0 ]]; then
+    echo "network kill/reconnect FAILED: crawl never saw the restart" \
+      "(reconnects=${NET_RECONNECTS:-none})" >&2
+    exit 1
+  fi
+  echo "network kill/reconnect: trace byte-identical," \
+    "${NET_RECONNECTS} reconnect(s)"
 fi
 
 echo "all requested checks passed"

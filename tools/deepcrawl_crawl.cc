@@ -30,6 +30,16 @@
 //       --checkpoint=crawl.ckpt --checkpoint-every=64
 //   deepcrawl_crawl --workload=ebay --policy=greedy ...
 //       --resume-from=crawl.ckpt --checkpoint=crawl.ckpt --checkpoint-every=64
+//
+//   # Crawl a remote WebDB served by deepcrawl_serve, pipelining each
+//   # wave over 8 TCP connections. The workload flags must match the
+//   # server's so selector bookkeeping (catalog, hierarchy, coverage
+//   # accounting) lines up with the pages coming off the wire; fault
+//   # flags describe what the SERVER injects (they size the client's
+//   # retry budget and jitter seed — faults themselves live
+//   # server-side).
+//   deepcrawl_crawl --workload=ebay --policy=greedy ...
+//       --connect=127.0.0.1:9317 --connections=8 --batch=32
 
 #include <fstream>
 #include <iostream>
@@ -41,11 +51,9 @@
 #include "src/crawler/crawl_engine.h"
 #include "src/crawler/retry_policy.h"
 #include "src/crawler/trace_io.h"
-#include "src/datagen/adversarial_workload.h"
-#include "src/datagen/canned_workloads.h"
-#include "src/datagen/workload_config.h"
 #include "src/domain/domain_table.h"
 #include "src/estimate/chao.h"
+#include "src/net/net_client.h"
 #include "src/relation/tsv.h"
 #include "src/server/faulty_server.h"
 #include "src/server/locked_interface.h"
@@ -54,23 +62,14 @@
 #include "src/util/random.h"
 #include "src/util/table_printer.h"
 #include "tools/selector_factory.h"
+#include "tools/workload_setup.h"
 
 namespace deepcrawl {
 namespace {
 
 struct Options {
-  std::string input;
-  std::string workload;
-  double scale = 0.1;
-  int64_t gen_seed = 1;
-
-  // --workload=adversarial knobs (src/datagen/adversarial_workload.h).
-  std::string adv_family = "trap";
-  int64_t adv_buckets = 16;
-  int64_t adv_records = 8;
-  int64_t adv_decoy_buckets = 4;
-  int64_t adv_decoy_width = 16;
-  int64_t adv_occupied = 2;
+  WorkloadFlagOptions workload;
+  FaultFlagOptions fault;
 
   std::string policy = "greedy";
   bool mmmi_reference = false;
@@ -88,16 +87,6 @@ struct Options {
   std::string trace_csv;
   std::string output_tsv;
 
-  // Fault injection (see src/server/faulty_server.h). The preset picks a
-  // base FaultProfile; the individual rates override it when >= 0.
-  std::string fault_profile = "none";
-  double fault_unavailable = -1.0;
-  double fault_timeout = -1.0;
-  double fault_rate_limit = -1.0;
-  double fault_truncate = -1.0;
-  double fault_duplicate = -1.0;
-  int64_t fault_retry_after = 4;
-  int64_t fault_seed = 1;
   int64_t retry_attempts = 4;
   int64_t retry_requeues = 2;
 
@@ -107,7 +96,12 @@ struct Options {
   int64_t threads = 1;
   int64_t batch = 1;
   int64_t latency_us = 0;
-  bool fault_keyed = false;
+
+  // Network crawl (src/net/net_client.h): fetch pages from a
+  // deepcrawl_serve process instead of an in-process simulator.
+  std::string connect;
+  int64_t connections = 4;
+  int64_t connect_retry_ms = 15000;
 
   // Checkpoint/resume (src/crawler/checkpoint.h).
   std::string checkpoint;
@@ -117,105 +111,28 @@ struct Options {
   bool help = false;
 };
 
-StatusOr<FaultProfile> BuildFaultProfile(const Options& options) {
-  FaultProfile profile;
-  if (options.fault_profile == "flaky") {
-    // ~10% of rounds lost to transient failures, mixed kinds.
-    profile.unavailable_rate = 0.05;
-    profile.timeout_rate = 0.03;
-    profile.rate_limit_rate = 0.02;
-  } else if (options.fault_profile == "lossy") {
-    // Pages silently lose or repeat records; no hard failures.
-    profile.truncate_rate = 0.05;
-    profile.duplicate_rate = 0.05;
-  } else if (options.fault_profile == "hostile") {
-    // Both at once, at rates that make retries and re-queues routine.
-    profile.unavailable_rate = 0.10;
-    profile.timeout_rate = 0.05;
-    profile.rate_limit_rate = 0.05;
-    profile.truncate_rate = 0.05;
-    profile.duplicate_rate = 0.02;
-  } else if (options.fault_profile != "none") {
-    return Status::InvalidArgument("unknown --fault-profile '" +
-                                   options.fault_profile +
-                                   "' (none|flaky|lossy|hostile)");
+// Splits host:port; host may be omitted ("9317" = 127.0.0.1:9317).
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  std::string port_text = spec;
+  *host = "127.0.0.1";
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) *host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
   }
-  if (options.fault_unavailable >= 0.0) {
-    profile.unavailable_rate = options.fault_unavailable;
+  int value = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') value = -1;
+    if (value >= 0) value = value * 10 + (c - '0');
+    if (value > 65535) value = -1;
   }
-  if (options.fault_timeout >= 0.0) profile.timeout_rate = options.fault_timeout;
-  if (options.fault_rate_limit >= 0.0) {
-    profile.rate_limit_rate = options.fault_rate_limit;
+  if (port_text.empty() || value <= 0) {
+    return Status::InvalidArgument("bad --connect '" + spec +
+                                   "' (want host:port)");
   }
-  if (options.fault_truncate >= 0.0) {
-    profile.truncate_rate = options.fault_truncate;
-  }
-  if (options.fault_duplicate >= 0.0) {
-    profile.duplicate_rate = options.fault_duplicate;
-  }
-  profile.retry_after_rounds =
-      static_cast<uint32_t>(options.fault_retry_after);
-  double sum = profile.unavailable_rate + profile.timeout_rate +
-               profile.rate_limit_rate + profile.truncate_rate +
-               profile.duplicate_rate;
-  if (sum > 1.0) {
-    return Status::InvalidArgument(
-        "--fault-* rates must sum to at most 1 (got " + std::to_string(sum) +
-        ")");
-  }
-  return profile;
-}
-
-// Ground truth carried out of an adversarial generation: the crawl seeds
-// from the hierarchy root and reports its query cost against OPT.
-struct AdversarialGroundTruth {
-  uint64_t opt_queries = 0;
-  uint32_t result_limit = 0;
-  ValueId root_value = kInvalidValueId;
-};
-
-StatusOr<Table> LoadTarget(const Options& options,
-                           std::optional<AdversarialGroundTruth>& adv) {
-  if (!options.input.empty()) return ReadTableTsvFile(options.input);
-  if (options.workload == "adversarial") {
-    AdversarialConfig config;
-    if (options.adv_family == "trap") {
-      config.family = AdversarialFamily::kGreedyTrap;
-    } else if (options.adv_family == "skew") {
-      config.family = AdversarialFamily::kSkewedChain;
-    } else {
-      return Status::InvalidArgument("unknown --adv-family '" +
-                                     options.adv_family + "' (trap|skew)");
-    }
-    config.leaf_buckets = static_cast<uint32_t>(options.adv_buckets);
-    config.bucket_records = static_cast<uint32_t>(options.adv_records);
-    config.decoy_buckets =
-        static_cast<uint32_t>(options.adv_decoy_buckets);
-    config.decoy_width = static_cast<uint32_t>(options.adv_decoy_width);
-    config.occupied_leaves = static_cast<uint32_t>(options.adv_occupied);
-    config.seed = static_cast<uint64_t>(options.gen_seed);
-    DEEPCRAWL_ASSIGN_OR_RETURN(AdversarialInstance instance,
-                               GenerateAdversarialInstance(config));
-    adv.emplace();
-    adv->opt_queries = instance.opt_queries;
-    adv->result_limit = instance.result_limit;
-    adv->root_value = instance.root_value;
-    return std::move(instance.table);
-  }
-  if (options.workload == "ebay") {
-    return GenerateTable(EbayConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "acm") {
-    return GenerateTable(AcmDlConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "dblp") {
-    return GenerateTable(DblpConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "imdb") {
-    return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
-  }
-  return Status::InvalidArgument(
-      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
 }
 
 // Writes the harvested records back out as a TSV, reconstructing cells
@@ -241,12 +158,13 @@ Status WriteHarvest(const Table& target, const LocalStore& store,
 
 Status Run(const Options& options) {
   std::optional<AdversarialGroundTruth> adv;
-  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options, adv));
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target,
+                             LoadTargetTable(options.workload, adv));
   std::cout << "target: " << target.num_records() << " records, "
             << target.num_distinct_values() << " distinct values, "
             << target.schema().num_attributes() << " attributes\n";
   if (adv.has_value()) {
-    std::cout << "adversarial: family=" << options.adv_family
+    std::cout << "adversarial: family=" << options.workload.adv_family
               << " opt=" << adv->opt_queries << " queries (result limit "
               << adv->result_limit << ")\n";
   }
@@ -276,15 +194,19 @@ Status Run(const Options& options) {
   server_options.reports_total_count = options.counts;
   WebDbServer backend(target, server_options);
 
+  const bool network = !options.connect.empty();
+
   // With faults configured, the crawler talks to the fault proxy and
-  // survives the failures through its retry policy.
+  // survives the failures through its retry policy. Over --connect the
+  // proxy lives in the SERVER process; the flags here only size the
+  // client's retry machinery identically to the in-process run.
   DEEPCRAWL_ASSIGN_OR_RETURN(FaultProfile profile,
-                             BuildFaultProfile(options));
+                             BuildFaultProfile(options.fault));
   bool faults_enabled = !profile.IsAllZero();
   std::optional<FaultyServer> faulty;
-  if (faults_enabled) {
+  if (faults_enabled && !network) {
     faulty.emplace(backend, profile,
-                   static_cast<uint64_t>(options.fault_seed));
+                   static_cast<uint64_t>(options.fault.fault_seed));
     std::cout << "faults: unavailable=" << profile.unavailable_rate
               << " timeout=" << profile.timeout_rate
               << " rate-limit=" << profile.rate_limit_rate
@@ -297,8 +219,22 @@ Status Run(const Options& options) {
   if (options.batch < 1) {
     return Status::InvalidArgument("--batch must be >= 1");
   }
-  bool parallel = options.threads > 1 || options.batch > 1;
-  if (faults_enabled && (options.fault_keyed || parallel)) {
+  if (network && options.threads > 1) {
+    return Status::InvalidArgument(
+        "--connect pipelines over --connections, not threads; drop "
+        "--threads");
+  }
+  if (network && options.latency_us > 0) {
+    return Status::InvalidArgument(
+        "--latency-us simulates a network in-process; with --connect the "
+        "latency is real (pass --latency-us to deepcrawl_serve to add "
+        "artificial delay)");
+  }
+  if (network && options.connections < 1) {
+    return Status::InvalidArgument("--connections must be >= 1");
+  }
+  bool parallel = !network && (options.threads > 1 || options.batch > 1);
+  if (faulty.has_value() && (options.fault.fault_keyed || parallel)) {
     // Parallel crawls force keyed faults: the sequential fault RNG
     // depends on fetch arrival order, which thread scheduling would
     // make irreproducible.
@@ -307,16 +243,52 @@ Status Run(const Options& options) {
                  "arrival order)\n";
   }
 
-  QueryInterface& direct_server = faults_enabled
-                                      ? static_cast<QueryInterface&>(*faulty)
-                                      : backend;
+  // Assemble the query stack: either the in-process simulator (behind
+  // the optional fault proxy and thread-safety adapter) or a network
+  // client talking to a deepcrawl_serve process.
+  std::unique_ptr<NetQueryClient> net_client;
+  std::optional<NetFetchExecutor> net_executor;
   std::optional<LockedQueryInterface> locked;
-  if (parallel) {
-    locked.emplace(direct_server,
-                   static_cast<uint64_t>(options.latency_us));
+  QueryInterface* server = nullptr;
+  if (network) {
+    NetClientOptions net_options;
+    DEEPCRAWL_RETURN_IF_ERROR(
+        ParseHostPort(options.connect, &net_options.host, &net_options.port));
+    net_options.connections = static_cast<uint32_t>(options.connections);
+    net_options.reconnect_window_ms =
+        static_cast<uint64_t>(options.connect_retry_ms);
+    DEEPCRAWL_ASSIGN_OR_RETURN(net_client,
+                               NetQueryClient::Connect(net_options));
+    net_executor.emplace(*net_client);
+    server = net_client.get();
+    const ServerOptions& remote = net_client->options();
+    std::cout << "connected: " << net_options.host << ":" << net_options.port
+              << " (" << options.connections << " connections, page size "
+              << remote.page_size << ", result limit " << remote.result_limit
+              << ", " << net_client->server_info().num_values
+              << " values)\n";
+    // The selector plans against the locally built catalog; a server
+    // with a different schema would silently desynchronize the crawl,
+    // so mismatches are errors, not warnings.
+    if (remote.page_size != server_options.page_size ||
+        remote.result_limit != server_options.result_limit ||
+        remote.reports_total_count != server_options.reports_total_count ||
+        net_client->server_info().num_values != target.num_distinct_values()) {
+      return Status::FailedPrecondition(
+          "server interface mismatch: the deepcrawl_serve process was "
+          "started with different workload/interface flags than this crawl");
+    }
+  } else {
+    QueryInterface& direct_server =
+        faulty.has_value() ? static_cast<QueryInterface&>(*faulty) : backend;
+    if (parallel) {
+      locked.emplace(direct_server,
+                     static_cast<uint64_t>(options.latency_us));
+      server = &*locked;
+    } else {
+      server = &direct_server;
+    }
   }
-  QueryInterface& server =
-      parallel ? static_cast<QueryInterface&>(*locked) : direct_server;
 
   if (options.retry_attempts < 1) {
     return Status::InvalidArgument("--retry-attempts must be >= 1");
@@ -327,7 +299,7 @@ Status Run(const Options& options) {
   RetryPolicyConfig retry_config;
   retry_config.max_attempts = static_cast<uint32_t>(options.retry_attempts);
   retry_config.max_requeues = static_cast<uint32_t>(options.retry_requeues);
-  retry_config.seed = static_cast<uint64_t>(options.fault_seed);
+  retry_config.seed = static_cast<uint64_t>(options.fault.fault_seed);
   RetryPolicy retry_policy(retry_config);
 
   LocalStore store;
@@ -365,21 +337,27 @@ Status Run(const Options& options) {
     return Status::InvalidArgument(
         "--checkpoint-every needs --checkpoint=<path>");
   }
-  FaultyServer* faulty_ptr = faults_enabled ? &*faulty : nullptr;
+  FaultyServer* faulty_ptr = faulty.has_value() ? &*faulty : nullptr;
   EngineOptions engine_options;
   engine_options.threads = static_cast<uint32_t>(options.threads);
   engine_options.batch = static_cast<uint32_t>(options.batch);
   engine_options.checkpoint_every_waves =
       static_cast<uint64_t>(options.checkpoint_every);
+  if (net_executor.has_value()) {
+    engine_options.shared_executor = &*net_executor;
+  }
   if (options.checkpoint_every > 0) {
     engine_options.checkpoint_sink =
         [faulty_ptr, path = options.checkpoint](const CrawlEngine& engine) {
           return SaveCrawlCheckpoint(engine, faulty_ptr, path);
         };
   }
-  CrawlEngine engine(server, *selector, store, crawl_options, engine_options,
+  // A network crawl keeps the retry policy even without local fault
+  // flags: transient socket-level kUnavailable must be paced, not fatal.
+  bool use_retry = faults_enabled || network;
+  CrawlEngine engine(*server, *selector, store, crawl_options, engine_options,
                      /*abort_policy=*/nullptr,
-                     faults_enabled ? &retry_policy : nullptr);
+                     use_retry ? &retry_policy : nullptr);
   if (parallel) {
     std::cout << "parallel engine: " << options.threads << " threads, batch "
               << options.batch << ", simulated latency "
@@ -437,6 +415,20 @@ Status Run(const Options& options) {
             << "  online size est.:   "
             << TablePrinter::FormatDouble(chao.estimated_total, 0)
             << " records (Chao1)\n";
+  if (result.rtt.fetches > 0) {
+    // Simulated (--latency-us) and measured (--connect) round trips
+    // report through the same counters (see RttCounters).
+    std::cout << "  round-trip time:    mean "
+              << TablePrinter::FormatDouble(result.rtt.MeanUs(), 1)
+              << "us (min " << result.rtt.min_rtt_us << "us, max "
+              << result.rtt.max_rtt_us << "us, over " << result.rtt.fetches
+              << " fetches)\n";
+  }
+  if (net_client) {
+    std::cout << "  network:            " << options.connections
+              << " connections, " << net_client->reconnects()
+              << " reconnects\n";
+  }
   if (adv.has_value() && adv->opt_queries > 0) {
     double ratio = static_cast<double>(result.queries) /
                    static_cast<double>(adv->opt_queries);
@@ -444,7 +436,7 @@ Status Run(const Options& options) {
               << " opt=" << adv->opt_queries
               << " ratio=" << TablePrinter::FormatDouble(ratio, 3) << "\n";
   }
-  if (faults_enabled) {
+  if (use_retry) {
     const ResilienceCounters& res = result.resilience;
     std::cout << "  resilience:         " << res.transient_failures
               << " failures, " << res.retries << " retries ("
@@ -475,32 +467,7 @@ int main(int argc, char** argv) {
   using namespace deepcrawl;
   Options options;
   FlagParser parser;
-  parser.AddString("input", &options.input,
-                   "TSV file with the target database (see src/relation/"
-                   "tsv.h for the format)");
-  parser.AddString("workload", &options.workload,
-                   "generate a canned workload instead: "
-                   "ebay|acm|dblp|imdb|adversarial");
-  parser.AddDouble("scale", &options.scale,
-                   "scale factor for --workload (1.0 = paper size)");
-  parser.AddInt64("gen-seed", &options.gen_seed,
-                  "generator seed for --workload");
-  parser.AddString("adv-family", &options.adv_family,
-                   "adversarial family: trap (greedy pays ω(OPT)) | skew "
-                   "(additive-log descent overhead)");
-  parser.AddInt64("adv-buckets", &options.adv_buckets,
-                  "adversarial: requested non-decoy rank buckets "
-                  "(rounded up to a power of two with the decoys)");
-  parser.AddInt64("adv-records", &options.adv_records,
-                  "adversarial: records per occupied bucket (= the "
-                  "server result limit the instance assumes)");
-  parser.AddInt64("adv-decoy-buckets", &options.adv_decoy_buckets,
-                  "adversarial trap: buckets carrying decoy mass");
-  parser.AddInt64("adv-decoy-width", &options.adv_decoy_width,
-                  "adversarial trap: unique decoy values per trapped "
-                  "record");
-  parser.AddInt64("adv-occupied", &options.adv_occupied,
-                  "adversarial skew: occupied lowest buckets");
+  RegisterWorkloadFlags(parser, &options.workload);
   parser.AddString("policy", &options.policy, kKnownPolicies);
   parser.AddString("rank-attribute", &options.rank_attribute,
                    "attribute carrying r<lo>-<hi> interval values for "
@@ -535,23 +502,7 @@ int main(int argc, char** argv) {
                    "write the rounds/records trace to this CSV");
   parser.AddString("output-tsv", &options.output_tsv,
                    "write the harvested records to this TSV");
-  parser.AddString("fault-profile", &options.fault_profile,
-                   "fault-injection preset: none|flaky|lossy|hostile");
-  parser.AddDouble("fault-unavailable", &options.fault_unavailable,
-                   "per-round probability of transient unavailability "
-                   "(overrides the preset; negative = keep preset)");
-  parser.AddDouble("fault-timeout", &options.fault_timeout,
-                   "per-round probability of a deadline timeout");
-  parser.AddDouble("fault-rate-limit", &options.fault_rate_limit,
-                   "per-round probability of a rate-limit rejection");
-  parser.AddDouble("fault-truncate", &options.fault_truncate,
-                   "per-round probability of a silently truncated page");
-  parser.AddDouble("fault-duplicate", &options.fault_duplicate,
-                   "per-round probability of a duplicate-record echo");
-  parser.AddInt64("fault-retry-after", &options.fault_retry_after,
-                  "retry-after hint (rounds) on rate-limit rejections");
-  parser.AddInt64("fault-seed", &options.fault_seed,
-                  "RNG seed for fault injection and retry jitter");
+  RegisterFaultFlags(parser, &options.fault);
   parser.AddInt64("retry-attempts", &options.retry_attempts,
                   "max fetch attempts per value drain under faults");
   parser.AddInt64("retry-requeues", &options.retry_requeues,
@@ -566,9 +517,16 @@ int main(int argc, char** argv) {
   parser.AddInt64("latency-us", &options.latency_us,
                   "simulated per-fetch network latency in microseconds "
                   "(parallel engine only; overlapped across threads)");
-  parser.AddBool("fault-keyed", &options.fault_keyed,
-                 "key fault decisions by (query, page, attempt) instead "
-                 "of fetch arrival order (forced on for parallel crawls)");
+  parser.AddString("connect", &options.connect,
+                   "crawl a remote WebDB at host:port (deepcrawl_serve) "
+                   "instead of simulating in-process; workload flags must "
+                   "match the server's");
+  parser.AddInt64("connections", &options.connections,
+                  "TCP connections the network executor pipelines each "
+                  "wave over (with --connect)");
+  parser.AddInt64("connect-retry-ms", &options.connect_retry_ms,
+                  "total budget for re-reaching a dead server before a "
+                  "fetch fails with unavailable (with --connect)");
   parser.AddString("checkpoint", &options.checkpoint,
                    "write a resumable crawl checkpoint to this path "
                    "(atomically replaced at every boundary)");

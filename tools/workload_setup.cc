@@ -1,0 +1,157 @@
+#include "tools/workload_setup.h"
+
+#include <utility>
+
+#include "src/datagen/adversarial_workload.h"
+#include "src/datagen/canned_workloads.h"
+#include "src/datagen/workload_config.h"
+#include "src/relation/tsv.h"
+
+namespace deepcrawl {
+
+void RegisterWorkloadFlags(FlagParser& parser, WorkloadFlagOptions* options) {
+  parser.AddString("input", &options->input,
+                   "TSV file with the target database (see src/relation/"
+                   "tsv.h for the format)");
+  parser.AddString("workload", &options->workload,
+                   "generate a canned workload instead: "
+                   "ebay|acm|dblp|imdb|adversarial");
+  parser.AddDouble("scale", &options->scale,
+                   "scale factor for --workload (1.0 = paper size)");
+  parser.AddInt64("gen-seed", &options->gen_seed,
+                  "generator seed for --workload");
+  parser.AddString("adv-family", &options->adv_family,
+                   "adversarial family: trap (greedy pays ω(OPT)) | skew "
+                   "(additive-log descent overhead)");
+  parser.AddInt64("adv-buckets", &options->adv_buckets,
+                  "adversarial: requested non-decoy rank buckets "
+                  "(rounded up to a power of two with the decoys)");
+  parser.AddInt64("adv-records", &options->adv_records,
+                  "adversarial: records per occupied bucket (= the "
+                  "server result limit the instance assumes)");
+  parser.AddInt64("adv-decoy-buckets", &options->adv_decoy_buckets,
+                  "adversarial trap: buckets carrying decoy mass");
+  parser.AddInt64("adv-decoy-width", &options->adv_decoy_width,
+                  "adversarial trap: unique decoy values per trapped "
+                  "record");
+  parser.AddInt64("adv-occupied", &options->adv_occupied,
+                  "adversarial skew: occupied lowest buckets");
+}
+
+StatusOr<Table> LoadTargetTable(const WorkloadFlagOptions& options,
+                                std::optional<AdversarialGroundTruth>& adv) {
+  if (!options.input.empty()) return ReadTableTsvFile(options.input);
+  if (options.workload == "adversarial") {
+    AdversarialConfig config;
+    if (options.adv_family == "trap") {
+      config.family = AdversarialFamily::kGreedyTrap;
+    } else if (options.adv_family == "skew") {
+      config.family = AdversarialFamily::kSkewedChain;
+    } else {
+      return Status::InvalidArgument("unknown --adv-family '" +
+                                     options.adv_family + "' (trap|skew)");
+    }
+    config.leaf_buckets = static_cast<uint32_t>(options.adv_buckets);
+    config.bucket_records = static_cast<uint32_t>(options.adv_records);
+    config.decoy_buckets =
+        static_cast<uint32_t>(options.adv_decoy_buckets);
+    config.decoy_width = static_cast<uint32_t>(options.adv_decoy_width);
+    config.occupied_leaves = static_cast<uint32_t>(options.adv_occupied);
+    config.seed = static_cast<uint64_t>(options.gen_seed);
+    DEEPCRAWL_ASSIGN_OR_RETURN(AdversarialInstance instance,
+                               GenerateAdversarialInstance(config));
+    adv.emplace();
+    adv->opt_queries = instance.opt_queries;
+    adv->result_limit = instance.result_limit;
+    adv->root_value = instance.root_value;
+    return std::move(instance.table);
+  }
+  if (options.workload == "ebay") {
+    return GenerateTable(EbayConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "acm") {
+    return GenerateTable(AcmDlConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "dblp") {
+    return GenerateTable(DblpConfig(options.scale, options.gen_seed));
+  }
+  if (options.workload == "imdb") {
+    return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
+  }
+  return Status::InvalidArgument(
+      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
+}
+
+void RegisterFaultFlags(FlagParser& parser, FaultFlagOptions* options) {
+  parser.AddString("fault-profile", &options->fault_profile,
+                   "fault-injection preset: none|flaky|lossy|hostile");
+  parser.AddDouble("fault-unavailable", &options->fault_unavailable,
+                   "per-round probability of transient unavailability "
+                   "(overrides the preset; negative = keep preset)");
+  parser.AddDouble("fault-timeout", &options->fault_timeout,
+                   "per-round probability of a deadline timeout");
+  parser.AddDouble("fault-rate-limit", &options->fault_rate_limit,
+                   "per-round probability of a rate-limit rejection");
+  parser.AddDouble("fault-truncate", &options->fault_truncate,
+                   "per-round probability of a silently truncated page");
+  parser.AddDouble("fault-duplicate", &options->fault_duplicate,
+                   "per-round probability of a duplicate-record echo");
+  parser.AddInt64("fault-retry-after", &options->fault_retry_after,
+                  "retry-after hint (rounds) on rate-limit rejections");
+  parser.AddInt64("fault-seed", &options->fault_seed,
+                  "RNG seed for fault injection and retry jitter");
+  parser.AddBool("fault-keyed", &options->fault_keyed,
+                 "key fault decisions by (query, page, attempt) instead "
+                 "of fetch arrival order (forced on for parallel crawls)");
+}
+
+StatusOr<FaultProfile> BuildFaultProfile(const FaultFlagOptions& options) {
+  FaultProfile profile;
+  if (options.fault_profile == "flaky") {
+    // ~10% of rounds lost to transient failures, mixed kinds.
+    profile.unavailable_rate = 0.05;
+    profile.timeout_rate = 0.03;
+    profile.rate_limit_rate = 0.02;
+  } else if (options.fault_profile == "lossy") {
+    // Pages silently lose or repeat records; no hard failures.
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.05;
+  } else if (options.fault_profile == "hostile") {
+    // Both at once, at rates that make retries and re-queues routine.
+    profile.unavailable_rate = 0.10;
+    profile.timeout_rate = 0.05;
+    profile.rate_limit_rate = 0.05;
+    profile.truncate_rate = 0.05;
+    profile.duplicate_rate = 0.02;
+  } else if (options.fault_profile != "none") {
+    return Status::InvalidArgument("unknown --fault-profile '" +
+                                   options.fault_profile +
+                                   "' (none|flaky|lossy|hostile)");
+  }
+  if (options.fault_unavailable >= 0.0) {
+    profile.unavailable_rate = options.fault_unavailable;
+  }
+  if (options.fault_timeout >= 0.0) profile.timeout_rate = options.fault_timeout;
+  if (options.fault_rate_limit >= 0.0) {
+    profile.rate_limit_rate = options.fault_rate_limit;
+  }
+  if (options.fault_truncate >= 0.0) {
+    profile.truncate_rate = options.fault_truncate;
+  }
+  if (options.fault_duplicate >= 0.0) {
+    profile.duplicate_rate = options.fault_duplicate;
+  }
+  profile.retry_after_rounds =
+      static_cast<uint32_t>(options.fault_retry_after);
+  double sum = profile.unavailable_rate + profile.timeout_rate +
+               profile.rate_limit_rate + profile.truncate_rate +
+               profile.duplicate_rate;
+  if (sum > 1.0) {
+    return Status::InvalidArgument(
+        "--fault-* rates must sum to at most 1 (got " + std::to_string(sum) +
+        ")");
+  }
+  return profile;
+}
+
+}  // namespace deepcrawl
