@@ -319,19 +319,26 @@ StatusOr<ResultPage> NetQueryClient::RoundTrip(WireRequest request) {
   const std::string frame = EncodeRequestFrame(request);
   const uint64_t started_us = NowUs();
   // The protocol is read-only, so a dead connection is simply reopened
-  // and the request retransmitted; EnsureConnected bounds the total
-  // time spent chasing the server.
-  for (;;) {
+  // and the request retransmitted. EnsureConnected bounds the time
+  // spent chasing an unreachable server per attempt; the attempt cap
+  // bounds the total — a server that accepts connections but never
+  // answers within request_timeout_ms must not trap the client in a
+  // reconnect/retransmit/timeout loop forever.
+  const uint32_t max_attempts = std::max<uint32_t>(1, options_.request_attempts);
+  Status last = Status::Unavailable("no fetch attempt completed");
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     DEEPCRAWL_RETURN_IF_ERROR(EnsureConnected(primary_));
     Status sent = primary_.Send(frame);
     if (sent.ok()) sent = primary_.SendAll(options_.request_timeout_ms);
     if (!sent.ok()) {
+      last = std::move(sent);
       primary_.Close();
       continue;
     }
     StatusOr<WireServerMessage> reply =
         primary_.ReceiveMessage(options_.request_timeout_ms);
     if (!reply.ok()) {
+      last = reply.status();
       primary_.Close();
       continue;
     }
@@ -342,13 +349,22 @@ StatusOr<ResultPage> NetQueryClient::RoundTrip(WireRequest request) {
     if (reply->type != WireMessageType::kPageResult ||
         reply->request_id != request.request_id) {
       // Protocol confusion; resync with a fresh connection.
+      last = Status::Unavailable("response did not match the request");
       primary_.Close();
       continue;
     }
     rtt_.Record(NowUs() - started_us);
     if (!reply->status.ok()) return reply->status;
-    return Retain(std::move(reply->result));
+    const ResultPage& page = Retain(std::move(reply->result));
+    // Trim the serial retain window (never below the page just handed
+    // out). FetchWave manages its own lifetime via PurgeRetainedPages.
+    const size_t cap = std::max<uint32_t>(1, options_.serial_retain_pages);
+    while (retained_.size() > cap) retained_.pop_front();
+    return page;
   }
+  // Both kDeadlineExceeded and kUnavailable are retryable, so the
+  // engine's RetryPolicy decides whether the crawl keeps waiting.
+  return last;
 }
 
 StatusOr<ResultPage> NetQueryClient::FetchPage(ValueId value,
@@ -590,7 +606,22 @@ void NetFetchExecutor::FetchWave(
     if (pfds.empty()) break;
 
     int n = poll(pfds.data(), pfds.size(), 50);
-    if (n < 0 && errno != EINTR) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // poll() itself failed (EINVAL/ENOMEM class): no lane can make
+      // progress. Fail every unanswered slot before leaving so the
+      // engine never sees an unfilled result cell — CommitFetch
+      // dereferences each optional unconditionally.
+      Status poll_failed =
+          Status::Unavailable(std::string("poll: ") + strerror(errno));
+      for (Lane* lane : polled) {
+        lane->dead = true;
+        for (size_t j = lane->next_unanswered; j < lane->slots.size(); ++j) {
+          results[lane->slots[j]] = poll_failed;
+        }
+      }
+      break;
+    }
 
     for (size_t i = 0; i < polled.size(); ++i) {
       Lane& lane = *polled[i];

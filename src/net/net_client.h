@@ -15,10 +15,13 @@
 //     blocking request/response rounds. Because the protocol is
 //     read-only and idempotent, a dead connection is retried
 //     transparently: reconnect with exponential backoff inside
-//     `reconnect_window_ms`, retransmit, and only surface kUnavailable
-//     once the window is exhausted — which is how a crawl survives a
-//     server kill/restart with its trace intact (the engine's
-//     RetryPolicy paces any attempts that do fail through).
+//     `reconnect_window_ms`, retransmit, and surface kUnavailable once
+//     the window is exhausted — which is how a crawl survives a server
+//     kill/restart with its trace intact. A reachable-but-silent
+//     server is bounded too: after `request_attempts` timed-out rounds
+//     the last failure (kDeadlineExceeded/kUnavailable) is surfaced
+//     instead of retrying forever (the engine's RetryPolicy paces any
+//     attempts that do fail through).
 //
 //   * NetFetchExecutor — the CrawlEngine executor seam over sockets:
 //     FetchWave round-robins the wave's requests over up to
@@ -31,10 +34,14 @@
 //     against the in-process engine byte for byte).
 //
 // Page-lifetime contract: a returned ResultPage's record spans point
-// into storage owned by the client (DecodedPage). Pages stay valid
-// until the next NetFetchExecutor::FetchWave begins (which purges the
-// previous wave's pages — by then the engine has committed them) or
-// until PurgeRetainedPages() is called explicitly.
+// into storage owned by the client (DecodedPage). Pages fetched
+// through FetchWave stay valid until the next FetchWave begins (which
+// purges the previous wave's pages — by then the engine has committed
+// them) or until PurgeRetainedPages() is called explicitly. Pages
+// fetched through the serial QueryInterface path stay valid for the
+// next `serial_retain_pages - 1` serial fetches — the retain list is a
+// bounded window, not process-lifetime storage (unbounded retention
+// would leak every page of a long serial crawl).
 //
 // Thread-safety: none. Like WebDbServer, a NetQueryClient belongs to
 // one thread; the parallelism lives in the pipelining, not in threads.
@@ -65,12 +72,25 @@ struct NetClientOptions {
   // Ceiling on one request/response round; a fetch that exceeds it is
   // treated as a dead connection (reconnect, retransmit).
   uint64_t request_timeout_ms = 30'000;
+  // Total attempts (send + await rounds) a serial fetch may spend
+  // before surfacing the last failure. Bounds the pathological case of
+  // a server that keeps accepting connections but never answers within
+  // request_timeout_ms: without a cap the client would reconnect,
+  // retransmit, and time out forever.
+  uint32_t request_attempts = 3;
   // Total budget for re-reaching a dead server (covers the initial
   // connect too); exhausted -> the fetch fails with kUnavailable.
   uint64_t reconnect_window_ms = 15'000;
   // First reconnect backoff; doubles per attempt, capped at 1s.
   uint64_t reconnect_backoff_ms = 20;
   uint32_t max_frame_bytes = kMaxWireFrameBytes;
+  // Pages handed out by the serial QueryInterface path stay valid for
+  // at least this many subsequent serial fetches; older retained pages
+  // are released, bounding a long serial crawl's memory. A caller that
+  // buffers more serial fetches before consuming them (e.g. a
+  // CrawlEngine driving a NetQueryClient through InlineFetchExecutor
+  // instead of NetFetchExecutor) must raise this above its batch size.
+  uint32_t serial_retain_pages = 1024;
 };
 
 // One framed connection. All sockets are non-blocking; the blocking
@@ -167,6 +187,10 @@ class NetQueryClient : public QueryInterface {
   // the server again), for resilience reporting.
   uint64_t reconnects() const { return reconnects_; }
 
+  // Pages currently held alive for handed-out record spans (bounded on
+  // the serial path by serial_retain_pages; see the file comment).
+  size_t retained_pages() const { return retained_.size(); }
+
  private:
   friend class NetFetchExecutor;
 
@@ -178,7 +202,9 @@ class NetQueryClient : public QueryInterface {
   // window; `attempted_before` skips the initial immediate try delay.
   Status EnsureConnected(NetConnection& conn);
   // Moves `page`'s storage into the retain list; the returned ResultPage
-  // (spans included) stays valid until PurgeRetainedPages().
+  // (spans included) stays valid until PurgeRetainedPages() or, for
+  // serial fetches, until RoundTrip trims the retain window (see
+  // NetClientOptions::serial_retain_pages).
   const ResultPage& Retain(DecodedPage page);
   // One fetch attempt = one communication round (page 0 = one query),
   // exactly the accounting WebDbServer/FaultyServer apply in-process.

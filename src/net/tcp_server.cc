@@ -139,6 +139,8 @@ void WebDbTcpServer::OnAcceptable() {
                            CloseConnection(fd);
                          }
                        });
+      // Result ignored: `registered` is not touched after this, and a
+      // failed flush already closed it (the reaper then no-ops).
       QueueFrame(registered, goaway_frame_);
       continue;
     }
@@ -191,31 +193,44 @@ bool WebDbTcpServer::DrainReadable(Connection& conn) {
       return false;
     }
     if (!*next) return true;
-    if (!ServeBody(conn, body)) {
-      ++protocol_errors_;
-      CloseConnection(conn.fd);
-      return false;
+    switch (ServeBody(conn, body)) {
+      case ServeResult::kOk:
+        break;
+      case ServeResult::kProtocolError:
+        ++protocol_errors_;
+        CloseConnection(conn.fd);
+        return false;
+      case ServeResult::kConnectionLost:
+        // QueueFrame hit a write error and already destroyed the
+        // connection; `conn` is freed memory from here on.
+        return false;
     }
   }
 }
 
-bool WebDbTcpServer::ServeBody(Connection& conn, const std::string& body) {
+WebDbTcpServer::ServeResult WebDbTcpServer::ServeBody(
+    Connection& conn, const std::string& body) {
   StatusOr<WireRequest> request = DecodeRequest(body);
-  if (!request.ok()) return false;
+  if (!request.ok()) return ServeResult::kProtocolError;
   if (request->type == WireMessageType::kHello) {
-    if (conn.saw_hello) return false;  // one handshake per connection
+    if (conn.saw_hello) {  // one handshake per connection
+      return ServeResult::kProtocolError;
+    }
     conn.saw_hello = true;
-    QueueFrame(conn, server_info_frame_);
-    return true;
+    return QueueFrame(conn, server_info_frame_)
+               ? ServeResult::kOk
+               : ServeResult::kConnectionLost;
   }
-  if (!conn.saw_hello) return false;  // fetch before handshake
+  if (!conn.saw_hello) {  // fetch before handshake
+    return ServeResult::kProtocolError;
+  }
 
   std::string frame = EncodeResponseFrame(request->request_id,
                                           Dispatch(*request));
   ++requests_served_;
   if (options_.latency_us == 0) {
-    QueueFrame(conn, std::move(frame));
-    return true;
+    return QueueFrame(conn, std::move(frame)) ? ServeResult::kOk
+                                              : ServeResult::kConnectionLost;
   }
   // Delay the RESPONSE, not the backend call: the backend's fault/meter
   // stream still sees arrival order, and equal delays preserve the
@@ -228,9 +243,11 @@ bool WebDbTcpServer::ServeBody(Connection& conn, const std::string& body) {
       [this, fd, conn_id, frame = std::move(frame)]() mutable {
         auto it = connections_.find(fd);
         if (it == connections_.end() || it->second->id != conn_id) return;
+        // Result ignored: the connection is not touched after this, and
+        // a failed flush already closed it.
         QueueFrame(*it->second, std::move(frame));
       });
-  return true;
+  return ServeResult::kOk;
 }
 
 StatusOr<ResultPage> WebDbTcpServer::Dispatch(const WireRequest& request) {
@@ -252,14 +269,14 @@ StatusOr<ResultPage> WebDbTcpServer::Dispatch(const WireRequest& request) {
   }
 }
 
-void WebDbTcpServer::QueueFrame(Connection& conn, std::string frame) {
+bool WebDbTcpServer::QueueFrame(Connection& conn, std::string frame) {
   if (conn.outbox.empty()) {
     conn.outbox = std::move(frame);
     conn.outbox_pos = 0;
   } else {
     conn.outbox.append(frame);
   }
-  FlushOutbox(conn);
+  return FlushOutbox(conn);
 }
 
 bool WebDbTcpServer::FlushOutbox(Connection& conn) {

@@ -114,10 +114,16 @@ class WebDbTcpServer {
   // Reads until EAGAIN, feeding the assembler and serving every
   // complete request. Returns false when the connection died.
   bool DrainReadable(Connection& conn);
-  // Decodes and serves one request body; false on protocol error.
-  bool ServeBody(Connection& conn, const std::string& body);
+  // Decodes and serves one request body. kProtocolError leaves the
+  // connection alive for the caller to count and close;
+  // kConnectionLost means the connection object was already destroyed
+  // mid-write — the caller must not touch `conn` again.
+  enum class ServeResult { kOk, kProtocolError, kConnectionLost };
+  ServeResult ServeBody(Connection& conn, const std::string& body);
   StatusOr<ResultPage> Dispatch(const WireRequest& request);
-  void QueueFrame(Connection& conn, std::string frame);
+  // Appends the frame and flushes. Returns false when the flush killed
+  // the connection (CloseConnection already ran; `conn` is freed).
+  bool QueueFrame(Connection& conn, std::string frame);
   // Writes the outbox until EAGAIN/empty, (dis)arming EPOLLOUT.
   // Returns false when the connection died.
   bool FlushOutbox(Connection& conn);

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -371,6 +372,156 @@ TEST(NetServerTest, ClientReconnectsAcrossServerRestart) {
   StatusOr<ResultPage> dead = client.FetchPage(0, 0);
   ASSERT_FALSE(dead.ok());
   EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServerTest, SerialRetainWindowBoundsClientMemory) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  WebDbServer reference(table, ServerOptions{});
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  NetClientOptions options = ClientOptions(loop_server.port());
+  options.serial_retain_pages = 4;
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(options);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  NetQueryClient& client = **connected;
+
+  // A long serial crawl must not accumulate every page it ever fetched:
+  // the retain list is a sliding window, and the newest page (the one
+  // the caller still holds) is always inside it.
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+      ExpectSamePage(client.FetchPage(v, 0), reference.FetchPage(v, 0));
+      EXPECT_LE(client.retained_pages(), 4u);
+    }
+  }
+}
+
+// Accepts, answers the handshake, then swallows every request without
+// ever responding — the pathological "reachable but silent" source.
+class SilentServer {
+ public:
+  SilentServer() {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    DEEPCRAWL_CHECK(listen_fd_ >= 0);
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    DEEPCRAWL_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0);
+    DEEPCRAWL_CHECK(listen(listen_fd_, 8) == 0);
+    socklen_t len = sizeof(addr);
+    DEEPCRAWL_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                                &len) == 0);
+    port_ = ntohs(addr.sin_port);
+    WireServerInfo info;
+    info.num_values = 1;
+    info.queriable_bitmap.assign(1, 1);
+    info_frame_ = EncodeServerInfoFrame(info);
+    thread_ = std::thread([this] { Serve(); });
+  }
+  ~SilentServer() {
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    thread_.join();
+  }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve() {
+    for (;;) {
+      int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      // Complete the handshake so Open() succeeds, then never answer:
+      // discard input until the client gives up and hangs up.
+      ssize_t written = write(fd, info_frame_.data(), info_frame_.size());
+      char buf[4096];
+      while (written > 0 && read(fd, buf, sizeof(buf)) > 0) {
+      }
+      close(fd);
+    }
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string info_frame_;
+  std::thread thread_;
+};
+
+TEST(NetServerTest, SilentServerFailsAfterBoundedAttempts) {
+  SilentServer server;
+  NetClientOptions options;
+  options.port = server.port();
+  options.request_timeout_ms = 100;
+  options.request_attempts = 2;
+  options.reconnect_window_ms = 2000;
+  options.reconnect_backoff_ms = 5;
+  StatusOr<std::unique_ptr<NetQueryClient>> connected =
+      NetQueryClient::Connect(options);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+
+  // Every reconnect succeeds and every round times out; without the
+  // attempt cap this fetch would loop forever. The cap must surface
+  // the timeout (a retryable status) in bounded wall time.
+  auto started = std::chrono::steady_clock::now();
+  StatusOr<ResultPage> fetched = (*connected)->FetchPage(0, 0);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - started);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 3000) << "attempt cap did not bound the fetch";
+}
+
+TEST(NetServerTest, PipelinedClientResetMidDrainLeavesServerHealthy) {
+  Table table = MakeFigure1Table();
+  WebDbServer backend(table, ServerOptions{});
+  LoopServer loop_server(backend, OptionsFor(table));
+
+  // Abortive-close clients: pipeline a big burst, then RST without
+  // reading a byte, so the server's response writes start failing
+  // between requests of the same drain. Regression target: a failed
+  // flush inside the drain loop used to destroy the connection while
+  // the loop kept using it (use-after-free under ASan). The sleep
+  // sweep varies where the RST lands relative to the drain.
+  for (int round = 0; round < 50; ++round) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(loop_server.port());
+    ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    std::string burst = EncodeHelloFrame();
+    for (int i = 0; i < 1024; ++i) {
+      WireRequest request;
+      request.request_id = static_cast<uint64_t>(i + 1);
+      request.value = static_cast<ValueId>(i % table.num_distinct_values());
+      burst.append(EncodeRequestFrame(request));
+    }
+    ASSERT_EQ(write(fd, burst.data(), burst.size()),
+              static_cast<ssize_t>(burst.size()));
+    usleep(static_cast<useconds_t>(round * 20));
+    struct linger abort_close = {1, 0};
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_close, sizeof(abort_close));
+    close(fd);  // linger(0) + unread responses: RST, not FIN
+  }
+
+  // The server survived every reset and still serves a polite client.
+  NetConnection conn;
+  Status opened = conn.Open("127.0.0.1", loop_server.port(), 3000);
+  ASSERT_TRUE(opened.ok()) << opened.ToString();
+  WireRequest request;
+  request.request_id = 7;
+  request.value = 0;
+  ASSERT_TRUE(conn.Send(EncodeRequestFrame(request)).ok());
+  ASSERT_TRUE(conn.SendAll(3000).ok());
+  StatusOr<WireServerMessage> reply = conn.ReceiveMessage(3000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->request_id, 7u);
 }
 
 TEST(NetServerTest, ExecutorWaveMatchesInProcessResults) {
