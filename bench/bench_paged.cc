@@ -1,0 +1,294 @@
+// Out-of-core paged store bench: what the epoch-file page cache costs
+// relative to the in-memory CSR layout, and what it buys — a crawl
+// whose resident set is a small fraction of its working set.
+//
+// Three experiments:
+//   1. raw ingest throughput (AddRecord streams) for kCsr, kPaged with
+//      the cache sized above the working set (every access hits), and
+//      kPaged with the cache far below it (every wave evicts);
+//   2. a greedy crawl of the movie target through a thrashing cache —
+//      same rounds/records/trace as the in-memory run (the
+//      differential suite proves byte-identity; here we meter cost);
+//   3. the durable checkpoint: flush + fsync + manifest wall-clock.
+//
+// The JSON metrics feed tools/bench_compare.py via check.sh pass 4.
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/retry_policy.h"
+#include "src/datagen/movie_domain.h"
+#include "src/util/page_cache.h"
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace bench {
+namespace {
+
+// Fresh scratch directory per store instance; reusing a directory
+// across reps would let epoch leftovers from the previous rep distort
+// file-creation costs.
+std::string FreshDir() {
+  static int counter = 0;
+  std::string dir = "/tmp/deepcrawl_bench_paged_" + std::to_string(::getpid()) +
+                    "_" + std::to_string(counter++);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+LocalStore::Options PagedOptions(int64_t page_bytes, int64_t cache_pages) {
+  LocalStore::Options options;
+  options.layout = LocalStore::Layout::kPaged;
+  options.paged_dir = FreshDir();
+  options.page_bytes = page_bytes;
+  options.cache_pages = cache_pages;
+  return options;
+}
+
+// --- experiment 1: ingest throughput ---------------------------------
+
+constexpr uint32_t kIngestRecords = 60000;
+// The starved-cache stream pays a file round-trip per miss; run it on
+// a tenth of the records so the bench stays CI-sized, and report krps
+// (which normalizes the count away).
+constexpr uint32_t kThrashIngestRecords = 6000;
+constexpr uint32_t kIngestValuesPerRecord = 4;
+constexpr uint32_t kIngestValueSpace = 4000;
+
+void IngestStream(LocalStore& store, uint32_t records) {
+  Pcg32 rng(99);
+  std::vector<ValueId> values(kIngestValuesPerRecord);
+  for (uint32_t r = 0; r < records; ++r) {
+    for (auto& v : values) v = rng.NextBounded(kIngestValueSpace);
+    store.AddRecord(r, values);
+  }
+}
+
+struct IngestResult {
+  double krps = 0.0;
+  uint64_t evictions = 0;
+  double hit_rate = 0.0;
+};
+
+IngestResult MeasureIngest(const char* label, const LocalStore::Options& base,
+                           uint32_t records) {
+  IngestResult out;
+  uint64_t evictions = 0;
+  double hit_rate = 0.0;
+  double seconds = BestWallSeconds([&] {
+    LocalStore::Options options = base;
+    if (options.layout == LocalStore::Layout::kPaged) {
+      options.paged_dir = FreshDir();
+    }
+    LocalStore store(options);
+    IngestStream(store, records);
+    if (options.layout == LocalStore::Layout::kPaged) {
+      const PageCacheStats& stats = store.paged_cache_stats();
+      evictions = stats.evictions;
+      uint64_t accesses = stats.hits + stats.misses;
+      hit_rate = accesses == 0
+                     ? 0.0
+                     : static_cast<double>(stats.hits) /
+                           static_cast<double>(accesses);
+    }
+  });
+  out.krps = static_cast<double>(records) / seconds / 1000.0;
+  out.evictions = evictions;
+  out.hit_rate = hit_rate;
+  (void)label;
+  return out;
+}
+
+void IngestSweep(BenchJson& json) {
+  PrintBanner("Paged store: ingest throughput vs layout",
+              "n/a (systems bench; the paper counts rounds, not seconds)",
+              std::to_string(kIngestRecords) + " records x " +
+                  std::to_string(kIngestValuesPerRecord) +
+                  " values, value space " +
+                  std::to_string(kIngestValueSpace));
+
+  LocalStore::Options csr;  // defaults: kCsr
+  // Resident: 4 KiB pages, 16 MiB of frames — the whole working set
+  // stays cached. Thrash: 256 KiB of frames over the same stream.
+  IngestResult r_csr = MeasureIngest("csr", csr, kIngestRecords);
+  IngestResult r_resident =
+      MeasureIngest("paged-resident", PagedOptions(4096, 4096),
+                    kIngestRecords);
+  IngestResult r_thrash = MeasureIngest(
+      "paged-thrash", PagedOptions(4096, 64), kThrashIngestRecords);
+
+  TablePrinter table({"layout", "krec/s", "vs csr", "hit rate", "evictions"});
+  auto row = [&](const char* name, const IngestResult& r, bool paged) {
+    table.AddRow({name, TablePrinter::FormatDouble(r.krps, 1),
+                  TablePrinter::FormatDouble(r.krps / r_csr.krps, 2) + "x",
+                  paged ? TablePrinter::FormatPercent(r.hit_rate) : "-",
+                  paged ? TablePrinter::FormatCount(r.evictions) : "-"});
+  };
+  row("csr", r_csr, false);
+  row("paged resident", r_resident, true);
+  row("paged thrash", r_thrash, true);
+  table.Print(std::cout);
+
+  json.Add("csr_ingest_krps", r_csr.krps, "krec/s", true);
+  json.Add("paged_resident_ingest_krps", r_resident.krps, "krec/s", true);
+  json.Add("paged_thrash_ingest_krps", r_thrash.krps, "krec/s", true);
+}
+
+// --- experiment 2: crawl through a thrashing cache -------------------
+
+Table MakeTarget() {
+  MovieDomainPairConfig config;
+  config.universe_size = 4000;
+  config.target_size = 1200;
+  config.seed = 7;
+  StatusOr<MovieDomainPair> pair = GenerateMovieDomainPair(config);
+  DEEPCRAWL_CHECK(pair.ok()) << pair.status().ToString();
+  return std::move(pair->target);
+}
+
+struct CrawlCost {
+  double wall_ms = 0.0;
+  uint64_t records = 0;
+  uint64_t rounds = 0;
+  double hit_rate = 0.0;
+  uint64_t evictions = 0;
+};
+
+CrawlCost MeasureCrawl(const Table& target, const LocalStore::Options& base) {
+  CrawlCost cost;
+  double seconds = BestWallSeconds([&] {
+    LocalStore::Options options = base;
+    if (options.layout == LocalStore::Layout::kPaged) {
+      options.paged_dir = FreshDir();
+    }
+    WebDbServer backend(target, ServerOptions());
+    LocalStore store(options);
+    GreedyLinkSelector selector(store);
+    RetryPolicy retry((RetryPolicyConfig()));
+    CrawlOptions crawl_options;
+    crawl_options.saturation_records =
+        static_cast<uint64_t>(0.8 * static_cast<double>(target.num_records()));
+    CrawlResult result = RunCrawl(backend, selector, store, crawl_options,
+                                  SeedValue(target, 0), &retry);
+    cost.records = result.records;
+    cost.rounds = result.rounds;
+    if (options.layout == LocalStore::Layout::kPaged) {
+      const PageCacheStats& stats = store.paged_cache_stats();
+      cost.evictions = stats.evictions;
+      uint64_t accesses = stats.hits + stats.misses;
+      cost.hit_rate = accesses == 0
+                          ? 0.0
+                          : static_cast<double>(stats.hits) /
+                                static_cast<double>(accesses);
+    }
+  });
+  cost.wall_ms = seconds * 1000.0;
+  return cost;
+}
+
+void CrawlSweep(const Table& target, BenchJson& json) {
+  PrintBanner("Paged store: greedy crawl, resident set << working set",
+              "n/a (systems bench)",
+              "greedy-link to 80% of " +
+                  std::to_string(target.num_records()) +
+                  " records; paged = 512B pages x 64 frames (32 KiB "
+                  "resident)");
+
+  LocalStore::Options csr;
+  CrawlCost c_csr = MeasureCrawl(target, csr);
+  CrawlCost c_paged = MeasureCrawl(target, PagedOptions(512, 64));
+  DEEPCRAWL_CHECK_EQ(c_csr.records, c_paged.records)
+      << "layouts diverged — run the differential suite";
+  DEEPCRAWL_CHECK_GT(c_paged.evictions, 0u) << "cache sized above working set";
+
+  TablePrinter table(
+      {"layout", "wall ms", "records", "rounds", "hit rate", "evictions"});
+  table.AddRow({"csr", TablePrinter::FormatDouble(c_csr.wall_ms, 1),
+                TablePrinter::FormatCount(c_csr.records),
+                TablePrinter::FormatCount(c_csr.rounds), "-", "-"});
+  table.AddRow({"paged", TablePrinter::FormatDouble(c_paged.wall_ms, 1),
+                TablePrinter::FormatCount(c_paged.records),
+                TablePrinter::FormatCount(c_paged.rounds),
+                TablePrinter::FormatPercent(c_paged.hit_rate),
+                TablePrinter::FormatCount(c_paged.evictions)});
+  table.Print(std::cout);
+  std::cout << "\nnote: identical records/rounds by construction — the paged\n"
+               "layout is observationally invisible (DESIGN.md §14); the\n"
+               "wall-clock delta is the full price of out-of-core paging.\n";
+
+  // Gate on the paged wall-clock itself, not the csr ratio — the csr
+  // crawl finishes in ~2 ms, and dividing by it amplifies scheduler
+  // noise past the regression threshold.
+  json.Add("paged_crawl_wall_ms", c_paged.wall_ms, "ms", false);
+  json.Add("paged_crawl_hit_rate_pct", c_paged.hit_rate * 100.0, "%", true);
+}
+
+// --- experiment 3: durable checkpoint --------------------------------
+
+void CheckpointSweep(const Table& target, BenchJson& json) {
+  PrintBanner("Paged store: durable checkpoint cost",
+              "n/a (systems bench)",
+              "flush dirty pages + fsync + manifest after the 80% crawl");
+
+  LocalStore::Options options = PagedOptions(4096, 256);
+  WebDbServer backend(target, ServerOptions());
+  LocalStore store(options);
+  GreedyLinkSelector selector(store);
+  RetryPolicy retry((RetryPolicyConfig()));
+  CrawlOptions crawl_options;
+  crawl_options.saturation_records =
+      static_cast<uint64_t>(0.8 * static_cast<double>(target.num_records()));
+  (void)RunCrawl(backend, selector, store, crawl_options, SeedValue(target, 0),
+                 &retry);
+
+  // First checkpoint pays for every dirty page; the second, taken with
+  // nothing dirty, is the protocol floor (fsync + manifest only).
+  double first_ms = BestWallSeconds(
+                        [&] {
+                          StatusOr<uint64_t> stamp = store.CheckpointPaged();
+                          DEEPCRAWL_CHECK(stamp.ok())
+                              << stamp.status().ToString();
+                        },
+                        /*min_reps=*/1, /*min_seconds=*/0.0) *
+                    1000.0;
+  double floor_ms = BestWallSeconds(
+                        [&] {
+                          StatusOr<uint64_t> stamp = store.CheckpointPaged();
+                          DEEPCRAWL_CHECK(stamp.ok())
+                              << stamp.status().ToString();
+                        },
+                        /*min_reps=*/3, /*min_seconds=*/0.2) *
+                    1000.0;
+
+  TablePrinter table({"checkpoint", "wall ms"});
+  table.AddRow({"first (all pages dirty)",
+                TablePrinter::FormatDouble(first_ms, 2)});
+  table.AddRow({"steady (nothing dirty)",
+                TablePrinter::FormatDouble(floor_ms, 2)});
+  table.Print(std::cout);
+
+  json.Add("paged_checkpoint_steady_ms", floor_ms, "ms", false);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepcrawl
+
+int main(int argc, char** argv) {
+  using namespace deepcrawl;
+  using namespace deepcrawl::bench;
+  std::string json_path = JsonPathFromArgs(argc, argv);
+  BenchJson json("paged");
+  Table target = MakeTarget();
+  IngestSweep(json);
+  CrawlSweep(target, json);
+  CheckpointSweep(target, json);
+  if (!json_path.empty()) json.WriteFile(json_path);
+  return 0;
+}

@@ -56,7 +56,9 @@ class FaultyServer;
 
 // Bump on ANY payload-layout change; readers reject other versions.
 // v2: ResilienceCounters grew rate_limit_rejections / max_retry_after_hint.
-inline constexpr uint32_t kCrawlCheckpointVersion = 2;
+// v3: STOR section gained the kPaged manifest form (counters + the
+//     paged store's MANIFEST stamp instead of logical record replay).
+inline constexpr uint32_t kCrawlCheckpointVersion = 3;
 
 // Section markers (fourcc, little-endian u32). Sections appear in file
 // order: CONFIG, ENGINE (store + selector nested inside), optional

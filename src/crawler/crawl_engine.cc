@@ -501,20 +501,37 @@ Status CrawlEngine::SaveState(CheckpointWriter& writer) const {
   for (size_t index : wave_) writer.WriteU64(index);
   writer.WriteU64(wave_pos_);
 
-  // STORE: logical replay form — original id, observation count, and
-  // values per record, in harvest order. AddRecord/ObserveDuplicate
-  // rebuild the CSR arenas, edge hash, degrees, and postings exactly,
-  // because all of them are pure functions of the add sequence.
+  // STORE. Two forms, selected by the layout byte already pinned in
+  // CONFIG:
+  //  * kPaged (v3 manifest form): the store persists itself — dirty
+  //    pages are flushed + fsynced and a MANIFEST.<stamp> written —
+  //    and the crawl checkpoint records only the counters and the
+  //    stamp. The manifest lands durably *before* this checkpoint's
+  //    own file, so a crash between the two resumes from the previous
+  //    stamp, whose pages the store retains (DESIGN.md §14).
+  //  * otherwise: logical replay form — original id, observation
+  //    count, and values per record, in harvest order.
+  //    AddRecord/ObserveDuplicate rebuild the CSR arenas, edge hash,
+  //    degrees, and postings exactly, because all of them are pure
+  //    functions of the add sequence.
   WriteSectionMarker(writer, kSectionStore);
-  writer.WriteU64(store_.num_records());
-  for (uint32_t slot = 0; slot < store_.num_records(); ++slot) {
-    writer.WriteU32(store_.OriginalRecordId(slot));
-    writer.WriteU32(store_.ObservationCount(slot));
-    std::span<const ValueId> values = store_.RecordValues(slot);
-    writer.WriteU32(static_cast<uint32_t>(values.size()));
-    for (ValueId v : values) writer.WriteU32(v);
+  if (store_.options().layout == LocalStore::Layout::kPaged) {
+    StatusOr<uint64_t> stamp = store_.CheckpointPaged();
+    if (!stamp.ok()) return stamp.status();
+    writer.WriteU64(store_.num_records());
+    writer.WriteU64(store_.num_observations());
+    writer.WriteU64(*stamp);
+  } else {
+    writer.WriteU64(store_.num_records());
+    for (uint32_t slot = 0; slot < store_.num_records(); ++slot) {
+      writer.WriteU32(store_.OriginalRecordId(slot));
+      writer.WriteU32(store_.ObservationCount(slot));
+      std::span<const ValueId> values = store_.RecordValues(slot);
+      writer.WriteU32(static_cast<uint32_t>(values.size()));
+      for (ValueId v : values) writer.WriteU32(v);
+    }
+    writer.WriteU64(store_.num_observations());
   }
-  writer.WriteU64(store_.num_observations());
 
   // SELECTOR: the policy serializes itself (oracle/domain policies
   // reject with a clean FailedPrecondition).
@@ -651,6 +668,29 @@ Status CrawlEngine::LoadState(CheckpointReader& reader) {
 
   if (!ExpectSectionMarker(reader, kSectionStore, "STOR")) {
     return reader.status();
+  }
+  if (store_.options().layout == LocalStore::Layout::kPaged) {
+    uint64_t expected_records = reader.ReadU64();
+    uint64_t expected_obs = reader.ReadU64();
+    uint64_t stamp = reader.ReadU64();
+    DEEPCRAWL_RETURN_IF_ERROR(reader.status());
+    DEEPCRAWL_RETURN_IF_ERROR(store_.LoadPagedCheckpoint(stamp));
+    if (store_.num_records() != expected_records ||
+        store_.num_observations() != expected_obs) {
+      return Status::InvalidArgument(
+          "paged store manifest " + std::to_string(stamp) +
+          " does not match the crawl checkpoint's record/observation "
+          "counters");
+    }
+    if (store_.num_values_seen() > value_bound) {
+      return Status::InvalidArgument(
+          "paged store manifest contains value ids the crawl never "
+          "discovered");
+    }
+    if (!ExpectSectionMarker(reader, kSectionSelector, "SELC")) {
+      return reader.status();
+    }
+    return selector_.LoadState(reader, value_bound);
   }
   uint64_t num_records = reader.ReadCount(16);
   std::vector<ValueId> values;

@@ -1,12 +1,25 @@
 #include "src/crawler/local_store.h"
 
+#include "src/crawler/paged_store.h"
 #include "src/util/logging.h"
 
 namespace deepcrawl {
 
 LocalStore::LocalStore() : LocalStore(Options{}) {}
 
-LocalStore::LocalStore(Options options) : options_(options) {}
+LocalStore::LocalStore(Options options) : options_(std::move(options)) {
+  if (options_.layout == Layout::kPaged) {
+    PagedStore::Options paged;
+    paged.dir = options_.paged_dir;
+    paged.page_bytes = options_.page_bytes;
+    paged.cache_pages = options_.cache_pages;
+    paged.exact_degrees = options_.exact_degrees;
+    paged.resume = options_.paged_resume;
+    paged_ = std::make_unique<PagedStore>(paged);
+  }
+}
+
+LocalStore::~LocalStore() = default;
 
 void LocalStore::EnsureValueCapacity(ValueId v) {
   if (v < local_frequency_.size()) return;
@@ -26,6 +39,7 @@ void LocalStore::EnsureValueCapacity(ValueId v) {
 }
 
 bool LocalStore::AddRecord(RecordId id, std::span<const ValueId> values) {
+  if (paged_ != nullptr) return paged_->AddRecord(id, values);
   DEEPCRAWL_CHECK(!values.empty()) << "harvested record has no values";
   uint32_t slot = static_cast<uint32_t>(num_records());
   if (!slot_of_.emplace(id, slot).second) return false;
@@ -85,7 +99,13 @@ bool LocalStore::AddRecord(RecordId id, std::span<const ValueId> values) {
   return true;
 }
 
+bool LocalStore::ContainsRecord(RecordId id) const {
+  if (paged_ != nullptr) return paged_->ContainsRecord(id);
+  return slot_of_.count(id) != 0;
+}
+
 void LocalStore::ObserveDuplicate(RecordId id) {
+  if (paged_ != nullptr) return paged_->ObserveDuplicate(id);
   auto it = slot_of_.find(id);
   DEEPCRAWL_CHECK(it != slot_of_.end())
       << "duplicate observation of a record never added";
@@ -94,6 +114,7 @@ void LocalStore::ObserveDuplicate(RecordId id) {
 }
 
 void LocalStore::RestoreObservations(RecordId id, uint32_t count) {
+  if (paged_ != nullptr) return paged_->RestoreObservations(id, count);
   DEEPCRAWL_CHECK_GE(count, 1u);
   auto it = slot_of_.find(id);
   DEEPCRAWL_CHECK(it != slot_of_.end())
@@ -104,7 +125,23 @@ void LocalStore::RestoreObservations(RecordId id, uint32_t count) {
   stored = count;
 }
 
+uint64_t LocalStore::num_observations() const {
+  if (paged_ != nullptr) return paged_->num_observations();
+  return num_observations_;
+}
+
+size_t LocalStore::num_records() const {
+  if (paged_ != nullptr) return paged_->num_records();
+  return record_offsets_.size() - 1;
+}
+
+size_t LocalStore::num_values_seen() const {
+  if (paged_ != nullptr) return paged_->num_values_seen();
+  return local_frequency_.size();
+}
+
 size_t LocalStore::RecordsObservedTimes(uint32_t k) const {
+  if (paged_ != nullptr) return paged_->RecordsObservedTimes(k);
   DEEPCRAWL_CHECK_GE(k, 1u);
   size_t count = 0;
   for (uint32_t observations : observation_count_) {
@@ -114,11 +151,13 @@ size_t LocalStore::RecordsObservedTimes(uint32_t k) const {
 }
 
 uint32_t LocalStore::LocalFrequency(ValueId v) const {
+  if (paged_ != nullptr) return paged_->LocalFrequency(v);
   if (v >= local_frequency_.size()) return 0;
   return local_frequency_[v];
 }
 
 uint64_t LocalStore::LocalDegree(ValueId v) const {
+  if (paged_ != nullptr) return paged_->LocalDegree(v);
   if (v >= local_frequency_.size()) return 0;
   if (options_.exact_degrees) {
     if (options_.layout == Layout::kCsr) return adjacency_csr_.RowSize(v);
@@ -128,18 +167,30 @@ uint64_t LocalStore::LocalDegree(ValueId v) const {
 }
 
 std::span<const ValueId> LocalStore::NeighborsSpan(ValueId v) const {
+  if (paged_ != nullptr) {
+    paged_->CopyNeighbors(v, neighbors_scratch_);
+    return neighbors_scratch_;
+  }
   if (!options_.exact_degrees || v >= local_frequency_.size()) return {};
   if (options_.layout == Layout::kCsr) return adjacency_csr_.Row(v);
   return neighbor_lists_ref_[v];
 }
 
 std::span<const uint32_t> LocalStore::LocalPostings(ValueId v) const {
+  if (paged_ != nullptr) {
+    paged_->CopyPostings(v, postings_scratch_);
+    return postings_scratch_;
+  }
   if (v >= local_frequency_.size()) return {};
   if (options_.layout == Layout::kCsr) return postings_csr_.Row(v);
   return local_postings_ref_[v];
 }
 
 std::span<const ValueId> LocalStore::RecordValues(uint32_t slot) const {
+  if (paged_ != nullptr) {
+    paged_->CopyRecordValues(slot, record_scratch_);
+    return record_scratch_;
+  }
   DEEPCRAWL_CHECK_LT(slot, num_records()) << "local record slot out of range";
   size_t begin = record_offsets_[slot];
   size_t end = record_offsets_[slot + 1];
@@ -147,8 +198,32 @@ std::span<const ValueId> LocalStore::RecordValues(uint32_t slot) const {
 }
 
 RecordId LocalStore::OriginalRecordId(uint32_t slot) const {
+  if (paged_ != nullptr) return paged_->OriginalRecordId(slot);
   DEEPCRAWL_CHECK_LT(slot, num_records()) << "local record slot out of range";
   return original_ids_[slot];
+}
+
+uint32_t LocalStore::ObservationCount(uint32_t slot) const {
+  if (paged_ != nullptr) return paged_->ObservationCount(slot);
+  return observation_count_[slot];
+}
+
+StatusOr<uint64_t> LocalStore::CheckpointPaged() {
+  DEEPCRAWL_CHECK(paged_ != nullptr)
+      << "CheckpointPaged on a non-paged layout";
+  return paged_->Checkpoint();
+}
+
+Status LocalStore::LoadPagedCheckpoint(uint64_t stamp) {
+  DEEPCRAWL_CHECK(paged_ != nullptr)
+      << "LoadPagedCheckpoint on a non-paged layout";
+  return paged_->LoadCheckpoint(stamp);
+}
+
+const PageCacheStats& LocalStore::paged_cache_stats() const {
+  DEEPCRAWL_CHECK(paged_ != nullptr)
+      << "paged_cache_stats on a non-paged layout";
+  return paged_->cache_stats();
 }
 
 }  // namespace deepcrawl

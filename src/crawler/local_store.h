@@ -30,7 +30,9 @@
 #define DEEPCRAWL_CRAWLER_LOCAL_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,18 +40,24 @@
 #include "src/relation/types.h"
 #include "src/util/chunked_arena.h"
 #include "src/util/flat_hash.h"
+#include "src/util/status.h"
 
 namespace deepcrawl {
 
+class PagedStore;
+struct PageCacheStats;
+
 class LocalStore {
  public:
-  // Which physical layout backs the statistics table. Both produce
+  // Which physical layout backs the statistics table. All produce
   // identical observable behaviour (degrees, spans, frequencies, and
   // their orders); kReference exists only as the differential-test
-  // yardstick and for A/B benchmarking.
+  // yardstick and for A/B benchmarking, kPaged spills to disk through
+  // a bounded page cache so the store can exceed RAM (DESIGN.md §14).
   enum class Layout {
-    kCsr,        // flat arenas + edge hash (the fast default)
+    kCsr,        // flat arenas + edge hash (the fast in-memory default)
     kReference,  // one unordered_set / vector per value (pre-PR layout)
+    kPaged,      // on-disk page-cache backend (src/crawler/paged_store.h)
   };
 
   struct Options {
@@ -57,18 +65,27 @@ class LocalStore {
     // with-multiplicity link count (false).
     bool exact_degrees = true;
     Layout layout = Layout::kCsr;
+    // kPaged only: store directory, page size (power of two >= 64),
+    // page-cache capacity in frames, and whether existing on-disk
+    // state is kept for a follow-up LoadPagedCheckpoint.
+    std::string paged_dir;
+    uint32_t page_bytes = 4096;
+    uint32_t cache_pages = 1024;
+    bool paged_resume = false;
   };
 
   LocalStore();  // default options
   explicit LocalStore(Options options);
+  ~LocalStore();
+
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
 
   // Adds a harvested record. Returns true when the record was new.
   // A new record starts with one observation.
   bool AddRecord(RecordId id, std::span<const ValueId> values);
 
-  bool ContainsRecord(RecordId id) const {
-    return slot_of_.count(id) != 0;
-  }
+  bool ContainsRecord(RecordId id) const;
 
   // Notes that an already-stored record was returned again by some
   // query. Duplicate-observation counts ("abundance data") feed the
@@ -84,13 +101,13 @@ class LocalStore {
   void RestoreObservations(RecordId id, uint32_t count);
 
   // Total result records observed, duplicates included.
-  uint64_t num_observations() const { return num_observations_; }
+  uint64_t num_observations() const;
 
   // Number of stored records observed exactly `k` times (k >= 1).
   size_t RecordsObservedTimes(uint32_t k) const;
 
-  size_t num_records() const { return record_offsets_.size() - 1; }
-  size_t num_values_seen() const { return local_frequency_.size(); }
+  size_t num_records() const;
+  size_t num_values_seen() const;
 
   // num(q, DBlocal): local records containing `v`.
   uint32_t LocalFrequency(ValueId v) const;
@@ -101,14 +118,18 @@ class LocalStore {
 
   // Distinct G_local neighbors of `v`, in first-co-occurrence order
   // (deterministic and identical across layouts). Empty when exact
-  // degree tracking is off. Invalidated by the next AddRecord.
+  // degree tracking is off. Invalidated by the next AddRecord — and,
+  // under kPaged, by the next NeighborsSpan call (each accessor owns
+  // one copy-out scratch buffer; holding spans from two *different*
+  // accessors simultaneously is fine).
   std::span<const ValueId> NeighborsSpan(ValueId v) const;
 
   // Local record slots (indices into this store) containing `v`.
-  // Invalidated by the next AddRecord.
+  // Invalidated by the next AddRecord (kPaged: or LocalPostings call).
   std::span<const uint32_t> LocalPostings(ValueId v) const;
 
-  // Values of the local record in slot `slot`.
+  // Values of the local record in slot `slot`. Invalidated by the
+  // next AddRecord (kPaged: or RecordValues call).
   std::span<const ValueId> RecordValues(uint32_t slot) const;
 
   // Original (server-side) record id of slot `slot`.
@@ -116,11 +137,19 @@ class LocalStore {
 
   // Times the record in slot `slot` was observed (>= 1), for the
   // checkpoint layer's logical-replay serialization.
-  uint32_t ObservationCount(uint32_t slot) const {
-    return observation_count_[slot];
-  }
+  uint32_t ObservationCount(uint32_t slot) const;
 
   const Options& options() const { return options_; }
+
+  // --- kPaged checkpoint surface (aborts unless layout == kPaged) ---
+  // Flushes dirty pages, fsyncs, and durably writes MANIFEST.<stamp>;
+  // the returned stamp goes into the crawl checkpoint's STOR section.
+  StatusOr<uint64_t> CheckpointPaged();
+  // Restores the paged backend to MANIFEST.<stamp> (sweeping crash
+  // leftovers and validating every referenced page checksum).
+  Status LoadPagedCheckpoint(uint64_t stamp);
+  // Page-cache hit/miss/eviction/writeback counters.
+  const PageCacheStats& paged_cache_stats() const;
 
  private:
   void EnsureValueCapacity(ValueId v);
@@ -151,6 +180,14 @@ class LocalStore {
   std::vector<std::vector<uint32_t>> local_postings_ref_;
   std::vector<std::unordered_set<ValueId>> neighbor_sets_ref_;
   std::vector<std::vector<ValueId>> neighbor_lists_ref_;
+
+  // kPaged layout: the on-disk backend plus one scratch buffer per
+  // span accessor (rows cross page boundaries, so spans are served
+  // from copy-outs; mutable because reading pages touches the cache).
+  std::unique_ptr<PagedStore> paged_;
+  mutable std::vector<ValueId> neighbors_scratch_;
+  mutable std::vector<uint32_t> postings_scratch_;
+  mutable std::vector<ValueId> record_scratch_;
 };
 
 }  // namespace deepcrawl

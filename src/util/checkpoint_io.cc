@@ -1,5 +1,10 @@
 #include "src/util/checkpoint_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -166,21 +171,113 @@ StatusOr<std::string_view> UnframeCheckpoint(std::string_view image,
   return payload;
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) return Status::NotFound("cannot create '" + tmp + "'");
-    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!file) {
-      return Status::Internal("write failed for '" + tmp + "'");
+namespace {
+
+// Directory component of `path`, or "." when it has none; what must be
+// fsynced for a rename in that directory to be durable.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fsync failed for directory '" + dir +
+                            "': " + std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+// Unique per-writer temp name: pid distinguishes processes, the
+// counter distinguishes threads/calls within one process, so two
+// checkpointers targeting the same path never open the same temp file.
+std::string UniqueTempName(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+// Shared temp+rename body; `durable` adds the fsync-before-rename and
+// fsync-parent-dir-after steps that make the write crash-safe.
+Status WriteFileAtomicImpl(const std::string& path, std::string_view bytes,
+                           bool durable) {
+  std::string tmp = UniqueTempName(path);
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::NotFound("cannot create '" + tmp + "'");
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed for '" + tmp +
+                              "': " + std::strerror(err));
     }
+    written += static_cast<size_t>(n);
+  }
+  if (durable && ::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::Internal("fsync failed for '" + tmp +
+                            "': " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    std::remove(tmp.c_str());
+    return Status::Internal("close failed for '" + tmp +
+                            "': " + std::strerror(err));
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
   }
+  if (durable) {
+    // Without this the rename itself may be lost in a crash, leaving
+    // the directory entry pointing at the old (or no) file.
+    Status dir_status = SyncDir(ParentDir(path));
+    if (!dir_status.ok()) return dir_status;
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  return WriteFileAtomicImpl(path, bytes, /*durable=*/true);
+}
+
+Status WriteFileAtomicDeferredSync(const std::string& path,
+                                   std::string_view bytes) {
+  return WriteFileAtomicImpl(path, bytes, /*durable=*/false);
+}
+
+Status SyncFileDurable(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + path +
+                            "' for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal("fsync failed for '" + path +
+                            "': " + std::strerror(err));
+  }
+  ::close(fd);
+  return SyncDir(ParentDir(path));
 }
 
 StatusOr<std::string> ReadFileBytes(const std::string& path) {

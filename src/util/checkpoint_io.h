@@ -96,9 +96,27 @@ std::string FrameCheckpoint(std::string_view payload, uint32_t version);
 StatusOr<std::string_view> UnframeCheckpoint(std::string_view image,
                                              uint32_t expected_version);
 
-// Atomic file write: <path>.tmp + rename, so a process killed mid-save
-// leaves any previous file at `path` intact.
+// Atomic durable file write: a per-writer-unique temp name
+// (<path>.tmp.<pid>.<seq>, so concurrent checkpointers to the same
+// path never truncate each other's in-flight temp), written, fsynced,
+// renamed over `path`, then the containing directory is fsynced — a
+// crash at any point leaves either the previous file or the complete
+// new file, never a zero-length or partial one. Returns
+// Status::Internal on fsync/rename failure.
 Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+// Same unique-temp + rename protocol but with NO fsync: the rename is
+// still atomic against concurrent readers, but the new bytes are not
+// durable until SyncFileDurable(path) (and the parent directory) is
+// called. The page cache uses this for evictions between checkpoints,
+// where durability is only required at checkpoint boundaries.
+Status WriteFileAtomicDeferredSync(const std::string& path,
+                                   std::string_view bytes);
+
+// fsyncs the file at `path` and then its containing directory, making
+// an earlier deferred-sync write (data + rename) durable.
+Status SyncFileDurable(const std::string& path);
+
 StatusOr<std::string> ReadFileBytes(const std::string& path);
 
 }  // namespace deepcrawl

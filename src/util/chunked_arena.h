@@ -80,6 +80,9 @@ class ChunkedArena {
   size_t size() const { return live_; }
   // Arena footprint including garbage chunks (for tests/diagnostics).
   size_t arena_capacity() const { return arena_.size(); }
+  // Elements in abandoned chunks awaiting the next epoch compaction
+  // (for tests/diagnostics).
+  size_t arena_garbage() const { return garbage_; }
 
  private:
   struct RowMeta {
@@ -89,23 +92,32 @@ class ChunkedArena {
   };
 
   void Relocate(size_t row) {
-    RowMeta& meta = rows_[row];
-    uint32_t new_capacity = meta.capacity == 0 ? 4 : meta.capacity * 2;
-    garbage_ += meta.capacity;
+    uint32_t new_capacity =
+        rows_[row].capacity == 0 ? 4 : rows_[row].capacity * 2;
     // Epoch compaction: once more than half the arena is abandoned
-    // chunks, rebuild it dense (in row order) instead of growing it.
-    if (garbage_ > live_ + new_capacity && arena_.size() >= 1024) {
+    // chunks (counting the chunk this relocation is about to abandon),
+    // rebuild it dense (in row order) instead of growing it.
+    if (garbage_ + rows_[row].capacity > live_ + new_capacity &&
+        arena_.size() >= 1024) {
       Compact();
     }
+    // Counted after a possible Compact(): whichever chunk the row
+    // occupies *now* (the original, or its freshly compacted copy of
+    // capacity == size) is what the move below abandons.
+    RowMeta& moved = rows_[row];
+    garbage_ += moved.capacity;
     size_t new_offset = arena_.size();
     arena_.resize(arena_.size() + new_capacity);
-    RowMeta& moved = rows_[row];  // Compact() may have updated it
     std::copy(arena_.begin() + static_cast<ptrdiff_t>(moved.offset),
               arena_.begin() + static_cast<ptrdiff_t>(moved.offset) +
                   moved.size,
               arena_.begin() + static_cast<ptrdiff_t>(new_offset));
     moved.offset = new_offset;
     moved.capacity = new_capacity;
+    // Live elements plus abandoned chunks can never exceed the arena:
+    // the slack is exactly the unused tail capacity of live chunks.
+    DEEPCRAWL_DCHECK(garbage_ + live_ <= arena_.size())
+        << "arena garbage accounting out of bounds";
   }
 
   void Compact() {

@@ -1,0 +1,302 @@
+#include "src/util/page_cache.h"
+
+#include <dirent.h>
+
+#include <cstdio>
+
+#include "src/util/checkpoint_io.h"
+
+namespace deepcrawl {
+
+PagedFile::PagedFile(std::string dir, std::string name, uint32_t page_bytes)
+    : dir_(std::move(dir)), name_(std::move(name)), page_bytes_(page_bytes) {
+  DEEPCRAWL_CHECK(page_bytes_ > 0) << "page size must be positive";
+}
+
+void PagedFile::EnsurePages(uint64_t n) {
+  if (n > pages_.size()) pages_.resize(n);
+}
+
+std::string PagedFile::PageFileName(uint64_t page, uint64_t epoch) const {
+  return name_ + ".p" + std::to_string(page) + ".e" + std::to_string(epoch);
+}
+
+std::string PagedFile::PagePath(uint64_t page, uint64_t epoch) const {
+  return dir_ + "/" + PageFileName(page, epoch);
+}
+
+bool PagedFile::ParsePageFileName(const std::string& filename, uint64_t* page,
+                                  uint64_t* epoch) const {
+  // <name>.p<digits>.e<digits>
+  if (filename.size() <= name_.size() + 4) return false;
+  if (filename.compare(0, name_.size(), name_) != 0) return false;
+  size_t p = name_.size();
+  if (filename[p] != '.' || filename[p + 1] != 'p') return false;
+  size_t e_dot = filename.find(".e", p + 2);
+  if (e_dot == std::string::npos || e_dot == p + 2) return false;
+  auto parse_digits = [&](size_t begin, size_t end, uint64_t* out) {
+    if (begin == end) return false;
+    uint64_t v = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (filename[i] < '0' || filename[i] > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(filename[i] - '0');
+    }
+    *out = v;
+    return true;
+  };
+  return parse_digits(p + 2, e_dot, page) &&
+         parse_digits(e_dot + 2, filename.size(), epoch);
+}
+
+Status PagedFile::ReadPage(uint64_t page, char* out) const {
+  if (page >= pages_.size() || pages_[page].current == 0) {
+    std::memset(out, 0, page_bytes_);
+    return Status::OK();
+  }
+  std::string path = PagePath(page, pages_[page].current);
+  StatusOr<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  StatusOr<std::string_view> payload =
+      UnframeCheckpoint(*bytes, kPageFormatVersion);
+  if (!payload.ok()) {
+    return Status::InvalidArgument("corrupt page '" + path +
+                                   "': " + payload.status().message());
+  }
+  if (payload->size() != page_bytes_) {
+    return Status::InvalidArgument(
+        "corrupt page '" + path + "': payload is " +
+        std::to_string(payload->size()) + " bytes, expected " +
+        std::to_string(page_bytes_));
+  }
+  std::memcpy(out, payload->data(), page_bytes_);
+  return Status::OK();
+}
+
+void PagedFile::RemoveIfUnprotected(uint64_t page, uint64_t epoch) {
+  const PageState& st = pages_[page];
+  if (epoch == 0 || epoch == st.current || epoch == st.durable_last ||
+      epoch == st.durable_prev) {
+    return;
+  }
+  std::string path = PagePath(page, epoch);
+  std::remove(path.c_str());
+  pending_sync_.erase(path);
+}
+
+Status PagedFile::WritePage(uint64_t page, const char* data) {
+  EnsurePages(page + 1);
+  uint64_t epoch = next_epoch_++;
+  std::string path = PagePath(page, epoch);
+  std::string framed =
+      FrameCheckpoint(std::string_view(data, page_bytes_), kPageFormatVersion);
+  Status status = WriteFileAtomicDeferredSync(path, framed);
+  if (!status.ok()) return status;
+  pending_sync_.insert(path);
+  uint64_t old = pages_[page].current;
+  pages_[page].current = epoch;
+  RemoveIfUnprotected(page, old);
+  return Status::OK();
+}
+
+Status PagedFile::SyncPending() {
+  for (const std::string& path : pending_sync_) {
+    // SyncFileDurable fsyncs the parent directory per file; with one
+    // store directory that is a handful of redundant dir fsyncs per
+    // checkpoint, which keeps this path simple.
+    Status status = SyncFileDurable(path);
+    if (!status.ok()) return status;
+  }
+  pending_sync_.clear();
+  return Status::OK();
+}
+
+void PagedFile::CommitDurable() {
+  for (uint64_t page = 0; page < pages_.size(); ++page) {
+    PageState& st = pages_[page];
+    uint64_t out = st.durable_prev;
+    st.durable_prev = st.durable_last;
+    st.durable_last = st.current;
+    RemoveIfUnprotected(page, out);
+  }
+}
+
+void PagedFile::AppendMeta(CheckpointWriter& w) const {
+  w.WriteU64(next_epoch_);
+  w.WriteU64(pages_.size());
+  for (const PageState& st : pages_) w.WriteU64(st.current);
+}
+
+Status PagedFile::LoadMeta(CheckpointReader& r) {
+  uint64_t next_epoch = r.ReadU64();
+  uint64_t num_pages = r.ReadCount(8);
+  std::vector<PageState> pages(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    uint64_t epoch = r.ReadU64();
+    if (epoch >= next_epoch) {
+      r.MarkCorrupt("page epoch beyond segment epoch counter in '" + name_ +
+                    "'");
+    }
+    pages[i].current = epoch;
+    pages[i].durable_last = epoch;
+    pages[i].durable_prev = epoch;
+  }
+  if (!r.ok()) return r.status();
+  next_epoch_ = next_epoch;
+  pages_ = std::move(pages);
+  pending_sync_.clear();
+  return Status::OK();
+}
+
+void PagedFile::AppendOnDiskPaths(std::vector<std::string>& out) const {
+  for (uint64_t page = 0; page < pages_.size(); ++page) {
+    const PageState& st = pages_[page];
+    uint64_t epochs[3] = {st.current, st.durable_last, st.durable_prev};
+    for (int k = 0; k < 3; ++k) {
+      if (epochs[k] == 0) continue;
+      bool dup = false;
+      for (int j = 0; j < k; ++j) dup = dup || epochs[j] == epochs[k];
+      if (!dup) out.push_back(PagePath(page, epochs[k]));
+    }
+  }
+}
+
+void PagedFile::AppendCurrentFileNames(std::vector<std::string>& out) const {
+  for (uint64_t page = 0; page < pages_.size(); ++page) {
+    if (pages_[page].current != 0) {
+      out.push_back(PageFileName(page, pages_[page].current));
+    }
+  }
+}
+
+Status PagedFile::SweepOrphans() const {
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("cannot open store directory '" + dir_ + "'");
+  }
+  std::vector<std::string> doomed;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string filename = entry->d_name;
+    uint64_t page = 0;
+    uint64_t epoch = 0;
+    if (!ParsePageFileName(filename, &page, &epoch)) continue;
+    bool referenced =
+        page < pages_.size() && epoch != 0 && pages_[page].current == epoch;
+    if (!referenced) doomed.push_back(filename);
+  }
+  ::closedir(dir);
+  for (const std::string& filename : doomed) {
+    std::remove((dir_ + "/" + filename).c_str());
+  }
+  return Status::OK();
+}
+
+PageCache::PageCache(uint32_t page_bytes, uint32_t capacity_frames)
+    : page_bytes_(page_bytes),
+      capacity_frames_(capacity_frames == 0 ? 1 : capacity_frames) {
+  frames_.reserve(capacity_frames_);
+}
+
+uint32_t PageCache::RegisterFile(PagedFile* file) {
+  DEEPCRAWL_CHECK(file->page_bytes() == page_bytes_)
+      << "segment page size " << file->page_bytes()
+      << " does not match cache page size " << page_bytes_;
+  files_.push_back(file);
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+uint32_t PageCache::ReclaimFrame() {
+  if (frames_.size() < capacity_frames_) {
+    frames_.emplace_back();
+    frames_.back().data.resize(page_bytes_);
+    return static_cast<uint32_t>(frames_.size() - 1);
+  }
+  // Clock sweep: first pass clears reference bits, so within two laps
+  // an unpinned frame is found unless every frame is pinned.
+  size_t limit = frames_.size() * 2;
+  for (size_t step = 0; step < limit; ++step) {
+    uint32_t i = static_cast<uint32_t>(clock_hand_);
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    Frame& frame = frames_[i];
+    if (frame.pins > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.valid) {
+      if (frame.dirty) {
+        Status status =
+            files_[frame.file_id]->WritePage(frame.page, frame.data.data());
+        DEEPCRAWL_CHECK(status.ok())
+            << "page writeback failed: " << status.message();
+        ++stats_.writebacks;
+      }
+      frame_of_.erase(FrameKey(frame.file_id, frame.page));
+      frame.valid = false;
+      frame.dirty = false;
+      ++stats_.evictions;
+    }
+    return i;
+  }
+  // Every frame is pinned: soft overflow rather than deadlock. The
+  // extra frame joins the clock rotation and shrinks back naturally
+  // as eviction preference (it starts unreferenced).
+  frames_.emplace_back();
+  frames_.back().data.resize(page_bytes_);
+  return static_cast<uint32_t>(frames_.size() - 1);
+}
+
+PageCache::Handle PageCache::Acquire(uint32_t file_id, uint64_t page) {
+  DEEPCRAWL_DCHECK(file_id < files_.size() && files_[file_id] != nullptr)
+      << "unregistered file id";
+  auto it = frame_of_.find(FrameKey(file_id, page));
+  if (it != frame_of_.end()) {
+    Frame& frame = frames_[it->second];
+    frame.referenced = true;
+    ++frame.pins;
+    ++stats_.hits;
+    return Handle(this, it->second);
+  }
+  ++stats_.misses;
+  uint32_t i = ReclaimFrame();
+  Frame& frame = frames_[i];
+  files_[file_id]->EnsurePages(page + 1);
+  Status status = files_[file_id]->ReadPage(page, frame.data.data());
+  DEEPCRAWL_CHECK(status.ok()) << "page read failed: " << status.message();
+  frame.file_id = file_id;
+  frame.page = page;
+  frame.pins = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  frame.valid = true;
+  frame_of_[FrameKey(file_id, page)] = i;
+  return Handle(this, i);
+}
+
+Status PageCache::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (!frame.valid || !frame.dirty) continue;
+    Status status =
+        files_[frame.file_id]->WritePage(frame.page, frame.data.data());
+    if (!status.ok()) return status;
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+void PageCache::DropFile(uint32_t file_id) {
+  for (Frame& frame : frames_) {
+    if (!frame.valid || frame.file_id != file_id) continue;
+    DEEPCRAWL_CHECK(frame.pins == 0) << "dropping a pinned page frame";
+    frame_of_.erase(FrameKey(frame.file_id, frame.page));
+    frame.valid = false;
+    frame.dirty = false;
+    frame.referenced = false;
+  }
+}
+
+void PageCache::UnregisterFile(uint32_t file_id) {
+  DropFile(file_id);
+  files_[file_id] = nullptr;
+}
+
+}  // namespace deepcrawl

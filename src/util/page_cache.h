@@ -1,0 +1,319 @@
+// Paged on-disk storage: epoch-file shadow paging + a pinned/dirty
+// clock page cache — the substrate under LocalStore's Layout::kPaged
+// backend (see DESIGN.md §14).
+//
+// A PagedFile is one logical segment (an array of fixed-size pages)
+// stored as one small file per page per version:
+//
+//   <dir>/<name>.p<page>.e<epoch>
+//
+// Every page write allocates a fresh epoch and lands through the
+// checkpoint_io atomic temp+rename protocol, wrapped in the standard
+// framing (magic, version, payload size, FNV-1a checksum) — a torn or
+// bit-flipped page is detected on read, and a crash mid-write can
+// never damage the previous epoch of the page. Epoch 0 is the virgin
+// page: all zeroes, no file on disk, so untouched regions of a
+// segment cost nothing and read back as zero-initialized state.
+//
+// Durability is deferred to checkpoint boundaries: evictions between
+// checkpoints rename without fsync (crash loses them — by design; the
+// recovery point is the last manifest). At checkpoint time the store
+// flushes dirty frames, fsyncs every file written since the previous
+// checkpoint (SyncPending), records the per-page epoch table in a
+// manifest, and only then retires old epochs. Each page keeps the
+// epochs referenced by the *last two* manifests on disk
+// (durable_last / durable_prev), because the crawl checkpoint that
+// names manifest N is written after manifest N itself — a crash in
+// that window must still be able to load manifest N-1.
+//
+// The PageCache holds a bounded number of page frames shared by all
+// segments of a store, with clock (second-chance) eviction, pin
+// counts (RAII Handle), and dirty tracking. When every frame is
+// pinned the cache soft-overflows by allocating an extra frame rather
+// than deadlocking. Hot-path I/O failures abort via DEEPCRAWL_CHECK;
+// checkpoint/recovery paths return Status.
+
+#ifndef DEEPCRAWL_UTIL_PAGE_CACHE_H_
+#define DEEPCRAWL_UTIL_PAGE_CACHE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace deepcrawl {
+
+class CheckpointReader;
+class CheckpointWriter;
+
+// On-disk page frame format version (framing payload = one page).
+inline constexpr uint32_t kPageFormatVersion = 1;
+
+// One logical segment: a growable array of fixed-size pages, each
+// stored as an epoch-versioned file. Not thread-safe (the paged store
+// is single-writer by construction).
+class PagedFile {
+ public:
+  // `dir` must exist; `page_bytes` is the fixed page payload size.
+  PagedFile(std::string dir, std::string name, uint32_t page_bytes);
+
+  const std::string& name() const { return name_; }
+  uint32_t page_bytes() const { return page_bytes_; }
+  uint64_t num_pages() const { return pages_.size(); }
+
+  // Grows the page directory (new pages are virgin: epoch 0).
+  void EnsurePages(uint64_t n);
+
+  // Reads page `page` into `out` (exactly page_bytes). Virgin pages
+  // read as zeroes. Validates framing + checksum; any corruption or
+  // I/O failure is a clean error.
+  Status ReadPage(uint64_t page, char* out) const;
+
+  // Writes page `page` (exactly page_bytes) under a fresh epoch with
+  // a deferred-sync atomic rename, then deletes the superseded epoch
+  // file unless a manifest still references it. Durable only after
+  // the next SyncPending().
+  Status WritePage(uint64_t page, const char* data);
+
+  // fsyncs every file written since the last SyncPending (plus the
+  // directory, once). Part of the checkpoint protocol.
+  Status SyncPending();
+
+  // Called after a manifest referencing the current epochs has been
+  // durably written: slides the per-page durable window
+  // (prev <- last <- current) and deletes epoch files that fell out.
+  void CommitDurable();
+
+  // Serializes / restores the per-page epoch table for the manifest.
+  // LoadMeta resets the durable window to the loaded epochs.
+  void AppendMeta(CheckpointWriter& w) const;
+  Status LoadMeta(CheckpointReader& r);
+
+  // Deletes every <name>.p*.e* file in the directory that the current
+  // epoch table does not reference — crash leftovers from a run that
+  // died after this manifest was written. Call after LoadMeta.
+  Status SweepOrphans() const;
+
+  // Appends the full paths of every file this segment may still have
+  // on disk (current + durable-window epochs, deduplicated) — what a
+  // retiring hash generation schedules for deferred deletion.
+  void AppendOnDiskPaths(std::vector<std::string>& out) const;
+  // Appends the filenames of the current epoch of every non-virgin
+  // page — the reference set for a post-load directory sweep.
+  void AppendCurrentFileNames(std::vector<std::string>& out) const;
+
+  // Filename (not path) of page `page` at epoch `epoch`.
+  std::string PageFileName(uint64_t page, uint64_t epoch) const;
+  // True when `filename` names a page of this segment; sets outputs.
+  bool ParsePageFileName(const std::string& filename, uint64_t* page,
+                         uint64_t* epoch) const;
+
+ private:
+  struct PageState {
+    uint64_t current = 0;       // latest written epoch (0 = virgin)
+    uint64_t durable_last = 0;  // epoch referenced by the last manifest
+    uint64_t durable_prev = 0;  // epoch referenced by the one before
+  };
+
+  std::string PagePath(uint64_t page, uint64_t epoch) const;
+  void RemoveIfUnprotected(uint64_t page, uint64_t epoch);
+
+  std::string dir_;
+  std::string name_;
+  uint32_t page_bytes_;
+  uint64_t next_epoch_ = 1;
+  std::vector<PageState> pages_;
+  // Paths written deferred-sync since the last SyncPending.
+  std::unordered_set<std::string> pending_sync_;
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  // dirty frames written out on eviction
+};
+
+// Bounded pool of page frames over any number of registered
+// PagedFiles, with clock eviction, pin counts, and dirty tracking.
+class PageCache {
+ public:
+  PageCache(uint32_t page_bytes, uint32_t capacity_frames);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Registers a segment; the returned id keys every Acquire. The file
+  // must outlive the cache (or be dropped with DropFile first).
+  uint32_t RegisterFile(PagedFile* file);
+
+  // RAII pin on a cached page frame. The frame pointer stays valid and
+  // unevictable until the handle is destroyed.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(PageCache* cache, uint32_t frame)
+        : cache_(cache), frame_(frame) {}
+    Handle(Handle&& other) noexcept { *this = std::move(other); }
+    Handle& operator=(Handle&& other) noexcept {
+      Release();
+      cache_ = other.cache_;
+      frame_ = other.frame_;
+      other.cache_ = nullptr;
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { Release(); }
+
+    char* data() { return cache_->frames_[frame_].data.data(); }
+    const char* data() const { return cache_->frames_[frame_].data.data(); }
+    // Must be called before (or after) mutating data(): marks the
+    // frame for writeback on eviction/flush.
+    void MarkDirty() { cache_->frames_[frame_].dirty = true; }
+
+   private:
+    void Release() {
+      if (cache_ != nullptr) {
+        DEEPCRAWL_DCHECK(cache_->frames_[frame_].pins > 0);
+        --cache_->frames_[frame_].pins;
+        cache_ = nullptr;
+      }
+    }
+    PageCache* cache_ = nullptr;
+    uint32_t frame_ = 0;
+  };
+
+  // Pins page (`file_id`, `page`) in a frame, faulting it in (and
+  // evicting a victim) as needed. Grows the file's page directory on
+  // access past the end. Aborts on I/O error — this is the hot path;
+  // recovery-time validation goes through PagedFile directly.
+  Handle Acquire(uint32_t file_id, uint64_t page);
+
+  // Writes every dirty frame (deferred-sync) across all files,
+  // clearing dirty bits; frames stay cached. Checkpoint step 1.
+  Status FlushAll();
+
+  // Invalidates every frame of `file_id` (all must be unpinned);
+  // dirty contents are discarded — callers flush first if they matter.
+  void DropFile(uint32_t file_id);
+
+  // Severs a registered file (after DropFile) so its PagedFile can be
+  // destroyed — used when a hash segment retires an old generation.
+  // The id is not reused; acquiring through it aborts.
+  void UnregisterFile(uint32_t file_id);
+
+  const PageCacheStats& stats() const { return stats_; }
+  uint32_t capacity_frames() const { return capacity_frames_; }
+
+ private:
+  friend class Handle;
+
+  struct Frame {
+    std::vector<char> data;
+    uint32_t file_id = 0;
+    uint64_t page = 0;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool referenced = false;
+    bool valid = false;
+  };
+
+  static uint64_t FrameKey(uint32_t file_id, uint64_t page) {
+    // page indexes never approach 2^40 in practice (directories grow
+    // one page at a time); assert instead of silently aliasing.
+    DEEPCRAWL_DCHECK(page < (1ull << 40)) << "page index overflow";
+    return (static_cast<uint64_t>(file_id) << 40) | page;
+  }
+
+  // Picks (evicting if needed) a frame for a new page. Clock sweep
+  // with second chance; soft-overflows when everything is pinned.
+  uint32_t ReclaimFrame();
+
+  uint32_t page_bytes_;
+  uint32_t capacity_frames_;
+  std::vector<PagedFile*> files_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, uint32_t> frame_of_;
+  size_t clock_hand_ = 0;
+  PageCacheStats stats_;
+};
+
+// Fixed-stride element array over one PagedFile + cache: the paged
+// analogue of std::vector<T> for trivially copyable T. Elements never
+// straddle pages (stride = page_bytes / sizeof(T)); untouched
+// elements read as value-zero (virgin pages). Logical size is the
+// caller's business — this is pure random access.
+template <typename T>
+class PagedArray {
+ public:
+  PagedArray() = default;
+  PagedArray(PageCache* cache, PagedFile* file, uint32_t file_id)
+      : cache_(cache), file_id_(file_id) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    per_page_ = file->page_bytes() / sizeof(T);
+    DEEPCRAWL_CHECK(per_page_ > 0)
+        << "page size " << file->page_bytes() << " below element size";
+  }
+
+  T Get(uint64_t i) const {
+    PageCache::Handle h = cache_->Acquire(file_id_, i / per_page_);
+    T out;
+    std::memcpy(&out, h.data() + (i % per_page_) * sizeof(T), sizeof(T));
+    return out;
+  }
+
+  void Set(uint64_t i, const T& v) {
+    PageCache::Handle h = cache_->Acquire(file_id_, i / per_page_);
+    h.MarkDirty();
+    std::memcpy(h.data() + (i % per_page_) * sizeof(T), &v, sizeof(T));
+  }
+
+  // Bulk copy-out of [i, i+n) into dst, page by page.
+  void Load(uint64_t i, T* dst, size_t n) const {
+    while (n > 0) {
+      uint64_t page = i / per_page_;
+      size_t at = i % per_page_;
+      size_t run = std::min<size_t>(n, per_page_ - at);
+      PageCache::Handle h = cache_->Acquire(file_id_, page);
+      std::memcpy(dst, h.data() + at * sizeof(T), run * sizeof(T));
+      dst += run;
+      i += run;
+      n -= run;
+    }
+  }
+
+  // Bulk store of [i, i+n) from src, page by page.
+  void Store(uint64_t i, const T* src, size_t n) {
+    while (n > 0) {
+      uint64_t page = i / per_page_;
+      size_t at = i % per_page_;
+      size_t run = std::min<size_t>(n, per_page_ - at);
+      PageCache::Handle h = cache_->Acquire(file_id_, page);
+      h.MarkDirty();
+      std::memcpy(h.data() + at * sizeof(T), src, run * sizeof(T));
+      src += run;
+      i += run;
+      n -= run;
+    }
+  }
+
+  uint64_t elements_per_page() const { return per_page_; }
+
+ private:
+  PageCache* cache_ = nullptr;
+  uint32_t file_id_ = 0;
+  uint64_t per_page_ = 0;
+};
+
+}  // namespace deepcrawl
+
+#endif  // DEEPCRAWL_UTIL_PAGE_CACHE_H_

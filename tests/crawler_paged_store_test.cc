@@ -1,0 +1,212 @@
+// PagedStore (src/crawler/paged_store.h) unit tests: LocalStore-
+// equivalence under a randomized record stream with a cache far below
+// the working set, checkpoint/reopen fidelity, crash-leftover
+// sweeping, and corruption surfacing as clean Status at load.
+
+#include "src/crawler/paged_store.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crawler/local_store.h"
+#include "src/util/checkpoint_io.h"
+#include "src/util/random.h"
+
+namespace deepcrawl {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+PagedStore::Options TinyOptions(const std::string& dir) {
+  PagedStore::Options options;
+  options.dir = dir;
+  options.page_bytes = 256;  // force rows across many pages
+  options.cache_pages = 6;   // far below the working set
+  return options;
+}
+
+// Feeds the same pseudo-random record stream (with duplicates) to both
+// stores; returns the records fed.
+std::vector<std::vector<ValueId>> FeedBoth(LocalStore& reference,
+                                           PagedStore& paged, int records,
+                                           uint32_t universe, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::vector<ValueId>> fed;
+  for (int r = 0; r < records; ++r) {
+    std::vector<ValueId> values;
+    uint32_t n = 1 + rng.NextBounded(6);
+    for (uint32_t i = 0; i < n; ++i) values.push_back(rng.NextBounded(universe));
+    RecordId id = static_cast<RecordId>(rng.NextBounded(records));
+    bool added_ref = reference.AddRecord(id, values);
+    bool added_paged = paged.AddRecord(id, values);
+    EXPECT_EQ(added_ref, added_paged) << "record " << r;
+    if (!added_ref) {
+      reference.ObserveDuplicate(id);
+      paged.ObserveDuplicate(id);
+    }
+    fed.push_back(std::move(values));
+  }
+  return fed;
+}
+
+void ExpectStoresEqual(const LocalStore& reference, const PagedStore& paged,
+                       uint32_t universe) {
+  ASSERT_EQ(reference.num_records(), paged.num_records());
+  ASSERT_EQ(reference.num_observations(), paged.num_observations());
+  ASSERT_EQ(reference.num_values_seen(), paged.num_values_seen());
+  for (uint32_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(reference.RecordsObservedTimes(k), paged.RecordsObservedTimes(k))
+        << "k=" << k;
+  }
+  std::vector<ValueId> neighbors;
+  std::vector<uint32_t> postings;
+  for (ValueId v = 0; v < universe; ++v) {
+    EXPECT_EQ(reference.LocalFrequency(v), paged.LocalFrequency(v)) << v;
+    EXPECT_EQ(reference.LocalDegree(v), paged.LocalDegree(v)) << v;
+    auto ref_neighbors = reference.NeighborsSpan(v);
+    paged.CopyNeighbors(v, neighbors);
+    ASSERT_EQ(ref_neighbors.size(), neighbors.size()) << v;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ASSERT_EQ(ref_neighbors[i], neighbors[i]) << v << ":" << i;
+    }
+    auto ref_postings = reference.LocalPostings(v);
+    paged.CopyPostings(v, postings);
+    ASSERT_EQ(ref_postings.size(), postings.size()) << v;
+    for (size_t i = 0; i < postings.size(); ++i) {
+      ASSERT_EQ(ref_postings[i], postings[i]) << v << ":" << i;
+    }
+  }
+  std::vector<ValueId> record;
+  for (uint32_t slot = 0; slot < reference.num_records(); ++slot) {
+    EXPECT_EQ(reference.OriginalRecordId(slot), paged.OriginalRecordId(slot));
+    EXPECT_EQ(reference.ObservationCount(slot), paged.ObservationCount(slot));
+    auto ref_values = reference.RecordValues(slot);
+    paged.CopyRecordValues(slot, record);
+    ASSERT_EQ(ref_values.size(), record.size()) << slot;
+    for (size_t i = 0; i < record.size(); ++i) {
+      ASSERT_EQ(ref_values[i], record[i]) << slot << ":" << i;
+    }
+  }
+  EXPECT_FALSE(paged.ContainsRecord(0xfffffff0u));
+}
+
+TEST(PagedStoreTest, MatchesInMemoryStoreUnderThrashingCache) {
+  const uint32_t kUniverse = 400;
+  LocalStore reference;
+  PagedStore paged(TinyOptions(FreshDir("paged_store_equiv")));
+  FeedBoth(reference, paged, 1200, kUniverse, 17);
+  ASSERT_GT(paged.cache_stats().evictions, 0u)
+      << "cache sized above the working set — thrash not exercised";
+  ExpectStoresEqual(reference, paged, kUniverse);
+}
+
+TEST(PagedStoreTest, LinkCountModeMatches) {
+  const uint32_t kUniverse = 200;
+  LocalStore::Options ref_options;
+  ref_options.exact_degrees = false;
+  LocalStore reference(ref_options);
+  std::string dir = FreshDir("paged_store_link");
+  PagedStore::Options options = TinyOptions(dir);
+  options.exact_degrees = false;
+  PagedStore paged(options);
+  FeedBoth(reference, paged, 600, kUniverse, 23);
+  for (ValueId v = 0; v < kUniverse; ++v) {
+    EXPECT_EQ(reference.LocalDegree(v), paged.LocalDegree(v)) << v;
+  }
+}
+
+TEST(PagedStoreTest, CheckpointReopenRestoresEverything) {
+  const uint32_t kUniverse = 300;
+  std::string dir = FreshDir("paged_store_reopen");
+  LocalStore reference;
+  uint64_t stamp = 0;
+  {
+    PagedStore paged(TinyOptions(dir));
+    FeedBoth(reference, paged, 800, kUniverse, 31);
+    StatusOr<uint64_t> result = paged.Checkpoint();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    stamp = *result;
+  }
+  PagedStore::Options options = TinyOptions(dir);
+  options.resume = true;
+  PagedStore reopened(options);
+  ASSERT_TRUE(reopened.LoadCheckpoint(stamp).ok());
+  ExpectStoresEqual(reference, reopened, kUniverse);
+  // The reopened store keeps working: add more and stay consistent.
+  FeedBoth(reference, reopened, 200, kUniverse, 37);
+  ExpectStoresEqual(reference, reopened, kUniverse);
+}
+
+TEST(PagedStoreTest, PostCheckpointWritesDiscardedOnReload) {
+  // Writes after a checkpoint are not part of it: reloading the stamp
+  // must roll the store back to the checkpointed state even though
+  // newer epoch files hit the disk in between (crash-window recovery).
+  const uint32_t kUniverse = 150;
+  std::string dir = FreshDir("paged_store_rollback");
+  LocalStore reference;
+  PagedStore paged(TinyOptions(dir));
+  FeedBoth(reference, paged, 400, kUniverse, 41);
+  StatusOr<uint64_t> stamp = paged.Checkpoint();
+  ASSERT_TRUE(stamp.ok());
+  // Post-checkpoint dirt: more records (fresh high ids so they always
+  // insert), flushed to disk by cache thrash along the way.
+  Pcg32 rng(43);
+  for (int r = 0; r < 300; ++r) {
+    std::vector<ValueId> values;
+    uint32_t n = 1 + rng.NextBounded(6);
+    for (uint32_t i = 0; i < n; ++i) values.push_back(rng.NextBounded(kUniverse));
+    ASSERT_TRUE(paged.AddRecord(1000000u + static_cast<RecordId>(r), values));
+  }
+  ASSERT_TRUE(paged.LoadCheckpoint(*stamp).ok());
+  ExpectStoresEqual(reference, paged, kUniverse);
+}
+
+TEST(PagedStoreTest, CorruptPageSurfacesAsStatusAtLoad) {
+  std::string dir = FreshDir("paged_store_corrupt");
+  uint64_t stamp = 0;
+  {
+    PagedStore paged(TinyOptions(dir));
+    LocalStore reference;
+    FeedBoth(reference, paged, 300, 100, 47);
+    StatusOr<uint64_t> result = paged.Checkpoint();
+    ASSERT_TRUE(result.ok());
+    stamp = *result;
+  }
+  // Flip one byte in one referenced page file; page 0 of the freq
+  // segment exists after any nonempty crawl — probe its epoch.
+  std::string victim;
+  for (uint64_t e = 1; e <= 4096 && victim.empty(); ++e) {
+    std::string candidate = dir + "/freq.p0.e" + std::to_string(e);
+    if (ReadFileBytes(candidate).ok()) victim = candidate;
+  }
+  ASSERT_FALSE(victim.empty()) << "no freq page file found to corrupt";
+  StatusOr<std::string> bytes = ReadFileBytes(victim);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() - 3] ^= 0x10;  // land in the checksum/payload
+  ASSERT_TRUE(WriteFileAtomic(victim, *bytes).ok());
+
+  PagedStore::Options options = TinyOptions(dir);
+  options.resume = true;
+  PagedStore reopened(options);
+  Status loaded = reopened.LoadCheckpoint(stamp);
+  EXPECT_FALSE(loaded.ok()) << "corrupt page must fail the load scrub";
+}
+
+TEST(PagedStoreTest, MissingManifestIsCleanError) {
+  std::string dir = FreshDir("paged_store_nomanifest");
+  PagedStore::Options options = TinyOptions(dir);
+  options.resume = true;
+  PagedStore paged(options);
+  EXPECT_FALSE(paged.LoadCheckpoint(1).ok());
+}
+
+}  // namespace
+}  // namespace deepcrawl

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification, eight times over: the plain build, an ASan/UBSan
+# Tier-1 verification, nine times over: the plain build, an ASan/UBSan
 # build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
 # baselines, a kill/resume pass that SIGKILLs a checkpointing crawl
@@ -11,10 +11,15 @@
 # the greedy lower-bound gap collapses), and a network resilience pass
 # that SIGKILLs a deepcrawl_serve process under a live TCP crawl,
 # restarts it on the same port, and proves the client reconnected,
-# retransmitted, and produced a byte-identical trace.
+# retransmitted, and produced a byte-identical trace. A ninth pass
+# drives the out-of-core paged store through the CLI with tiny pages
+# and a starved cache (--page-bytes=512 --cache-pages=8): the paged
+# trace must be byte-identical to the in-memory run, and a paged crawl
+# SIGKILLed mid-run must resume from its durable manifest and still
+# match byte for byte.
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
-#        [--no-competitive] [--no-net]
+#        [--no-competitive] [--no-net] [--no-paged]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -34,7 +39,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest|NetServerTest|NetDifferentialTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|PagedDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest|NetServerTest|NetDifferentialTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -43,7 +48,7 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/8: plain build (build/) ==="
+echo "=== pass 1/9: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
@@ -52,6 +57,7 @@ skip_perf=0
 skip_resume=0
 skip_competitive=0
 skip_net=0
+skip_paged=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
@@ -60,21 +66,22 @@ for arg in "$@"; do
     --no-resume) skip_resume=1 ;;
     --no-competitive) skip_competitive=1 ;;
     --no-net) skip_net=1 ;;
+    --no-paged) skip_paged=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/8 skipped (--no-asan) ==="
+  echo "=== pass 2/9 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/8: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/9: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/8 skipped (--no-tsan) ==="
+  echo "=== pass 3/9 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/8: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/9: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -82,13 +89,13 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/8 skipped (--no-perf) ==="
+  echo "=== pass 4/9 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/8: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/9: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
     --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet \
-    bench_optimal bench_net
+    bench_optimal bench_net bench_paged
   ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
   ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
   ./build-perf/bench/bench_mmmi_ablation \
@@ -96,6 +103,7 @@ else
   ./build-perf/bench/bench_fleet --json=build-perf/BENCH_fleet.json
   ./build-perf/bench/bench_optimal --json=build-perf/BENCH_optimal.json
   ./build-perf/bench/bench_net --json=build-perf/BENCH_net.json
+  ./build-perf/bench/bench_paged --json=build-perf/BENCH_paged.json
   python3 tools/bench_compare.py --max-regress 0.20 \
     --baseline BENCH_micro.json \
     --current build-perf/BENCH_micro.json \
@@ -108,13 +116,15 @@ else
     --baseline BENCH_optimal.json \
     --current build-perf/BENCH_optimal.json \
     --baseline BENCH_net.json \
-    --current build-perf/BENCH_net.json
+    --current build-perf/BENCH_net.json \
+    --baseline BENCH_paged.json \
+    --current build-perf/BENCH_paged.json
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 5/8 skipped (--no-resume) ==="
+  echo "=== pass 5/9 skipped (--no-resume) ==="
 else
-  echo "=== pass 5/8: kill/resume checkpoint differential ==="
+  echo "=== pass 5/9: kill/resume checkpoint differential ==="
   # An uninterrupted reference crawl, then the same crawl slowed by
   # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
   # resume from its last surviving checkpoint must emit the exact same
@@ -153,9 +163,9 @@ else
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 6/8 skipped (--no-resume) ==="
+  echo "=== pass 6/9 skipped (--no-resume) ==="
 else
-  echo "=== pass 6/8: fleet kill/resume under chaos ==="
+  echo "=== pass 6/9: fleet kill/resume under chaos ==="
   # Pass 5 for the whole fleet: an uninterrupted 4-source fleet crawl
   # under the hostile chaos schedule, then the same fleet slowed by
   # simulated latency and checkpointing every turn, SIGKILLed mid-chaos;
@@ -193,9 +203,9 @@ else
 fi
 
 if [[ "${skip_competitive}" == 1 ]]; then
-  echo "=== pass 7/8 skipped (--no-competitive) ==="
+  echo "=== pass 7/9 skipped (--no-competitive) ==="
 else
-  echo "=== pass 7/8: competitive-guarantee gate (adversarial trap) ==="
+  echo "=== pass 7/9: competitive-guarantee gate (adversarial trap) ==="
   # End-to-end through the real CLI: generate a B=32 greedy-trap
   # instance, crawl it to full coverage with opt-rank and with greedy,
   # and gate on the measured cost/OPT ratios — the descent must stay
@@ -227,9 +237,9 @@ else
 fi
 
 if [[ "${skip_net}" == 1 ]]; then
-  echo "=== pass 8/8 skipped (--no-net) ==="
+  echo "=== pass 8/9 skipped (--no-net) ==="
 else
-  echo "=== pass 8/8: network kill/reconnect over real sockets ==="
+  echo "=== pass 8/9: network kill/reconnect over real sockets ==="
   # The wire protocol's story end to end through the real binaries, in
   # two differentials. (a) Transparency: the same faulty crawl run
   # in-process and against a deepcrawl_serve process must emit
@@ -309,6 +319,67 @@ else
   fi
   echo "network kill/reconnect: trace byte-identical," \
     "${NET_RECONNECTS} reconnect(s)"
+fi
+
+if [[ "${skip_paged}" == 1 ]]; then
+  echo "=== pass 9/9 skipped (--no-paged) ==="
+else
+  echo "=== pass 9/9: out-of-core paged store differential + kill/resume ==="
+  # The paged backend's story end to end through the CLI, with pages
+  # small enough (512 B x 8 frames = 4 KiB resident) that every wave
+  # thrashes the cache. (a) Transparency: the same faulty parallel
+  # crawl over --layout=paged must emit a trace byte-identical to the
+  # in-memory run. (b) Durability: a paged crawl checkpointing every
+  # wave, SIGKILLed mid-run, must resume from the durable page
+  # manifest in the SAME store directory (sweeping the crash window's
+  # orphan epochs) and still finish byte-identical. Runs under the
+  # ASan binary when pass 2 built one, so the recovery scrub and the
+  # copy-out accessors get bounds-checked while they thrash.
+  PAGED_DIR="$(mktemp -d)"
+  trap 'rm -rf "${RESUME_DIR:-}" "${FLEET_DIR:-}" "${NET_DIR:-}" "${PAGED_DIR}"' EXIT
+  if [[ "${skip_asan}" == 0 && -x ./build-asan/tools/deepcrawl_crawl ]]; then
+    CRAWL=./build-asan/tools/deepcrawl_crawl
+  else
+    CRAWL=./build/tools/deepcrawl_crawl
+  fi
+  PAGED_BASE=(--workload=ebay --scale=0.05 --policy=greedy
+    --fault-profile=flaky --threads=4 --batch=4)
+  PAGED_FLAGS=(--layout=paged --page-bytes=512 --cache-pages=8)
+  # (a) thrashing-cache transparency.
+  "${CRAWL}" "${PAGED_BASE[@]}" --trace-csv="${PAGED_DIR}/memory.csv" \
+    > /dev/null
+  "${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}" \
+    --store-dir="${PAGED_DIR}/store_diff" \
+    --trace-csv="${PAGED_DIR}/paged.csv" > /dev/null
+  if ! cmp -s "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/paged.csv"; then
+    echo "paged differential FAILED: paged trace differs from in-memory" >&2
+    diff "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/paged.csv" | head -20 >&2
+    exit 1
+  fi
+  echo "paged differential: thrashing-cache trace byte-identical"
+  # (b) SIGKILL mid-crawl, resume from the durable manifest.
+  "${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}" \
+    --store-dir="${PAGED_DIR}/store_kill" --latency-us=5000 \
+    --checkpoint="${PAGED_DIR}/crawl.ckpt" --checkpoint-every=1 \
+    > /dev/null 2>&1 &
+  PAGED_PID=$!
+  while [[ ! -s "${PAGED_DIR}/crawl.ckpt" ]]; do sleep 0.1; done
+  sleep 1
+  kill -9 "${PAGED_PID}" 2> /dev/null || true
+  wait "${PAGED_PID}" 2> /dev/null || true
+  if ! "${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}" \
+      --store-dir="${PAGED_DIR}/store_kill" \
+      --resume-from="${PAGED_DIR}/crawl.ckpt" \
+      --trace-csv="${PAGED_DIR}/resumed.csv" > /dev/null; then
+    echo "paged kill/resume FAILED: resume from manifest errored" >&2
+    exit 1
+  fi
+  if ! cmp -s "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/resumed.csv"; then
+    echo "paged kill/resume FAILED: resumed trace differs from one-shot" >&2
+    diff "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/resumed.csv" | head -20 >&2
+    exit 1
+  fi
+  echo "paged kill/resume differential: traces byte-identical"
 fi
 
 echo "all requested checks passed"
