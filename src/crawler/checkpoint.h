@@ -58,7 +58,9 @@ class FaultyServer;
 // v2: ResilienceCounters grew rate_limit_rejections / max_retry_after_hint.
 // v3: STOR section gained the kPaged manifest form (counters + the
 //     paged store's MANIFEST stamp instead of logical record replay).
-inline constexpr uint32_t kCrawlCheckpointVersion = 3;
+// v4: new SELC payload kinds — term-weight (frontier + batch queue) and
+//     adaptive (chain fingerprint + switch estimator + nested children).
+inline constexpr uint32_t kCrawlCheckpointVersion = 4;
 
 // Section markers (fourcc, little-endian u32). Sections appear in file
 // order: CONFIG, ENGINE (store + selector nested inside), optional

@@ -8,16 +8,13 @@
 namespace deepcrawl {
 
 GreedyLinkSelector::GreedyLinkSelector(const LocalStore& store)
-    : store_(store) {
+    : FrontierSelector(store) {
   heap_.reserve(1024);
-  frontier_.reserve(1024);
 }
 
 void GreedyLinkSelector::EnsureCapacity(ValueId v) {
-  if (v < frontier_pos_.size()) return;
-  size_t new_size = static_cast<size_t>(v) + 1;
-  frontier_pos_.resize(new_size, kNoPosition);
-  last_pushed_degree_.resize(new_size, kNeverPushed);
+  if (v < last_pushed_degree_.size()) return;
+  last_pushed_degree_.resize(static_cast<size_t>(v) + 1, kNeverPushed);
 }
 
 void GreedyLinkSelector::PushEntry(ValueId v, uint64_t degree) {
@@ -29,24 +26,21 @@ void GreedyLinkSelector::PushEntry(ValueId v, uint64_t degree) {
 
 void GreedyLinkSelector::Push(ValueId v) {
   if (!IsPending(v)) return;
-  uint64_t degree = store_.LocalDegree(v);
+  uint64_t degree = store().LocalDegree(v);
   // The heap already holds an entry at this exact key; a duplicate
   // cannot change pop order (see header).
   if (degree == last_pushed_degree_[v]) return;
   PushEntry(v, degree);
 }
 
-void GreedyLinkSelector::OnValueDiscovered(ValueId v) {
+void GreedyLinkSelector::OnFrontierInsert(ValueId v) {
   EnsureCapacity(v);
-  DEEPCRAWL_DCHECK(frontier_pos_[v] == kNoPosition) << "value discovered twice";
-  frontier_pos_[v] = static_cast<uint32_t>(frontier_.size());
-  frontier_.push_back(v);
-  PushEntry(v, store_.LocalDegree(v));
+  PushEntry(v, store().LocalDegree(v));
 }
 
 void GreedyLinkSelector::OnRecordHarvested(uint32_t slot) {
   // Every pending value in the record may have gained links; refresh.
-  for (ValueId v : store_.RecordValues(slot)) {
+  for (ValueId v : store().RecordValues(slot)) {
     Push(v);
   }
 }
@@ -57,8 +51,7 @@ Status GreedyLinkSelector::SaveState(CheckpointWriter& writer) const {
     writer.WriteU64(entry.degree);
     writer.WriteU32(entry.value);
   }
-  writer.WriteU64(frontier_.size());
-  for (ValueId v : frontier_) writer.WriteU32(v);
+  SaveFrontier(writer);
   uint64_t pushed = 0;
   for (uint64_t degree : last_pushed_degree_) {
     if (degree != kNeverPushed) ++pushed;
@@ -76,8 +69,6 @@ Status GreedyLinkSelector::SaveState(CheckpointWriter& writer) const {
 Status GreedyLinkSelector::LoadState(CheckpointReader& reader,
                                      ValueId value_bound) {
   heap_.clear();
-  frontier_.clear();
-  frontier_pos_.assign(value_bound, kNoPosition);
   last_pushed_degree_.assign(value_bound, kNeverPushed);
   uint64_t heap_size = reader.ReadCount(12);
   heap_.reserve(static_cast<size_t>(heap_size));
@@ -92,16 +83,7 @@ Status GreedyLinkSelector::LoadState(CheckpointReader& reader,
     // max-heap as-is — pop order is preserved exactly.
     heap_.push_back(HeapEntry{degree, v});
   }
-  uint64_t frontier_size = reader.ReadCount(4);
-  for (uint64_t i = 0; i < frontier_size && reader.ok(); ++i) {
-    ValueId v = reader.ReadU32();
-    if (v >= value_bound || frontier_pos_[v] != kNoPosition) {
-      reader.MarkCorrupt("frontier value id invalid");
-      break;
-    }
-    frontier_pos_[v] = static_cast<uint32_t>(frontier_.size());
-    frontier_.push_back(v);
-  }
+  LoadFrontier(reader, value_bound);
   uint64_t pushed = reader.ReadCount(12);
   for (uint64_t i = 0; i < pushed && reader.ok(); ++i) {
     ValueId v = reader.ReadU32();
@@ -122,7 +104,7 @@ ValueId GreedyLinkSelector::SelectNext() {
     std::pop_heap(heap_.begin(), heap_.end());
     heap_.pop_back();
     if (!IsPending(top.value)) continue;  // already selected earlier
-    uint64_t degree = store_.LocalDegree(top.value);
+    uint64_t degree = store().LocalDegree(top.value);
     if (degree != top.degree) continue;  // stale; a fresher entry exists
     MarkNotPending(top.value);
     return top.value;

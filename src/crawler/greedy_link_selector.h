@@ -23,10 +23,8 @@
 //   #discovered values + Σ_v LocalDegree(v) increments,
 // instead of #discovered + Σ records × record width.
 //
-// The frontier (Lto-query) is a compact swap-erase vector with a
-// per-value position index: O(1) insert/remove/membership, and
-// PendingValues() is a span over it instead of an O(value-space) bitmap
-// scan per MMMI batch.
+// The frontier (Lto-query) lives in the shared FrontierSelector base
+// (query_selector.h); this class adds the degree-keyed heap on top.
 
 #ifndef DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
 #define DEEPCRAWL_CRAWLER_GREEDY_LINK_SELECTOR_H_
@@ -41,13 +39,12 @@
 
 namespace deepcrawl {
 
-class GreedyLinkSelector : public QuerySelector {
+class GreedyLinkSelector : public FrontierSelector {
  public:
   // `store` must outlive the selector and be the store the crawler
   // feeds; degrees are read from it.
   explicit GreedyLinkSelector(const LocalStore& store);
 
-  void OnValueDiscovered(ValueId v) override;
   void OnRecordHarvested(uint32_t slot) override;
   ValueId SelectNext() override;
   std::string_view name() const override { return "greedy-link"; }
@@ -59,36 +56,18 @@ class GreedyLinkSelector : public QuerySelector {
   Status SaveState(CheckpointWriter& writer) const override;
   Status LoadState(CheckpointReader& reader, ValueId value_bound) override;
 
-  size_t frontier_size() const { return frontier_.size(); }
-
   // Diagnostics for the stress test's heap-growth assertion.
   size_t heap_size() const { return heap_.size(); }
   uint64_t heap_pushes() const { return heap_pushes_; }
 
  protected:
-  static constexpr uint32_t kNoPosition = UINT32_MAX;
   static constexpr uint64_t kNeverPushed = UINT64_MAX;
 
-  bool IsPending(ValueId v) const {
-    return v < frontier_pos_.size() && frontier_pos_[v] != kNoPosition;
-  }
-  void MarkNotPending(ValueId v) {
-    uint32_t pos = frontier_pos_[v];
-    ValueId moved = frontier_.back();
-    frontier_[pos] = moved;
-    frontier_pos_[moved] = pos;
-    frontier_.pop_back();
-    frontier_pos_[v] = kNoPosition;
-  }
   // Re-inserts `v` with its current degree (no-op unless pending or the
   // degree matches the entry already in the heap).
   void Push(ValueId v);
 
-  // All values currently in Lto-query, in frontier insertion order
-  // (swap-erase permuted). Invalidated by the next selector event.
-  std::span<const ValueId> PendingValues() const { return frontier_; }
-
-  const LocalStore& store() const { return store_; }
+  void OnFrontierInsert(ValueId v) override;
 
  private:
   struct HeapEntry {
@@ -105,10 +84,7 @@ class GreedyLinkSelector : public QuerySelector {
   void EnsureCapacity(ValueId v);
   void PushEntry(ValueId v, uint64_t degree);
 
-  const LocalStore& store_;
   std::vector<HeapEntry> heap_;
-  std::vector<ValueId> frontier_;
-  std::vector<uint32_t> frontier_pos_;       // by value; kNoPosition = absent
   std::vector<uint64_t> last_pushed_degree_;  // by value; kNeverPushed
   uint64_t heap_pushes_ = 0;
 };

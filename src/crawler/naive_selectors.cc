@@ -1,5 +1,7 @@
 #include "src/crawler/naive_selectors.h"
 
+#include <algorithm>
+
 #include "src/util/checkpoint_io.h"
 
 namespace deepcrawl {
@@ -30,7 +32,21 @@ Status LoadFrontier(CheckpointReader& reader, ValueId value_bound,
   return reader.status();
 }
 
+// Removes the first occurrence of `v`, preserving the relative order of
+// the remaining entries (so the take is deterministic and the container
+// semantics — queue/stack/pool — stay intact). O(n), fine for the
+// baselines these selectors are.
+template <typename Container>
+void EraseTaken(Container& frontier, ValueId v) {
+  auto it = std::find(frontier.begin(), frontier.end(), v);
+  if (it != frontier.end()) frontier.erase(it);
+}
+
 }  // namespace
+
+void BfsSelector::OnValueTaken(ValueId v) { EraseTaken(queue_, v); }
+void DfsSelector::OnValueTaken(ValueId v) { EraseTaken(stack_, v); }
+void RandomSelector::OnValueTaken(ValueId v) { EraseTaken(pool_, v); }
 
 ValueId BfsSelector::SelectNext() {
   if (queue_.empty()) return kInvalidValueId;

@@ -24,6 +24,7 @@ class BfsSelector : public QuerySelector {
   BfsSelector() = default;
 
   void OnValueDiscovered(ValueId v) override { queue_.push_back(v); }
+  void OnValueTaken(ValueId v) override;
   ValueId SelectNext() override;
   std::string_view name() const override { return "bfs"; }
   Status SaveState(CheckpointWriter& writer) const override;
@@ -39,6 +40,7 @@ class DfsSelector : public QuerySelector {
   DfsSelector() = default;
 
   void OnValueDiscovered(ValueId v) override { stack_.push_back(v); }
+  void OnValueTaken(ValueId v) override;
   ValueId SelectNext() override;
   std::string_view name() const override { return "dfs"; }
   Status SaveState(CheckpointWriter& writer) const override;
@@ -54,6 +56,7 @@ class RandomSelector : public QuerySelector {
   explicit RandomSelector(uint64_t seed) : rng_(seed) {}
 
   void OnValueDiscovered(ValueId v) override { pool_.push_back(v); }
+  void OnValueTaken(ValueId v) override;
   ValueId SelectNext() override;
   std::string_view name() const override { return "random"; }
   Status SaveState(CheckpointWriter& writer) const override;

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/relation/types.h"
 #include "src/util/status.h"
@@ -35,6 +37,7 @@ namespace deepcrawl {
 
 class CheckpointReader;
 class CheckpointWriter;
+class LocalStore;
 
 // Summary of one completed query, fed back to the selector.
 struct QueryOutcome {
@@ -75,6 +78,13 @@ class QuerySelector {
   // most once.
   virtual void OnSaturation() {}
 
+  // Another selector sharing this crawl's event stream consumed `v`
+  // (issued it as a query). The callee must drop v from its own
+  // frontier so it never re-selects it. Only meta-policies
+  // (AdaptiveSelector) call this — the engine itself removes values via
+  // SelectNext. Default: no-op, for selectors without a frontier.
+  virtual void OnValueTaken(ValueId v) { (void)v; }
+
   // Returns the next value to query and removes it from the selector's
   // frontier, or kInvalidValueId when no candidate remains.
   virtual ValueId SelectNext() = 0;
@@ -111,6 +121,74 @@ class QuerySelector {
     return Status::FailedPrecondition(
         std::string(name()) + " selector does not support checkpointing");
   }
+};
+
+// Shared frontier machinery for statistics-driven selectors.
+//
+// GreedyLinkSelector, MmmiSelector, the optimal-selector family, and
+// TermWeightSelector all need the same candidate surface: the Lto-query
+// set as a compact swap-erase vector with a per-value position index
+// (O(1) insert/remove/membership, and PendingValues() as a span instead
+// of an O(value-space) bitmap scan per ranking batch), plus the shared
+// LocalStore they read statistics from. Each of them used to carry its
+// own copy; this base holds it once. Scoring stays in the derived
+// classes — that is precisely where the paper's techniques differ.
+//
+// Checkpoint note: SaveFrontier/LoadFrontier serialize the frontier in
+// its current swap-erase permutation, byte-identical to the layout the
+// pre-refactor GreedyLinkSelector wrote, so derived selectors keep their
+// existing checkpoint formats by calling them in the same sequence
+// position as before.
+class FrontierSelector : public QuerySelector {
+ public:
+  // `store` must outlive the selector and be the store the crawl feeds;
+  // candidate statistics are read from it.
+  explicit FrontierSelector(const LocalStore& store);
+
+  void OnValueDiscovered(ValueId v) override;
+  void OnValueTaken(ValueId v) override;
+
+  size_t frontier_size() const { return frontier_.size(); }
+
+ protected:
+  static constexpr uint32_t kNoPosition = UINT32_MAX;
+
+  bool IsPending(ValueId v) const {
+    return v < frontier_pos_.size() && frontier_pos_[v] != kNoPosition;
+  }
+  void MarkNotPending(ValueId v) {
+    uint32_t pos = frontier_pos_[v];
+    ValueId moved = frontier_.back();
+    frontier_[pos] = moved;
+    frontier_pos_[moved] = pos;
+    frontier_.pop_back();
+    frontier_pos_[v] = kNoPosition;
+  }
+
+  // All values currently in Lto-query, in frontier insertion order
+  // (swap-erase permuted). Invalidated by the next selector event.
+  std::span<const ValueId> PendingValues() const { return frontier_; }
+
+  const LocalStore& store() const { return store_; }
+
+  // Grows the position index to cover `v`.
+  void EnsureFrontierCapacity(ValueId v);
+
+  // Called by OnValueDiscovered after `v` entered the frontier; derived
+  // selectors hook their per-candidate bookkeeping (heap pushes, weight
+  // tables) here instead of overriding OnValueDiscovered.
+  virtual void OnFrontierInsert(ValueId v) { (void)v; }
+
+  // Serialization of the frontier alone (u64 size + u32 values in the
+  // current permutation). LoadFrontier resets the position index to
+  // `value_bound` slots and flags corruption on the reader.
+  void SaveFrontier(CheckpointWriter& writer) const;
+  void LoadFrontier(CheckpointReader& reader, ValueId value_bound);
+
+ private:
+  const LocalStore& store_;
+  std::vector<ValueId> frontier_;
+  std::vector<uint32_t> frontier_pos_;  // by value; kNoPosition = absent
 };
 
 }  // namespace deepcrawl

@@ -6,6 +6,7 @@
 
 #include "src/crawler/checkpoint.h"
 #include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/harvest_rate.h"
 #include "src/crawler/mmmi_selector.h"
 #include "src/crawler/naive_selectors.h"
 #include "src/datagen/canned_workloads.h"
@@ -58,10 +59,9 @@ struct CrawlFleet::Source {
   uint64_t not_before = 0;
   uint64_t turns = 0;
   // Marginal-harvest health: EWMAs of records-per-round and
-  // failures-per-round over granted turns.
-  bool hr_seen = false;
-  double hr_ewma = 0.0;
-  double err_ewma = 0.0;
+  // failures-per-round over granted turns (shared estimator, see
+  // src/crawler/harvest_rate.h; its fields are serialized verbatim).
+  HarvestRateEwma health;
   bool finished = false;
   StopReason stop_reason = StopReason::kRoundBudget;
   // Hard failure that abandoned the source (fleet kept going).
@@ -214,15 +214,13 @@ uint32_t CrawlFleet::Pick(const std::vector<uint32_t>& eligible) const {
       // the first source sampled wins every comparison against the
       // others' hr_floor and the policy degenerates to sequential.
       for (uint32_t i : eligible) {
-        if (!sources_[i].hr_seen) return i;
+        if (!sources_[i].health.seen) return i;
       }
       uint32_t best = eligible.front();
       double best_score = -1.0;
       for (uint32_t i : eligible) {
         const Source& src = sources_[i];
-        double hr = std::max(src.hr_ewma, options_.hr_floor);
-        double health = std::max(0.0, 1.0 - src.err_ewma);
-        double score = hr * health;
+        double score = src.health.Score(options_.hr_floor);
         if (score > best_score) {
           best_score = score;
           best = i;
@@ -286,16 +284,7 @@ Status CrawlFleet::RunTurn(uint32_t i) {
                 static_cast<double>(consumed);
     double err = static_cast<double>(failures) /
                  static_cast<double>(consumed);
-    if (!src.hr_seen) {
-      src.hr_seen = true;
-      src.hr_ewma = hr;
-      src.err_ewma = err;
-    } else {
-      src.hr_ewma = options_.hr_ewma_alpha * hr +
-                    (1.0 - options_.hr_ewma_alpha) * src.hr_ewma;
-      src.err_ewma = options_.hr_ewma_alpha * err +
-                     (1.0 - options_.hr_ewma_alpha) * src.err_ewma;
-    }
+    src.health.Observe(options_.hr_ewma_alpha, hr, err);
   }
   src.breaker.OnTurn(clock_, consumed, failures, new_records);
 
@@ -658,9 +647,9 @@ Status CrawlFleet::SaveState(CheckpointWriter& writer) const {
     writer.WriteString(src.error.message());
     writer.WriteU64(src.not_before);
     writer.WriteU64(src.turns);
-    writer.WriteU8(src.hr_seen ? 1 : 0);
-    writer.WriteDouble(src.hr_ewma);
-    writer.WriteDouble(src.err_ewma);
+    writer.WriteU8(src.health.seen ? 1 : 0);
+    writer.WriteDouble(src.health.hr);
+    writer.WriteDouble(src.health.err);
     writer.WriteDouble(src.bucket.tokens());
     writer.WriteU64(src.bucket.last_refill());
     src.breaker.SaveState(writer);
@@ -770,11 +759,11 @@ Status CrawlFleet::LoadState(CheckpointReader& reader) {
                              std::move(error_message));
     src.not_before = reader.ReadU64();
     src.turns = reader.ReadU64();
-    src.hr_seen = reader.ReadU8() != 0;
-    src.hr_ewma = reader.ReadDouble();
-    src.err_ewma = reader.ReadDouble();
-    if (reader.ok() && (!(src.hr_ewma >= 0.0) || !(src.err_ewma >= 0.0) ||
-                        src.err_ewma > 1.0)) {
+    src.health.seen = reader.ReadU8() != 0;
+    src.health.hr = reader.ReadDouble();
+    src.health.err = reader.ReadDouble();
+    if (reader.ok() && (!(src.health.hr >= 0.0) || !(src.health.err >= 0.0) ||
+                        src.health.err > 1.0)) {
       reader.MarkCorrupt("source health EWMA out of range");
     }
     double tokens = reader.ReadDouble();

@@ -19,6 +19,82 @@ WebDbServer::WebDbServer(const Table& table, ServerOptions options)
       attribute_queriable_[attr] = 1;
     }
   }
+  BuildTokenDictionary();
+}
+
+void WebDbServer::BuildTokenDictionary() {
+  const ValueCatalog& catalog = table_.catalog();
+  size_t num_values = catalog.size();
+  tokens_.reserve(num_values);
+  token_of_value_.resize(num_values);
+  token_by_text_.reserve(num_values);
+  for (ValueId v = 0; v < num_values; ++v) {
+    auto [it, inserted] =
+        token_by_text_.emplace(catalog.text_of(v), tokens_.size());
+    if (inserted) tokens_.push_back(Token{});
+    Token& token = tokens_[it->second];
+    ++token.attribute_span;
+    token.single_value = token.attribute_span == 1 ? v : kInvalidValueId;
+    token_of_value_[v] = it->second;
+  }
+  // Pre-merge the postings of every multi-attribute token with the same
+  // attribute-ordered set_union fold the per-query path used to run, so
+  // pages come out byte-identical to the old implementation. Gather the
+  // member value ids per token CSR-style (one counting pass, one fill
+  // pass), then sort each group by attribute: interning follows record
+  // order, not attribute order, and the old path unioned attributes
+  // ascending.
+  std::vector<uint32_t> offsets(tokens_.size() + 1, 0);
+  for (ValueId v = 0; v < num_values; ++v) ++offsets[token_of_value_[v] + 1];
+  for (size_t t = 0; t < tokens_.size(); ++t) offsets[t + 1] += offsets[t];
+  std::vector<ValueId> members(num_values);
+  std::vector<uint32_t> cursor = offsets;
+  for (ValueId v = 0; v < num_values; ++v) {
+    members[cursor[token_of_value_[v]]++] = v;
+  }
+  std::vector<RecordId> merged;
+  std::vector<RecordId> next;
+  for (size_t t = 0; t < tokens_.size(); ++t) {
+    Token& token = tokens_[t];
+    if (token.single_value != kInvalidValueId) continue;  // single-attr
+    std::span<ValueId> group(members.data() + offsets[t],
+                             offsets[t + 1] - offsets[t]);
+    std::sort(group.begin(), group.end(), [&catalog](ValueId a, ValueId b) {
+      return catalog.attribute_of(a) < catalog.attribute_of(b);
+    });
+    merged.clear();
+    for (ValueId u : group) {
+      std::span<const RecordId> postings = index_.Postings(u);
+      next.clear();
+      next.reserve(merged.size() + postings.size());
+      std::set_union(merged.begin(), merged.end(), postings.begin(),
+                     postings.end(), std::back_inserter(next));
+      std::swap(merged, next);
+    }
+    token.merged_offset = static_cast<uint32_t>(merged_postings_.size());
+    token.merged_length = static_cast<uint32_t>(merged.size());
+    merged_postings_.insert(merged_postings_.end(), merged.begin(),
+                            merged.end());
+  }
+}
+
+std::span<const RecordId> WebDbServer::TokenPostings(
+    const Token& token) const {
+  if (token.single_value != kInvalidValueId) {
+    return index_.Postings(token.single_value);
+  }
+  return std::span<const RecordId>(merged_postings_)
+      .subspan(token.merged_offset, token.merged_length);
+}
+
+std::span<const RecordId> WebDbServer::KeywordPostings(ValueId value) const {
+  if (value >= token_of_value_.size()) return {};
+  return TokenPostings(tokens_[token_of_value_[value]]);
+}
+
+uint32_t WebDbServer::KeywordAttributeSpan(ValueId value) const {
+  if (value >= token_of_value_.size()) return 0;
+  return tokens_[token_of_value_[value]].attribute_span;
 }
 
 bool WebDbServer::IsQueriableValue(ValueId value) const {
@@ -89,26 +165,19 @@ StatusOr<ResultPage> WebDbServer::FetchPageByKeyword(std::string_view text,
                                                      uint32_t page_number) {
   ++communication_rounds_;
   if (page_number == 0) ++queries_issued_;
-  // The site's own query processor decides which column matches (§2.2);
-  // here that means unioning the postings of the keyword interpreted
-  // under every attribute. The union swaps between two member scratch
-  // buffers (pre-sized to the worst-case output) instead of allocating
-  // per attribute.
-  std::vector<RecordId>& merged = scratch_merged_;
-  std::vector<RecordId>& next = scratch_next_;
-  merged.clear();
-  for (AttributeId attr = 0; attr < table_.schema().num_attributes();
-       ++attr) {
-    ValueId value = table_.catalog().Find(attr, text);
-    if (value == kInvalidValueId) continue;
-    std::span<const RecordId> postings = index_.Postings(value);
-    next.clear();
-    next.reserve(merged.size() + postings.size());
-    std::set_union(merged.begin(), merged.end(), postings.begin(),
-                   postings.end(), std::back_inserter(next));
-    std::swap(merged, next);
+  // The site's own query processor decides which column matches (§2.2):
+  // a keyword query answers from the token dictionary — the
+  // all-attributes union, precomputed at construction — in one hash
+  // probe. Note the keyword box deliberately ignores
+  // queriable_attributes: a site's search box reaches columns its form
+  // has no field for.
+  auto it = token_by_text_.find(text);
+  if (it == token_by_text_.end()) {
+    return BuildPage({}, 0, page_number);
   }
-  return BuildPage(merged, static_cast<uint32_t>(merged.size()), page_number);
+  std::span<const RecordId> postings = TokenPostings(tokens_[it->second]);
+  return BuildPage(postings, static_cast<uint32_t>(postings.size()),
+                   page_number);
 }
 
 StatusOr<ResultPage> WebDbServer::FetchPageConjunctive(
@@ -154,12 +223,17 @@ StatusOr<ResultPage> WebDbServer::FetchPageConjunctive(
 
 StatusOr<ResultPage> WebDbServer::FetchPageKeywordOf(ValueId value,
                                                      uint32_t page_number) {
-  if (value >= table_.num_distinct_values()) {
-    ++communication_rounds_;
-    if (page_number == 0) ++queries_issued_;
+  ++communication_rounds_;
+  if (page_number == 0) ++queries_issued_;
+  if (value >= token_of_value_.size()) {
     return BuildPage({}, 0, page_number);
   }
-  return FetchPageByKeyword(table_.catalog().text_of(value), page_number);
+  // Addressed by value id, the token is an array read away — no text
+  // resolution or hash probe on the crawl hot path.
+  std::span<const RecordId> postings =
+      TokenPostings(tokens_[token_of_value_[value]]);
+  return BuildPage(postings, static_cast<uint32_t>(postings.size()),
+                   page_number);
 }
 
 uint32_t WebDbServer::FullRetrievalCost(ValueId value) const {

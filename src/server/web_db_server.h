@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/index/inverted_index.h"
@@ -83,15 +84,60 @@ class WebDbServer : public QueryInterface {
   // result limit. Zero-match queries still cost one round to learn that.
   uint32_t FullRetrievalCost(ValueId value) const;
 
+  // --- keyword token dictionary ---------------------------------------
+  // The keyword box treats a document as a bag of terms: the same raw
+  // text under any attribute is one *token*, and a keyword query returns
+  // the union of the token's postings across every attribute (the
+  // query processor decides which column matches, §2.2). The dictionary
+  // below is built once at construction, so a keyword query is one hash
+  // probe (or, addressed by value id, one array read) instead of a
+  // per-query catalog probe + set_union fold over all attributes.
+
+  // Distinct raw texts in the catalog.
+  size_t num_keyword_tokens() const { return tokens_.size(); }
+
+  // Record ids matching the token of `value`'s text, sorted ascending.
+  // Empty span when the value id is out of range.
+  std::span<const RecordId> KeywordPostings(ValueId value) const;
+
+  // Total matches of the keyword query for `value`'s text (before the
+  // result limit is applied).
+  uint32_t KeywordMatchCount(ValueId value) const {
+    return static_cast<uint32_t>(KeywordPostings(value).size());
+  }
+
+  // Number of attributes `value`'s text appears under (≥1 for any valid
+  // id); >1 means the keyword union genuinely merges columns.
+  uint32_t KeywordAttributeSpan(ValueId value) const;
+
  private:
+  // One token = one distinct raw text. Tokens backed by a single catalog
+  // value alias that value's index postings; multi-attribute tokens own
+  // a precomputed merged slice of merged_postings_.
+  struct Token {
+    ValueId single_value = kInvalidValueId;
+    uint32_t merged_offset = 0;
+    uint32_t merged_length = 0;
+    uint32_t attribute_span = 0;
+  };
+
   StatusOr<ResultPage> BuildPage(std::span<const RecordId> postings,
                                  uint32_t total_matches,
                                  uint32_t page_number);
+
+  void BuildTokenDictionary();
+  std::span<const RecordId> TokenPostings(const Token& token) const;
 
   const Table& table_;
   ServerOptions options_;
   InvertedIndex index_;
   std::vector<char> attribute_queriable_;  // indexed by AttributeId
+  std::vector<Token> tokens_;
+  std::vector<uint32_t> token_of_value_;  // by ValueId
+  std::vector<RecordId> merged_postings_;  // arena for multi-attr tokens
+  // Keys view into the catalog's interned text storage (stable for the
+  // table's lifetime).
+  std::unordered_map<std::string_view, uint32_t> token_by_text_;
   uint64_t communication_rounds_ = 0;
   uint64_t queries_issued_ = 0;
 

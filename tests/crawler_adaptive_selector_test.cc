@@ -1,0 +1,317 @@
+// Tests of the textual-source term-weight selector and the adaptive
+// meta-selector that chains policies behind a harvest-rate switch rule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/crawler/adaptive_selector.h"
+#include "src/crawler/greedy_link_selector.h"
+#include "src/crawler/local_store.h"
+#include "src/crawler/term_weight_selector.h"
+#include "src/util/checkpoint_io.h"
+
+namespace deepcrawl {
+namespace {
+
+// Adds `slots` records all containing `v` (plus a fresh filler value
+// each) so LocalFrequency(v) == slots.
+void AddHub(LocalStore& store, QuerySelector& selector, ValueId v,
+            uint32_t slots, uint32_t& next_slot, ValueId& next_filler) {
+  for (uint32_t i = 0; i < slots; ++i) {
+    store.AddRecord(next_slot, std::vector<ValueId>{v, next_filler++});
+    selector.OnRecordHarvested(next_slot++);
+  }
+}
+
+TEST(TermWeightSelectorTest, WeightIsUnimodalInDocumentFrequency) {
+  LocalStore store;
+  TermWeightSelector selector(store);
+  // Values 1, 2, 3 with df 1, 4, 10 across N = 10 records (value 3 in
+  // every record).
+  uint32_t slot = 0;
+  for (uint32_t r = 0; r < 10; ++r) {
+    std::vector<ValueId> values = {3};
+    if (r < 1) values.push_back(1);
+    if (r < 4) values.push_back(2);
+    values.push_back(100 + r);
+    store.AddRecord(slot, values);
+    selector.OnRecordHarvested(slot++);
+  }
+  // w(df) = df * ln((N+1)/df) peaks near df = (N+1)/e ≈ 4: a term in
+  // every document discriminates nothing, a singleton recalls nothing.
+  EXPECT_GT(selector.Weight(2), selector.Weight(1));
+  EXPECT_GT(selector.Weight(2), selector.Weight(3));
+  EXPECT_DOUBLE_EQ(selector.Weight(1), std::log(11.0));
+  // An unseen value has zero weight.
+  EXPECT_DOUBLE_EQ(selector.Weight(77), 0.0);
+}
+
+TEST(TermWeightSelectorTest, SelectsByWeightThenDfThenId) {
+  LocalStore store;
+  TermWeightSelector selector(store);
+  for (ValueId v = 1; v <= 3; ++v) selector.OnValueDiscovered(v);
+  uint32_t slot = 0;
+  ValueId filler = 100;
+  AddHub(store, selector, 1, 2, slot, filler);
+  AddHub(store, selector, 2, 4, slot, filler);
+  AddHub(store, selector, 3, 2, slot, filler);
+  // N = 8: w(4) = 4 ln(9/4) > w(2) = 2 ln(9/2); values 1 and 3 tie on
+  // weight and df, so the smaller id breaks the tie.
+  EXPECT_EQ(selector.SelectNext(), 2u);
+  EXPECT_EQ(selector.SelectNext(), 1u);
+  EXPECT_EQ(selector.SelectNext(), 3u);
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(TermWeightSelectorTest, TakenValuesAreNeverReturned) {
+  LocalStore store;
+  TermWeightSelector selector(store);
+  for (ValueId v = 1; v <= 4; ++v) selector.OnValueDiscovered(v);
+  selector.OnValueTaken(2);
+  std::set<ValueId> picked;
+  for (;;) {
+    ValueId v = selector.SelectNext();
+    if (v == kInvalidValueId) break;
+    picked.insert(v);
+  }
+  EXPECT_EQ(picked, (std::set<ValueId>{1, 3, 4}));
+}
+
+TEST(TermWeightSelectorTest, StaleBatchEntriesAreSkippedAfterTaken) {
+  LocalStore store;
+  TermWeightOptions options;
+  options.batch_size = 3;
+  TermWeightSelector selector(store, options);
+  for (ValueId v = 1; v <= 3; ++v) selector.OnValueDiscovered(v);
+  // First pick materializes the batch; then value 2 is taken by another
+  // policy while still queued.
+  ValueId first = selector.SelectNext();
+  EXPECT_EQ(first, 1u);  // equal weights, id tie-break
+  selector.OnValueTaken(2);
+  EXPECT_EQ(selector.SelectNext(), 3u);
+  EXPECT_EQ(selector.SelectNext(), kInvalidValueId);
+}
+
+TEST(TermWeightSelectorTest, CheckpointRoundTripContinuesIdentically) {
+  LocalStore store;
+  TermWeightSelector selector(store);
+  for (ValueId v = 1; v <= 6; ++v) selector.OnValueDiscovered(v);
+  uint32_t slot = 0;
+  ValueId filler = 100;
+  AddHub(store, selector, 1, 3, slot, filler);
+  AddHub(store, selector, 4, 2, slot, filler);
+  ASSERT_NE(selector.SelectNext(), kInvalidValueId);
+
+  CheckpointWriter writer;
+  ASSERT_TRUE(selector.SaveState(writer).ok());
+  std::string image = writer.TakeBuffer();
+
+  // The engine restores the store separately; mirror its contents here.
+  LocalStore other_store;
+  for (uint32_t s = 0; s < store.num_records(); ++s) {
+    std::span<const ValueId> values = store.RecordValues(s);
+    other_store.AddRecord(s, std::vector<ValueId>(values.begin(),
+                                                  values.end()));
+  }
+  TermWeightSelector restored(other_store);
+  CheckpointReader reader(image);
+  Status loaded = restored.LoadState(reader, /*value_bound=*/200);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored.frontier_size(), selector.frontier_size());
+  for (;;) {
+    ValueId a = selector.SelectNext();
+    ValueId b = restored.SelectNext();
+    ASSERT_EQ(a, b);
+    if (a == kInvalidValueId) break;
+  }
+}
+
+TEST(TermWeightSelectorTest, CheckpointRejectsBatchSizeMismatch) {
+  LocalStore store;
+  TermWeightSelector selector(store);
+  selector.OnValueDiscovered(1);
+  CheckpointWriter writer;
+  ASSERT_TRUE(selector.SaveState(writer).ok());
+  std::string image = writer.TakeBuffer();
+
+  TermWeightOptions narrow;
+  narrow.batch_size = 2;
+  TermWeightSelector restored(store, narrow);
+  CheckpointReader reader(image);
+  EXPECT_EQ(restored.LoadState(reader, 10).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- adaptive meta-selector -------------------------------------------
+
+struct Chain {
+  LocalStore store;
+  AdaptiveSelector* selector = nullptr;
+  std::unique_ptr<AdaptiveSelector> owned;
+
+  explicit Chain(AdaptiveOptions options = AdaptiveOptions{}) {
+    std::vector<std::unique_ptr<QuerySelector>> children;
+    children.push_back(std::make_unique<GreedyLinkSelector>(store));
+    children.push_back(std::make_unique<TermWeightSelector>(store));
+    owned = std::make_unique<AdaptiveSelector>(std::move(children), options);
+    selector = owned.get();
+  }
+};
+
+QueryOutcome Harvested(ValueId v, uint32_t new_records) {
+  QueryOutcome outcome;
+  outcome.value = v;
+  outcome.pages_fetched = 1;
+  outcome.records_returned = new_records;
+  outcome.new_records = new_records;
+  return outcome;
+}
+
+AdaptiveOptions FastSwitch() {
+  AdaptiveOptions options;
+  options.ewma_alpha = 1.0;  // estimator == last sample, easy to reason
+  options.switch_decay = 0.5;
+  options.hr_floor = 0.0;
+  options.min_phase_queries = 2;
+  return options;
+}
+
+TEST(AdaptiveSelectorTest, NameComposesChain) {
+  Chain chain;
+  EXPECT_EQ(chain.selector->name(), "adaptive(greedy-link,term-weight)");
+  EXPECT_EQ(chain.selector->num_phases(), 2u);
+  EXPECT_EQ(chain.selector->active_phase(), 0u);
+}
+
+TEST(AdaptiveSelectorTest, SwitchesWhenHarvestRateDecays) {
+  Chain chain(FastSwitch());
+  for (ValueId v = 1; v <= 8; ++v) chain.selector->OnValueDiscovered(v);
+  // Two rich queries set the peak, then a crash in the harvest rate
+  // (1 < 0.5 * 10) advances the phase.
+  chain.selector->OnQueryCompleted(Harvested(1, 10));
+  chain.selector->OnQueryCompleted(Harvested(2, 10));
+  EXPECT_EQ(chain.selector->active_phase(), 0u);
+  chain.selector->OnQueryCompleted(Harvested(3, 1));
+  EXPECT_EQ(chain.selector->active_phase(), 1u);
+  EXPECT_EQ(chain.selector->phase_switches(), 1u);
+  // The last phase never advances past the end, however poor the rate.
+  chain.selector->OnQueryCompleted(Harvested(4, 0));
+  chain.selector->OnQueryCompleted(Harvested(5, 0));
+  EXPECT_EQ(chain.selector->active_phase(), 1u);
+}
+
+TEST(AdaptiveSelectorTest, MinPhaseQueriesSuppressesEarlySwitch) {
+  AdaptiveOptions options = FastSwitch();
+  options.min_phase_queries = 10;
+  Chain chain(options);
+  chain.selector->OnQueryCompleted(Harvested(1, 10));
+  chain.selector->OnQueryCompleted(Harvested(2, 0));
+  chain.selector->OnQueryCompleted(Harvested(3, 0));
+  EXPECT_EQ(chain.selector->active_phase(), 0u);
+}
+
+TEST(AdaptiveSelectorTest, TakenValuesNeverRepeatAcrossTheSwitch) {
+  Chain chain(FastSwitch());
+  for (ValueId v = 1; v <= 5; ++v) chain.selector->OnValueDiscovered(v);
+  std::set<ValueId> picked;
+  // Pick twice under greedy, then force the switch and drain the rest
+  // under term-weight: the five values come out exactly once each.
+  for (int i = 0; i < 2; ++i) {
+    ValueId v = chain.selector->SelectNext();
+    ASSERT_NE(v, kInvalidValueId);
+    EXPECT_TRUE(picked.insert(v).second);
+    chain.selector->OnQueryCompleted(Harvested(v, 10));
+  }
+  chain.selector->OnQueryCompleted(Harvested(99, 1));
+  ASSERT_EQ(chain.selector->active_phase(), 1u);
+  for (;;) {
+    ValueId v = chain.selector->SelectNext();
+    if (v == kInvalidValueId) break;
+    EXPECT_TRUE(picked.insert(v).second) << "value " << v << " repeated";
+  }
+  EXPECT_EQ(picked, (std::set<ValueId>{1, 2, 3, 4, 5}));
+}
+
+TEST(AdaptiveSelectorTest, ExhaustedPhaseFallsThroughTheChain) {
+  Chain chain;
+  chain.selector->OnValueDiscovered(1);
+  EXPECT_EQ(chain.selector->SelectNext(), 1u);
+  // Both children drained: the chain reports exhaustion, not a stall.
+  EXPECT_EQ(chain.selector->SelectNext(), kInvalidValueId);
+}
+
+TEST(AdaptiveSelectorTest, CheckpointRoundTripAcrossTheSwitchBoundary) {
+  Chain chain(FastSwitch());
+  for (ValueId v = 1; v <= 6; ++v) chain.selector->OnValueDiscovered(v);
+  uint32_t slot = 0;
+  ValueId filler = 10;
+  AddHub(chain.store, *chain.selector, 2, 3, slot, filler);
+  // Drive past the switch: the checkpoint captures phase 1 mid-flight.
+  chain.selector->OnQueryCompleted(Harvested(1, 10));
+  chain.selector->OnQueryCompleted(Harvested(2, 10));
+  chain.selector->OnQueryCompleted(Harvested(3, 1));
+  ASSERT_EQ(chain.selector->active_phase(), 1u);
+  ASSERT_NE(chain.selector->SelectNext(), kInvalidValueId);
+
+  CheckpointWriter writer;
+  ASSERT_TRUE(chain.selector->SaveState(writer).ok());
+  std::string image = writer.TakeBuffer();
+
+  Chain restored(FastSwitch());
+  for (uint32_t s = 0; s < chain.store.num_records(); ++s) {
+    std::span<const ValueId> values = chain.store.RecordValues(s);
+    restored.store.AddRecord(s, std::vector<ValueId>(values.begin(),
+                                                     values.end()));
+  }
+  CheckpointReader reader(image);
+  Status loaded = restored.selector->LoadState(reader, /*value_bound=*/50);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored.selector->active_phase(), 1u);
+  EXPECT_EQ(restored.selector->phase_switches(), 1u);
+  EXPECT_DOUBLE_EQ(restored.selector->estimator().hr,
+                   chain.selector->estimator().hr);
+  for (;;) {
+    ValueId a = chain.selector->SelectNext();
+    ValueId b = restored.selector->SelectNext();
+    ASSERT_EQ(a, b);
+    if (a == kInvalidValueId) break;
+    chain.selector->OnQueryCompleted(Harvested(a, 1));
+    restored.selector->OnQueryCompleted(Harvested(b, 1));
+  }
+}
+
+TEST(AdaptiveSelectorTest, CheckpointRejectsChainAndOptionMismatches) {
+  Chain chain(FastSwitch());
+  chain.selector->OnValueDiscovered(1);
+  CheckpointWriter writer;
+  ASSERT_TRUE(chain.selector->SaveState(writer).ok());
+  std::string image = writer.TakeBuffer();
+
+  // Different switch options.
+  {
+    Chain other;  // default options
+    CheckpointReader reader(image);
+    EXPECT_EQ(other.selector->LoadState(reader, 10).code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Different chain composition.
+  {
+    LocalStore store;
+    std::vector<std::unique_ptr<QuerySelector>> children;
+    children.push_back(std::make_unique<TermWeightSelector>(store));
+    children.push_back(std::make_unique<GreedyLinkSelector>(store));
+    AdaptiveSelector reversed(std::move(children), FastSwitch());
+    CheckpointReader reader(image);
+    EXPECT_EQ(reversed.LoadState(reader, 10).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace deepcrawl

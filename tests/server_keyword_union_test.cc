@@ -1,0 +1,259 @@
+// Tests of the keyword-box token dictionary and the merge buffers
+// behind it: the all-attribute union a bare keyword answers with
+// (§2.2's "the site's query processor decides which column matches"),
+// its precomputed postings, and the conjunctive intersection path that
+// shares the same scratch-buffer idiom. Focus cases: empty terms,
+// duplicate terms (one text under many attributes), and page
+// boundaries of merged result sets.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/server/web_db_server.h"
+#include "tests/test_util.h"
+
+namespace deepcrawl {
+namespace {
+
+using testing_util::GetValueId;
+using testing_util::MakeTable;
+using testing_util::Row;
+
+// A bibliography-shaped table where "smith" appears as both an author
+// and an editor — the same raw text under two attributes.
+Table CrossAttributeTable() {
+  return MakeTable({
+      {{"Author", "smith"}, {"Editor", "jones"}, {"Title", "t1"}},
+      {{"Author", "brown"}, {"Editor", "smith"}, {"Title", "t2"}},
+      {{"Author", "smith"}, {"Editor", "smith"}, {"Title", "t3"}},
+      {{"Author", "davis"}, {"Editor", "king"}, {"Title", "t4"}},
+  });
+}
+
+TEST(KeywordUnionTest, UnknownTermAnswersEmptyAndStillCosts) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  StatusOr<ResultPage> page = server.FetchPageByKeyword("nosuchterm", 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->records.empty());
+  EXPECT_FALSE(page->has_more);
+  // A miss is still a conversation with the site: one round, one query.
+  EXPECT_EQ(server.communication_rounds(), 1u);
+  EXPECT_EQ(server.queries_issued(), 1u);
+}
+
+TEST(KeywordUnionTest, EmptyTermAnswersEmpty) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  StatusOr<ResultPage> page = server.FetchPageByKeyword("", 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->records.empty());
+}
+
+TEST(KeywordUnionTest, DuplicateTermUnionsAttributesWithoutDoubleCount) {
+  Table table = CrossAttributeTable();
+  ServerOptions options;
+  options.reports_total_count = true;
+  WebDbServer server(table, options);
+
+  // "smith" matches records 0 and 2 as Author and 1 and 2 as Editor:
+  // the union is {0, 1, 2}, with record 2 reported once.
+  StatusOr<ResultPage> page = server.FetchPageByKeyword("smith", 0);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(page->total_matches.has_value());
+  EXPECT_EQ(*page->total_matches, 3u);
+  ASSERT_EQ(page->records.size(), 3u);
+  EXPECT_EQ(page->records[0].id, 0u);
+  EXPECT_EQ(page->records[1].id, 1u);
+  EXPECT_EQ(page->records[2].id, 2u);
+
+  // The dictionary knows the text spans two attributes and both interned
+  // values resolve to the same merged postings.
+  ValueId author = GetValueId(table, "Author", "smith");
+  ValueId editor = GetValueId(table, "Editor", "smith");
+  EXPECT_EQ(server.KeywordAttributeSpan(author), 2u);
+  EXPECT_EQ(server.KeywordAttributeSpan(editor), 2u);
+  EXPECT_EQ(server.KeywordMatchCount(author), 3u);
+  EXPECT_EQ(server.KeywordMatchCount(editor), 3u);
+  ASSERT_EQ(server.KeywordPostings(author).size(), 3u);
+  EXPECT_EQ(server.KeywordPostings(author).data(),
+            server.KeywordPostings(editor).data());
+}
+
+TEST(KeywordUnionTest, SingleAttributeTokenAliasesIndexPostings) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  ValueId jones = GetValueId(table, "Editor", "jones");
+  EXPECT_EQ(server.KeywordAttributeSpan(jones), 1u);
+  EXPECT_EQ(server.KeywordPostings(jones).data(),
+            server.index().Postings(jones).data());
+}
+
+TEST(KeywordUnionTest, KeywordOfMatchesKeywordByText) {
+  Table table = CrossAttributeTable();
+  ServerOptions options;
+  options.page_size = 2;
+  options.reports_total_count = true;
+  WebDbServer server(table, options);
+  for (ValueId v = 0; v < table.num_distinct_values(); ++v) {
+    StatusOr<ResultPage> by_id = server.FetchPageKeywordOf(v, 0);
+    StatusOr<ResultPage> by_text = server.FetchPageByKeyword(
+        table.catalog().text_of(v), 0);
+    ASSERT_TRUE(by_id.ok());
+    ASSERT_TRUE(by_text.ok());
+    EXPECT_EQ(by_id->total_matches, by_text->total_matches);
+    EXPECT_EQ(by_id->has_more, by_text->has_more);
+    ASSERT_EQ(by_id->records.size(), by_text->records.size());
+    for (size_t i = 0; i < by_id->records.size(); ++i) {
+      EXPECT_EQ(by_id->records[i].id, by_text->records[i].id);
+    }
+  }
+}
+
+TEST(KeywordUnionTest, OutOfRangeValueIdAnswersEmpty) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  ValueId bogus = table.num_distinct_values() + 17;
+  EXPECT_EQ(server.KeywordAttributeSpan(bogus), 0u);
+  EXPECT_TRUE(server.KeywordPostings(bogus).empty());
+  StatusOr<ResultPage> page = server.FetchPageKeywordOf(bogus, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->records.empty());
+}
+
+TEST(KeywordUnionTest, MergedUnionPaginatesAcrossExactBoundary) {
+  // 6 records match "shared" (3 per attribute, disjoint record sets);
+  // page size 3 → exactly two full pages, no phantom third page.
+  std::vector<Row> rows;
+  for (int i = 0; i < 3; ++i) {
+    rows.push_back({{"Author", "shared"}, {"Title", "a" + std::to_string(i)}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    rows.push_back({{"Author", "solo" + std::to_string(i)},
+                    {"Editor", "shared"},
+                    {"Title", "e" + std::to_string(i)}});
+  }
+  Table table = MakeTable(rows);
+  ServerOptions options;
+  options.page_size = 3;
+  WebDbServer server(table, options);
+
+  StatusOr<ResultPage> first = server.FetchPageByKeyword("shared", 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->records.size(), 3u);
+  EXPECT_TRUE(first->has_more);
+  StatusOr<ResultPage> second = server.FetchPageByKeyword("shared", 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->records.size(), 3u);
+  EXPECT_FALSE(second->has_more);
+  StatusOr<ResultPage> third = server.FetchPageByKeyword("shared", 2);
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(KeywordUnionTest, KeywordBoxIgnoresQueriableAttributeMask) {
+  // The form only exposes Author, but the search box still reaches the
+  // Editor column (a real site's keyword search is wider than its
+  // advanced-search form).
+  Table table = CrossAttributeTable();
+  ServerOptions options;
+  options.queriable_attributes = {
+      static_cast<AttributeId>(*table.schema().FindAttribute("Author"))};
+  WebDbServer server(table, options);
+  ValueId jones = GetValueId(table, "Editor", "jones");
+  EXPECT_FALSE(server.IsQueriableValue(jones));
+  StatusOr<ResultPage> typed = server.FetchPage(jones, 0);
+  ASSERT_TRUE(typed.ok());
+  EXPECT_TRUE(typed->records.empty());
+  StatusOr<ResultPage> keyword = server.FetchPageByKeyword("jones", 0);
+  ASSERT_TRUE(keyword.ok());
+  EXPECT_EQ(keyword->records.size(), 1u);
+}
+
+TEST(KeywordUnionTest, TokenCountMatchesDistinctTexts) {
+  // "smith" under two attributes is ONE token; every other text is its
+  // own. CrossAttributeTable has 12 cells, one duplicated text.
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  EXPECT_EQ(server.num_keyword_tokens(), table.num_distinct_values() - 1);
+}
+
+TEST(ConjunctiveMergeBufferTest, DuplicatePredicateIsIdempotent) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  ValueId author = GetValueId(table, "Author", "smith");
+  std::vector<ValueId> once = {author};
+  std::vector<ValueId> twice = {author, author, author};
+  StatusOr<ResultPage> a = server.FetchPageConjunctive(once, 0);
+  StatusOr<ResultPage> b = server.FetchPageConjunctive(twice, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->records.size(), b->records.size());
+  for (size_t i = 0; i < a->records.size(); ++i) {
+    EXPECT_EQ(a->records[i].id, b->records[i].id);
+  }
+}
+
+TEST(ConjunctiveMergeBufferTest, EmptyPredicateListIsRejected) {
+  Table table = CrossAttributeTable();
+  WebDbServer server(table, ServerOptions{});
+  StatusOr<ResultPage> page = server.FetchPageConjunctive({}, 0);
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kInvalidArgument);
+  // A rejected malformed query never reached the site: no round charged.
+  EXPECT_EQ(server.communication_rounds(), 0u);
+}
+
+TEST(ConjunctiveMergeBufferTest, IntersectionPaginatesAcrossExactBoundary) {
+  // 4 records carry both predicates; page size 2 → two exact pages.
+  std::vector<Row> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back({{"Author", "smith"},
+                    {"Editor", "jones"},
+                    {"Title", "t" + std::to_string(i)}});
+  }
+  rows.push_back({{"Author", "smith"}, {"Editor", "king"}, {"Title", "x"}});
+  Table table = MakeTable(rows);
+  ServerOptions options;
+  options.page_size = 2;
+  WebDbServer server(table, options);
+  std::vector<ValueId> both = {GetValueId(table, "Author", "smith"),
+                               GetValueId(table, "Editor", "jones")};
+  StatusOr<ResultPage> first = server.FetchPageConjunctive(both, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->records.size(), 2u);
+  EXPECT_TRUE(first->has_more);
+  StatusOr<ResultPage> second = server.FetchPageConjunctive(both, 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->records.size(), 2u);
+  EXPECT_FALSE(second->has_more);
+  StatusOr<ResultPage> third = server.FetchPageConjunctive(both, 2);
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ConjunctiveMergeBufferTest, ReusedScratchBuffersStayIndependent) {
+  // Interleave keyword and conjunctive fetches: the conjunctive scratch
+  // vectors must not leak state into the precomputed keyword unions.
+  Table table = CrossAttributeTable();
+  ServerOptions options;
+  options.reports_total_count = true;
+  WebDbServer server(table, options);
+  std::vector<ValueId> both = {GetValueId(table, "Author", "smith"),
+                               GetValueId(table, "Editor", "smith")};
+  StatusOr<ResultPage> conj = server.FetchPageConjunctive(both, 0);
+  ASSERT_TRUE(conj.ok());
+  ASSERT_EQ(conj->records.size(), 1u);  // only record 2 has both
+  EXPECT_EQ(conj->records[0].id, 2u);
+  StatusOr<ResultPage> keyword = server.FetchPageByKeyword("smith", 0);
+  ASSERT_TRUE(keyword.ok());
+  EXPECT_EQ(keyword->records.size(), 3u);
+  StatusOr<ResultPage> again = server.FetchPageConjunctive(both, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace deepcrawl

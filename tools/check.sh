@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification, nine times over: the plain build, an ASan/UBSan
+# Tier-1 verification, ten times over: the plain build, an ASan/UBSan
 # build, a ThreadSanitizer build for the concurrency suite, a
 # Release-mode perf pass that guards the committed BENCH_*.json
 # baselines, a kill/resume pass that SIGKILLs a checkpointing crawl
@@ -16,10 +16,13 @@
 # and a starved cache (--page-bytes=512 --cache-pages=8): the paged
 # trace must be byte-identical to the in-memory run, and a paged crawl
 # SIGKILLed mid-run must resume from its durable manifest and still
-# match byte for byte.
+# match byte for byte. A tenth pass points the same kill/resume
+# differential at the adaptive meta-selector crawling a textual source
+# through the keyword box under faults, so the checkpoint taken around
+# the phase-switch boundary proves out on the real files-on-disk path.
 #
 # Usage: tools/check.sh [--no-asan] [--no-tsan] [--no-perf] [--no-resume]
-#        [--no-competitive] [--no-net] [--no-paged]
+#        [--no-competitive] [--no-net] [--no-paged] [--no-adaptive]
 #
 # The plain pass is the canonical `cmake && ctest` loop from ROADMAP.md;
 # the ASan pass rebuilds everything into build-asan/ with -DASAN=ON
@@ -39,7 +42,7 @@ cd "$(dirname "$0")/.."
 # Test suites exercising threads; kept in tests/CMakeLists.txt's
 # deepcrawl_concurrency_tests binary (plus the property tests that ride
 # along with it).
-TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|PagedDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest|NetServerTest|NetDifferentialTest)'
+TSAN_FILTER='^(ThreadPoolTest|LockedInterfaceTest|AdaptiveDifferentialTest|ParallelCrawlerDifferentialTest|ParallelCrawlerStressTest|CrawlCheckpointTest|ShardedStoreTest|AvgInvariantsPropertyTest|TraceWaveTest|HotPathDifferentialTest|PagedDifferentialTest|CrawlFleetTest|FleetStressTest|OptimalSelectorTest|OptimalCompetitivePropertyTest|NetServerTest|NetDifferentialTest)'
 
 run_suite() {
   local build_dir="$1"; shift
@@ -48,7 +51,38 @@ run_suite() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
-echo "=== pass 1/9: plain build (build/) ==="
+# Shared kill/resume differential (passes 5, 6, 9, 10). Launches the
+# slowed, checkpointing command held in the array named by `$5` in the
+# background, waits for its first checkpoint to land at `$2`, SIGKILLs
+# it mid-run, then re-runs the command held in the array named by `$6`
+# with --resume-from/--trace-csv appended and byte-compares the resumed
+# trace against the uninterrupted reference trace `$3`.
+kill_resume_differential() {
+  local label="$1" ckpt="$2" reference="$3" resumed="$4"
+  local -n krd_bg_cmd="$5" krd_resume_cmd="$6"
+  "${krd_bg_cmd[@]}" > /dev/null 2>&1 &
+  local pid=$!
+  # Let it commit some waves, then kill it hard mid-crawl (the caller's
+  # simulated latency stretches the run so the kill lands mid-crawl;
+  # latency never affects results, so the resumed run drops it).
+  while [[ ! -s "${ckpt}" ]]; do sleep 0.1; done
+  sleep 1
+  kill -9 "${pid}" 2> /dev/null || true
+  wait "${pid}" 2> /dev/null || true
+  if ! "${krd_resume_cmd[@]}" --resume-from="${ckpt}" \
+      --trace-csv="${resumed}" > /dev/null; then
+    echo "${label} FAILED: resume from checkpoint errored" >&2
+    exit 1
+  fi
+  if ! cmp -s "${reference}" "${resumed}"; then
+    echo "${label} FAILED: resumed trace differs from one-shot" >&2
+    diff "${reference}" "${resumed}" | head -20 >&2
+    exit 1
+  fi
+  echo "${label}: traces byte-identical"
+}
+
+echo "=== pass 1/10: plain build (build/) ==="
 run_suite build
 
 skip_asan=0
@@ -58,6 +92,7 @@ skip_resume=0
 skip_competitive=0
 skip_net=0
 skip_paged=0
+skip_adaptive=0
 for arg in "$@"; do
   case "${arg}" in
     --no-asan) skip_asan=1 ;;
@@ -67,21 +102,22 @@ for arg in "$@"; do
     --no-competitive) skip_competitive=1 ;;
     --no-net) skip_net=1 ;;
     --no-paged) skip_paged=1 ;;
+    --no-adaptive) skip_adaptive=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
 if [[ "${skip_asan}" == 1 ]]; then
-  echo "=== pass 2/9 skipped (--no-asan) ==="
+  echo "=== pass 2/10 skipped (--no-asan) ==="
 else
-  echo "=== pass 2/9: sanitizer build (build-asan/, -DASAN=ON) ==="
+  echo "=== pass 2/10: sanitizer build (build-asan/, -DASAN=ON) ==="
   run_suite build-asan -DASAN=ON
 fi
 
 if [[ "${skip_tsan}" == 1 ]]; then
-  echo "=== pass 3/9 skipped (--no-tsan) ==="
+  echo "=== pass 3/10 skipped (--no-tsan) ==="
 else
-  echo "=== pass 3/9: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
+  echo "=== pass 3/10: thread sanitizer build (build-tsan/, -DTSAN=ON) ==="
   cmake -B build-tsan -S . -DTSAN=ON
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -89,13 +125,13 @@ else
 fi
 
 if [[ "${skip_perf}" == 1 ]]; then
-  echo "=== pass 4/9 skipped (--no-perf) ==="
+  echo "=== pass 4/10 skipped (--no-perf) ==="
 else
-  echo "=== pass 4/9: perf regression (build-perf/, Release) ==="
+  echo "=== pass 4/10: perf regression (build-perf/, Release) ==="
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-perf -j \
     --target bench_micro bench_parallel bench_mmmi_ablation bench_fleet \
-    bench_optimal bench_net bench_paged
+    bench_optimal bench_net bench_paged bench_textual
   ./build-perf/bench/bench_micro --json=build-perf/BENCH_micro.json
   ./build-perf/bench/bench_parallel --json=build-perf/BENCH_parallel.json
   ./build-perf/bench/bench_mmmi_ablation \
@@ -104,6 +140,7 @@ else
   ./build-perf/bench/bench_optimal --json=build-perf/BENCH_optimal.json
   ./build-perf/bench/bench_net --json=build-perf/BENCH_net.json
   ./build-perf/bench/bench_paged --json=build-perf/BENCH_paged.json
+  ./build-perf/bench/bench_textual --json=build-perf/BENCH_textual.json
   python3 tools/bench_compare.py --max-regress 0.20 \
     --baseline BENCH_micro.json \
     --current build-perf/BENCH_micro.json \
@@ -118,13 +155,15 @@ else
     --baseline BENCH_net.json \
     --current build-perf/BENCH_net.json \
     --baseline BENCH_paged.json \
-    --current build-perf/BENCH_paged.json
+    --current build-perf/BENCH_paged.json \
+    --baseline BENCH_textual.json \
+    --current build-perf/BENCH_textual.json
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 5/9 skipped (--no-resume) ==="
+  echo "=== pass 5/10 skipped (--no-resume) ==="
 else
-  echo "=== pass 5/9: kill/resume checkpoint differential ==="
+  echo "=== pass 5/10: kill/resume checkpoint differential ==="
   # An uninterrupted reference crawl, then the same crawl slowed by
   # simulated latency, checkpointing every wave, SIGKILLed mid-run; the
   # resume from its last surviving checkpoint must emit the exact same
@@ -137,35 +176,18 @@ else
     --fault-profile=flaky --threads=4 --batch=4)
   "${CRAWL}" "${CRAWL_ARGS[@]}" --trace-csv="${RESUME_DIR}/full.csv" \
     > /dev/null
-  "${CRAWL}" "${CRAWL_ARGS[@]}" --latency-us=5000 \
-    --checkpoint="${RESUME_DIR}/crawl.ckpt" --checkpoint-every=1 \
-    > /dev/null 2>&1 &
-  CRAWL_PID=$!
-  # Let it commit some waves, then kill it hard mid-crawl (the
-  # simulated latency stretches the run so the kill lands mid-crawl;
-  # latency never affects results, so the resumed run drops it).
-  while [[ ! -s "${RESUME_DIR}/crawl.ckpt" ]]; do sleep 0.1; done
-  sleep 1
-  kill -9 "${CRAWL_PID}" 2> /dev/null || true
-  wait "${CRAWL_PID}" 2> /dev/null || true
-  if ! "${CRAWL}" "${CRAWL_ARGS[@]}" \
-      --resume-from="${RESUME_DIR}/crawl.ckpt" \
-      --trace-csv="${RESUME_DIR}/resumed.csv" > /dev/null; then
-    echo "kill/resume pass FAILED: resume from checkpoint errored" >&2
-    exit 1
-  fi
-  if ! cmp -s "${RESUME_DIR}/full.csv" "${RESUME_DIR}/resumed.csv"; then
-    echo "kill/resume pass FAILED: resumed trace differs from one-shot" >&2
-    diff "${RESUME_DIR}/full.csv" "${RESUME_DIR}/resumed.csv" | head -20 >&2
-    exit 1
-  fi
-  echo "kill/resume differential: traces byte-identical"
+  KR_BG=("${CRAWL}" "${CRAWL_ARGS[@]}" --latency-us=5000
+    --checkpoint="${RESUME_DIR}/crawl.ckpt" --checkpoint-every=1)
+  KR_RESUME=("${CRAWL}" "${CRAWL_ARGS[@]}")
+  kill_resume_differential "kill/resume differential" \
+    "${RESUME_DIR}/crawl.ckpt" "${RESUME_DIR}/full.csv" \
+    "${RESUME_DIR}/resumed.csv" KR_BG KR_RESUME
 fi
 
 if [[ "${skip_resume}" == 1 ]]; then
-  echo "=== pass 6/9 skipped (--no-resume) ==="
+  echo "=== pass 6/10 skipped (--no-resume) ==="
 else
-  echo "=== pass 6/9: fleet kill/resume under chaos ==="
+  echo "=== pass 6/10: fleet kill/resume under chaos ==="
   # Pass 5 for the whole fleet: an uninterrupted 4-source fleet crawl
   # under the hostile chaos schedule, then the same fleet slowed by
   # simulated latency and checkpointing every turn, SIGKILLed mid-chaos;
@@ -180,32 +202,18 @@ else
     --retry-requeues=16 --fault-profile=flaky --chaos=hostile --seed=42)
   "${FLEET}" "${FLEET_ARGS[@]}" --trace-csv="${FLEET_DIR}/full.csv" \
     > /dev/null
-  "${FLEET}" "${FLEET_ARGS[@]}" --threads=4 --latency-us=3000 \
-    --checkpoint="${FLEET_DIR}/fleet.ckpt" --checkpoint-every=1 \
-    > /dev/null 2>&1 &
-  FLEET_PID=$!
-  while [[ ! -s "${FLEET_DIR}/fleet.ckpt" ]]; do sleep 0.1; done
-  sleep 1
-  kill -9 "${FLEET_PID}" 2> /dev/null || true
-  wait "${FLEET_PID}" 2> /dev/null || true
-  if ! "${FLEET}" "${FLEET_ARGS[@]}" \
-      --resume-from="${FLEET_DIR}/fleet.ckpt" \
-      --trace-csv="${FLEET_DIR}/resumed.csv" > /dev/null; then
-    echo "fleet kill/resume FAILED: resume from checkpoint errored" >&2
-    exit 1
-  fi
-  if ! cmp -s "${FLEET_DIR}/full.csv" "${FLEET_DIR}/resumed.csv"; then
-    echo "fleet kill/resume FAILED: resumed trace differs from one-shot" >&2
-    diff "${FLEET_DIR}/full.csv" "${FLEET_DIR}/resumed.csv" | head -20 >&2
-    exit 1
-  fi
-  echo "fleet kill/resume differential: traces byte-identical"
+  KR_BG=("${FLEET}" "${FLEET_ARGS[@]}" --threads=4 --latency-us=3000
+    --checkpoint="${FLEET_DIR}/fleet.ckpt" --checkpoint-every=1)
+  KR_RESUME=("${FLEET}" "${FLEET_ARGS[@]}")
+  kill_resume_differential "fleet kill/resume differential" \
+    "${FLEET_DIR}/fleet.ckpt" "${FLEET_DIR}/full.csv" \
+    "${FLEET_DIR}/resumed.csv" KR_BG KR_RESUME
 fi
 
 if [[ "${skip_competitive}" == 1 ]]; then
-  echo "=== pass 7/9 skipped (--no-competitive) ==="
+  echo "=== pass 7/10 skipped (--no-competitive) ==="
 else
-  echo "=== pass 7/9: competitive-guarantee gate (adversarial trap) ==="
+  echo "=== pass 7/10: competitive-guarantee gate (adversarial trap) ==="
   # End-to-end through the real CLI: generate a B=32 greedy-trap
   # instance, crawl it to full coverage with opt-rank and with greedy,
   # and gate on the measured cost/OPT ratios — the descent must stay
@@ -237,9 +245,9 @@ else
 fi
 
 if [[ "${skip_net}" == 1 ]]; then
-  echo "=== pass 8/9 skipped (--no-net) ==="
+  echo "=== pass 8/10 skipped (--no-net) ==="
 else
-  echo "=== pass 8/9: network kill/reconnect over real sockets ==="
+  echo "=== pass 8/10: network kill/reconnect over real sockets ==="
   # The wire protocol's story end to end through the real binaries, in
   # two differentials. (a) Transparency: the same faulty crawl run
   # in-process and against a deepcrawl_serve process must emit
@@ -322,9 +330,9 @@ else
 fi
 
 if [[ "${skip_paged}" == 1 ]]; then
-  echo "=== pass 9/9 skipped (--no-paged) ==="
+  echo "=== pass 9/10 skipped (--no-paged) ==="
 else
-  echo "=== pass 9/9: out-of-core paged store differential + kill/resume ==="
+  echo "=== pass 9/10: out-of-core paged store differential + kill/resume ==="
   # The paged backend's story end to end through the CLI, with pages
   # small enough (512 B x 8 frames = 4 KiB resident) that every wave
   # thrashes the cache. (a) Transparency: the same faulty parallel
@@ -358,28 +366,39 @@ else
   fi
   echo "paged differential: thrashing-cache trace byte-identical"
   # (b) SIGKILL mid-crawl, resume from the durable manifest.
-  "${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}" \
-    --store-dir="${PAGED_DIR}/store_kill" --latency-us=5000 \
-    --checkpoint="${PAGED_DIR}/crawl.ckpt" --checkpoint-every=1 \
-    > /dev/null 2>&1 &
-  PAGED_PID=$!
-  while [[ ! -s "${PAGED_DIR}/crawl.ckpt" ]]; do sleep 0.1; done
-  sleep 1
-  kill -9 "${PAGED_PID}" 2> /dev/null || true
-  wait "${PAGED_PID}" 2> /dev/null || true
-  if ! "${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}" \
-      --store-dir="${PAGED_DIR}/store_kill" \
-      --resume-from="${PAGED_DIR}/crawl.ckpt" \
-      --trace-csv="${PAGED_DIR}/resumed.csv" > /dev/null; then
-    echo "paged kill/resume FAILED: resume from manifest errored" >&2
-    exit 1
-  fi
-  if ! cmp -s "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/resumed.csv"; then
-    echo "paged kill/resume FAILED: resumed trace differs from one-shot" >&2
-    diff "${PAGED_DIR}/memory.csv" "${PAGED_DIR}/resumed.csv" | head -20 >&2
-    exit 1
-  fi
-  echo "paged kill/resume differential: traces byte-identical"
+  KR_BG=("${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}"
+    --store-dir="${PAGED_DIR}/store_kill" --latency-us=5000
+    --checkpoint="${PAGED_DIR}/crawl.ckpt" --checkpoint-every=1)
+  KR_RESUME=("${CRAWL}" "${PAGED_BASE[@]}" "${PAGED_FLAGS[@]}"
+    --store-dir="${PAGED_DIR}/store_kill")
+  kill_resume_differential "paged kill/resume differential" \
+    "${PAGED_DIR}/crawl.ckpt" "${PAGED_DIR}/memory.csv" \
+    "${PAGED_DIR}/resumed.csv" KR_BG KR_RESUME
+fi
+
+if [[ "${skip_adaptive}" == 1 ]]; then
+  echo "=== pass 10/10 skipped (--no-adaptive) ==="
+else
+  echo "=== pass 10/10: adaptive switch kill/resume on a textual source ==="
+  # The adaptive meta-selector (GL -> GL+MMMI -> term-weight) crawling a
+  # generated textual database through the keyword box under faults,
+  # parallel and batched. The SIGKILL lands while the chain's estimator
+  # and phase counters are live state, so the resumed crawl only matches
+  # byte for byte if the SELC section restores the whole chain — active
+  # phase, per-child frontiers, EWMA — exactly, switch wave included.
+  ADAPT_DIR="$(mktemp -d)"
+  trap 'rm -rf "${RESUME_DIR:-}" "${FLEET_DIR:-}" "${NET_DIR:-}" "${PAGED_DIR:-}" "${ADAPT_DIR}"' EXIT
+  CRAWL=./build/tools/deepcrawl_crawl
+  ADAPT_ARGS=(--workload=textual --scale=0.1 --policy=adaptive --keyword
+    --result-limit=110 --fault-profile=flaky --threads=4 --batch=4)
+  "${CRAWL}" "${ADAPT_ARGS[@]}" --trace-csv="${ADAPT_DIR}/full.csv" \
+    > /dev/null
+  KR_BG=("${CRAWL}" "${ADAPT_ARGS[@]}" --latency-us=3000
+    --checkpoint="${ADAPT_DIR}/crawl.ckpt" --checkpoint-every=1)
+  KR_RESUME=("${CRAWL}" "${ADAPT_ARGS[@]}")
+  kill_resume_differential "adaptive kill/resume differential" \
+    "${ADAPT_DIR}/crawl.ckpt" "${ADAPT_DIR}/full.csv" \
+    "${ADAPT_DIR}/resumed.csv" KR_BG KR_RESUME
 fi
 
 echo "all requested checks passed"

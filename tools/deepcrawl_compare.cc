@@ -17,31 +17,19 @@
 
 #include "src/crawler/crawl_engine.h"
 #include "src/crawler/trace_io.h"
-#include "src/datagen/adversarial_workload.h"
-#include "src/datagen/canned_workloads.h"
-#include "src/datagen/workload_config.h"
-#include "src/relation/tsv.h"
 #include "src/server/web_db_server.h"
 #include "src/util/flags.h"
 #include "src/util/table_printer.h"
 #include "tools/selector_factory.h"
+#include "tools/workload_setup.h"
 
 namespace deepcrawl {
 namespace {
 
 struct Options {
-  std::string input;
-  std::string workload;
-  double scale = 0.1;
-  int64_t gen_seed = 1;
+  WorkloadFlagOptions workload;
   std::string policies = "bfs,random,greedy,mmmi";
   std::string rank_attribute = "range";
-  std::string adv_family = "trap";
-  int64_t adv_buckets = 16;
-  int64_t adv_records = 8;
-  int64_t adv_decoy_buckets = 4;
-  int64_t adv_decoy_width = 16;
-  int64_t adv_occupied = 2;
   int64_t page_size = 10;
   int64_t result_limit = 0;
   int64_t max_rounds = 0;
@@ -49,6 +37,7 @@ struct Options {
   int64_t seed = 1;
   std::string comparison_csv;
   bool help = false;
+  bool list_selectors = false;
 };
 
 std::vector<std::string> SplitCommas(const std::string& text) {
@@ -61,65 +50,14 @@ std::vector<std::string> SplitCommas(const std::string& text) {
   return parts;
 }
 
-// Ground truth carried out of an adversarial generation, so the table
-// can print each policy's cost as a multiple of OPT.
-struct AdversarialGroundTruth {
-  uint64_t opt_queries = 0;
-  uint32_t result_limit = 0;
-  ValueId root_value = kInvalidValueId;
-};
-
-StatusOr<Table> LoadTarget(const Options& options,
-                           std::optional<AdversarialGroundTruth>& adv) {
-  if (!options.input.empty()) return ReadTableTsvFile(options.input);
-  if (options.workload == "adversarial") {
-    AdversarialConfig config;
-    if (options.adv_family == "trap") {
-      config.family = AdversarialFamily::kGreedyTrap;
-    } else if (options.adv_family == "skew") {
-      config.family = AdversarialFamily::kSkewedChain;
-    } else {
-      return Status::InvalidArgument("unknown --adv-family '" +
-                                     options.adv_family + "' (trap|skew)");
-    }
-    config.leaf_buckets = static_cast<uint32_t>(options.adv_buckets);
-    config.bucket_records = static_cast<uint32_t>(options.adv_records);
-    config.decoy_buckets =
-        static_cast<uint32_t>(options.adv_decoy_buckets);
-    config.decoy_width = static_cast<uint32_t>(options.adv_decoy_width);
-    config.occupied_leaves = static_cast<uint32_t>(options.adv_occupied);
-    config.seed = static_cast<uint64_t>(options.gen_seed);
-    DEEPCRAWL_ASSIGN_OR_RETURN(AdversarialInstance instance,
-                               GenerateAdversarialInstance(config));
-    adv.emplace();
-    adv->opt_queries = instance.opt_queries;
-    adv->result_limit = instance.result_limit;
-    adv->root_value = instance.root_value;
-    return std::move(instance.table);
-  }
-  if (options.workload == "ebay") {
-    return GenerateTable(EbayConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "acm") {
-    return GenerateTable(AcmDlConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "dblp") {
-    return GenerateTable(DblpConfig(options.scale, options.gen_seed));
-  }
-  if (options.workload == "imdb") {
-    return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
-  }
-  return Status::InvalidArgument(
-      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
-}
-
 Status Run(const Options& options) {
   std::optional<AdversarialGroundTruth> adv;
-  DEEPCRAWL_ASSIGN_OR_RETURN(Table target, LoadTarget(options, adv));
+  DEEPCRAWL_ASSIGN_OR_RETURN(Table target,
+                             LoadTargetTable(options.workload, adv));
   std::cout << "target: " << target.num_records() << " records, "
             << target.num_distinct_values() << " distinct values\n";
   if (adv.has_value()) {
-    std::cout << "adversarial: family=" << options.adv_family
+    std::cout << "adversarial: family=" << options.workload.adv_family
               << " opt=" << adv->opt_queries << " queries\n";
   }
   std::cout << "\n";
@@ -194,11 +132,15 @@ Status Run(const Options& options) {
                                     std::to_string(result.rounds),
                                     std::to_string(result.queries)};
     if (adv.has_value()) {
-      double ratio = adv->opt_queries == 0
-                         ? 0.0
-                         : static_cast<double>(result.queries) /
-                               static_cast<double>(adv->opt_queries);
-      row.push_back(TablePrinter::FormatDouble(ratio, 2));
+      // A generated instance without an exact OPT (opt_queries == 0)
+      // has no meaningful ratio; "n/a" beats a misleading 0.00.
+      if (adv->opt_queries == 0) {
+        row.push_back("n/a");
+      } else {
+        double ratio = static_cast<double>(result.queries) /
+                       static_cast<double>(adv->opt_queries);
+        row.push_back(TablePrinter::FormatDouble(ratio, 2));
+      }
     }
     row.push_back(std::string(StopReasonToString(result.stop_reason)));
     table.AddRow(row);
@@ -228,28 +170,13 @@ int main(int argc, char** argv) {
   using namespace deepcrawl;
   Options options;
   FlagParser parser;
-  parser.AddString("input", &options.input, "TSV target database");
-  parser.AddString("workload", &options.workload,
-                   "generate instead: ebay|acm|dblp|imdb|adversarial");
-  parser.AddDouble("scale", &options.scale, "workload scale factor");
-  parser.AddInt64("gen-seed", &options.gen_seed, "generator seed");
+  RegisterWorkloadFlags(parser, &options.workload);
   parser.AddString("policies", &options.policies,
-                   "comma-separated subset of bfs,dfs,random,greedy,mmmi,"
-                   "opt-rank,opt-threshold,oracle");
+                   "comma-separated subset of " +
+                       std::string(kKnownPolicies) +
+                       " (see --list-selectors)");
   parser.AddString("rank-attribute", &options.rank_attribute,
                    "interval attribute for opt-rank/opt-threshold");
-  parser.AddString("adv-family", &options.adv_family,
-                   "adversarial family: trap|skew");
-  parser.AddInt64("adv-buckets", &options.adv_buckets,
-                  "adversarial: non-decoy rank buckets");
-  parser.AddInt64("adv-records", &options.adv_records,
-                  "adversarial: records per occupied bucket");
-  parser.AddInt64("adv-decoy-buckets", &options.adv_decoy_buckets,
-                  "adversarial trap: buckets carrying decoy mass");
-  parser.AddInt64("adv-decoy-width", &options.adv_decoy_width,
-                  "adversarial trap: decoy values per trapped record");
-  parser.AddInt64("adv-occupied", &options.adv_occupied,
-                  "adversarial skew: occupied lowest buckets");
   parser.AddInt64("page-size", &options.page_size, "records per page (k)");
   parser.AddInt64("result-limit", &options.result_limit,
                   "max retrievable records per query (0 = unlimited)");
@@ -260,6 +187,8 @@ int main(int argc, char** argv) {
   parser.AddInt64("seed", &options.seed, "seed-value choice");
   parser.AddString("comparison-csv", &options.comparison_csv,
                    "write aligned per-policy coverage curves to this CSV");
+  parser.AddBool("list-selectors", &options.list_selectors,
+                 "print every registered selection policy and exit");
   parser.AddBool("help", &options.help, "print this help");
 
   Status parsed = parser.Parse(argc, argv);
@@ -272,6 +201,10 @@ int main(int argc, char** argv) {
     std::cout << "deepcrawl_compare — compare query-selection policies "
                  "on one target\n\nflags:\n"
               << parser.HelpText();
+    return 0;
+  }
+  if (options.list_selectors) {
+    std::cout << FormatSelectorList();
     return 0;
   }
   Status status = Run(options);

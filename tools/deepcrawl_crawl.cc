@@ -117,6 +117,7 @@ struct Options {
   int64_t cache_pages = 1024;
 
   bool help = false;
+  bool list_selectors = false;
 };
 
 // Splits host:port; host may be omitted ("9317" = 127.0.0.1:9317).
@@ -601,6 +602,8 @@ int main(int argc, char** argv) {
   parser.AddInt64("cache-pages", &options.cache_pages,
                   "paged-store page-cache capacity in frames; the crawl's "
                   "resident set is about page-bytes * cache-pages");
+  parser.AddBool("list-selectors", &options.list_selectors,
+                 "print every registered selection policy and exit");
   parser.AddBool("help", &options.help, "print this help");
 
   Status parsed = parser.Parse(argc, argv);
@@ -613,6 +616,10 @@ int main(int argc, char** argv) {
     std::cout << "deepcrawl_crawl — query-selection crawling of a "
                  "(simulated) hidden-Web database\n\nflags:\n"
               << parser.HelpText();
+    return 0;
+  }
+  if (options.list_selectors) {
+    std::cout << FormatSelectorList();
     return 0;
   }
   Status status = Run(options);

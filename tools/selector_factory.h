@@ -8,6 +8,7 @@
 #define DEEPCRAWL_TOOLS_SELECTOR_FACTORY_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "src/crawler/local_store.h"
@@ -46,7 +47,21 @@ struct SelectorContext {
 
 // Known policy names, for --help strings.
 inline constexpr const char* kKnownPolicies =
-    "bfs|dfs|random|greedy|mmmi|opt-rank|opt-threshold|oracle|domain";
+    "bfs|dfs|random|greedy|mmmi|term-weight|adaptive[:a,b,...]|opt-rank|"
+    "opt-threshold|oracle|domain";
+
+// One registry row: a policy name plus the one-line description printed
+// by --list-selectors and by unknown-policy errors.
+struct SelectorInfo {
+  const char* name;
+  const char* description;
+};
+
+// Every registered selector, in presentation order.
+std::span<const SelectorInfo> RegisteredSelectors();
+
+// Multi-line "name — description" listing of RegisteredSelectors().
+std::string FormatSelectorList();
 
 StatusOr<std::unique_ptr<QuerySelector>> MakeSelectorByName(
     const std::string& policy, const SelectorContext& context);

@@ -1,9 +1,11 @@
 #include "tools/workload_setup.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/datagen/adversarial_workload.h"
 #include "src/datagen/canned_workloads.h"
+#include "src/datagen/textual_workload.h"
 #include "src/datagen/workload_config.h"
 #include "src/relation/tsv.h"
 
@@ -15,7 +17,7 @@ void RegisterWorkloadFlags(FlagParser& parser, WorkloadFlagOptions* options) {
                    "tsv.h for the format)");
   parser.AddString("workload", &options->workload,
                    "generate a canned workload instead: "
-                   "ebay|acm|dblp|imdb|adversarial");
+                   "ebay|acm|dblp|imdb|adversarial|textual|mixed");
   parser.AddDouble("scale", &options->scale,
                    "scale factor for --workload (1.0 = paper size)");
   parser.AddInt64("gen-seed", &options->gen_seed,
@@ -36,6 +38,12 @@ void RegisterWorkloadFlags(FlagParser& parser, WorkloadFlagOptions* options) {
                   "record");
   parser.AddInt64("adv-occupied", &options->adv_occupied,
                   "adversarial skew: occupied lowest buckets");
+  parser.AddInt64("txt-topics", &options->txt_topics,
+                  "textual/mixed: number of topic slices in the "
+                  "vocabulary");
+  parser.AddDouble("txt-affinity", &options->txt_affinity,
+                   "textual/mixed: probability a term draw comes from "
+                   "the document's topic slice");
 }
 
 StatusOr<Table> LoadTargetTable(const WorkloadFlagOptions& options,
@@ -78,8 +86,22 @@ StatusOr<Table> LoadTargetTable(const WorkloadFlagOptions& options,
   if (options.workload == "imdb") {
     return GenerateTable(ImdbConfig(options.scale, options.gen_seed));
   }
+  if (options.workload == "textual" || options.workload == "mixed") {
+    TextualDbConfig config;
+    config.num_documents = static_cast<uint32_t>(
+        std::max(1.0, 20000.0 * options.scale));
+    config.vocabulary = static_cast<uint32_t>(
+        std::max(16.0, 30000.0 * options.scale));
+    config.num_topics = static_cast<uint32_t>(std::max<int64_t>(
+        1, std::min<int64_t>(options.txt_topics, config.vocabulary)));
+    config.topic_affinity = options.txt_affinity;
+    config.mixed = options.workload == "mixed";
+    config.seed = static_cast<uint64_t>(options.gen_seed);
+    return GenerateTextualTable(config);
+  }
   return Status::InvalidArgument(
-      "give --input=<tsv> or --workload=ebay|acm|dblp|imdb|adversarial");
+      "give --input=<tsv> or "
+      "--workload=ebay|acm|dblp|imdb|adversarial|textual|mixed");
 }
 
 void RegisterFaultFlags(FlagParser& parser, FaultFlagOptions* options) {

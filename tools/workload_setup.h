@@ -35,6 +35,11 @@ struct WorkloadFlagOptions {
   int64_t adv_decoy_buckets = 4;
   int64_t adv_decoy_width = 16;
   int64_t adv_occupied = 2;
+
+  // --workload=textual|mixed knobs (src/datagen/textual_workload.h);
+  // document and vocabulary counts follow --scale.
+  int64_t txt_topics = 12;
+  double txt_affinity = 0.7;
 };
 
 // Ground truth carried out of an adversarial generation: the crawl
